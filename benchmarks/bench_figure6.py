@@ -1,0 +1,88 @@
+"""Figure 6 — conflict metric vs. cache misses.
+
+Reproduces the correlation experiment: take the GBSC placement of the
+go analog, damage it 80 times by randomly re-aligning 0-50 procedures
+(paper methodology), and for each damaged layout record the simulated
+miss rate together with (a) the TRG_place conflict metric and (b) the
+WCG-based metric.  The paper's claim: the TRG metric is (close to)
+linear in the misses; the WCG metric is a poor predictor.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FAST, cached_context, scaled_suite, write_report
+from repro.cache.config import PAPER_CACHE
+from repro.cache.simulator import simulate
+from repro.core.gbsc import GBSCPlacement
+from repro.eval.metrics import (
+    damage_layout,
+    pearson_r,
+    trg_conflict_metric,
+    wcg_conflict_metric,
+)
+from repro.eval.reporting import format_scatter
+
+#: Number of randomized layouts (the paper plots 80 points per panel).
+LAYOUTS = 20 if FAST else 80
+
+
+def _figure6_points():
+    workload = next(w for w in scaled_suite() if w.name == "go")
+    context = cached_context(workload)
+    # The correlation study evaluates the metric on the profiled input:
+    # the conflict metric is built from the training trace, and the
+    # paper's footnote 1 notes that any train/test difference degrades
+    # the metric's ability to predict misses.  (On our test input the
+    # TRG metric's r drops from ~0.99 to ~0.4 — see EXPERIMENTS.md.)
+    test = workload.trace("train")
+    base = GBSCPlacement().place(context)
+
+    miss_rates, trg_metrics, wcg_metrics = [], [], []
+    for seed in range(LAYOUTS):
+        layout = damage_layout(
+            base, context.popular, seed=seed, config=PAPER_CACHE
+        )
+        stats = simulate(layout, test, PAPER_CACHE)
+        miss_rates.append(stats.miss_rate)
+        trg_metrics.append(
+            trg_conflict_metric(
+                layout,
+                context.trgs.place,
+                PAPER_CACHE,
+                context.trgs.chunk_size,
+            )
+        )
+        wcg_metrics.append(
+            wcg_conflict_metric(layout, context.wcg, PAPER_CACHE)
+        )
+    return miss_rates, trg_metrics, wcg_metrics
+
+
+def test_figure6_correlation(benchmark):
+    miss_rates, trg_metrics, wcg_metrics = benchmark.pedantic(
+        _figure6_points, rounds=1, iterations=1
+    )
+    r_trg = pearson_r(miss_rates, trg_metrics)
+    r_wcg = pearson_r(miss_rates, wcg_metrics)
+
+    write_report(
+        "figure6",
+        format_scatter(
+            "TRG_place metric (top panel)",
+            list(zip(miss_rates, trg_metrics)),
+            r_trg,
+        ),
+    )
+    write_report(
+        "figure6",
+        format_scatter(
+            "WCG metric (bottom panel)",
+            list(zip(miss_rates, wcg_metrics)),
+            r_wcg,
+        ),
+    )
+
+    # Figure 6's shape: strong linear correlation for the TRG metric,
+    # and a clear advantage over the WCG metric.
+    assert r_trg > 0.85
+    assert r_trg > r_wcg

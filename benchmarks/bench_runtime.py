@@ -1,0 +1,96 @@
+"""Section 4.4 — practicality of the placement algorithm.
+
+The paper bounds merge_nodes-dominated running time by P^3 * C^2 and
+reports tens of seconds to minutes for P in 30-150 and C in 256-1024.
+These micro-benchmarks measure our merge step directly (the FFT
+evaluator plus the literal Figure 4 loop) and a full GBSC placement on
+a mid-size analog, using pytest-benchmark's timing machinery.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import cached_context, scaled_suite, write_report
+from repro.cache.config import CacheConfig
+from repro.core.gbsc import GBSCPlacement
+from repro.core.merge import (
+    MergeNode,
+    PlacedProcedure,
+    offset_costs_fast,
+    offset_costs_reference,
+)
+from repro.profiles.graph import WeightedGraph
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+
+
+def _merge_inputs(n_procs: int, config: CacheConfig, seed: int = 0):
+    rng = random.Random(seed)
+    sizes = {f"p{i}": rng.randint(64, 2048) for i in range(n_procs)}
+    program = Program.from_sizes(sizes)
+    graph = WeightedGraph()
+    names = list(sizes)
+    for _ in range(n_procs * 6):
+        a, b = rng.sample(names, 2)
+        graph.add_edge(
+            ChunkId(a, rng.randrange(program[a].num_chunks())),
+            ChunkId(b, rng.randrange(program[b].num_chunks())),
+            rng.randint(1, 1000),
+        )
+    half = n_procs // 2
+    n1 = MergeNode(
+        [
+            PlacedProcedure(name, rng.randrange(config.num_lines))
+            for name in names[:half]
+        ]
+    )
+    n2 = MergeNode(
+        [
+            PlacedProcedure(name, rng.randrange(config.num_lines))
+            for name in names[half:]
+        ]
+    )
+    return n1, n2, graph, program
+
+
+@pytest.mark.parametrize("lines", [256, 512, 1024])
+def test_merge_cost_fast_scaling_in_cache_lines(benchmark, lines):
+    """C is the paper's 256-1024 range; the FFT evaluator should grow
+    roughly linearly in C (the paper's literal loop grows as C^2)."""
+    config = CacheConfig(size=lines * 32, line_size=32)
+    n1, n2, graph, program = _merge_inputs(30, config)
+    benchmark(offset_costs_fast, n1, n2, graph, program, config)
+
+
+@pytest.mark.parametrize("procs", [10, 30, 60])
+def test_merge_cost_fast_scaling_in_procedures(benchmark, procs):
+    config = CacheConfig(size=8192, line_size=32)
+    n1, n2, graph, program = _merge_inputs(procs, config)
+    benchmark(offset_costs_fast, n1, n2, graph, program, config)
+
+
+def test_merge_cost_reference_figure4_loop(benchmark):
+    """The literal Figure 4 quadruple loop, for comparison with the
+    FFT evaluator on identical inputs."""
+    config = CacheConfig(size=2048, line_size=32)  # 64 lines
+    n1, n2, graph, program = _merge_inputs(10, config)
+    benchmark(offset_costs_reference, n1, n2, graph, program, config)
+
+
+def test_full_gbsc_placement_runtime(benchmark):
+    """End-to-end placement of the perl analog — the paper reports
+    'tens of seconds to a few minutes' for its implementation."""
+    workload = next(w for w in scaled_suite() if w.name == "perl")
+    context = cached_context(workload)
+    result = benchmark.pedantic(
+        lambda: GBSCPlacement().place(context), rounds=1, iterations=2
+    )
+    write_report(
+        "runtime",
+        f"GBSC placement of the perl analog: text size "
+        f"{result.text_size} bytes, {len(context.popular)} popular "
+        "procedures (see pytest-benchmark table for timing)",
+    )

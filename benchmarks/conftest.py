@@ -1,0 +1,86 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every table and figure of the paper has a bench module here; each
+prints its regenerated rows/series, appends them to
+``benchmarks/results/<name>.txt``, and asserts the paper's qualitative
+*shape* (who wins, roughly by how much) — absolute numbers differ
+because the substrate is a simulator over synthetic analogs, not the
+authors' testbed (see DESIGN.md).
+
+Environment knobs:
+
+``REPRO_FAST=1``
+    Quarter-length traces and fewer perturbation runs (smoke mode).
+``REPRO_RUNS=<n>``
+    Perturbed profiles per algorithm for Figure 5 (paper: 40;
+    default here: 12, fast: 4).
+``REPRO_SCALE=<f>``
+    Trace-length scale factor applied to every workload.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cache.config import PAPER_CACHE
+from repro.eval.experiment import build_context
+from repro.placement.base import PlacementContext
+from repro.workloads.spec import Workload
+from repro.workloads.suite import SUITE
+
+FAST = os.environ.get("REPRO_FAST") == "1"
+RUNS = int(os.environ.get("REPRO_RUNS", "4" if FAST else "12"))
+SCALE = float(os.environ.get("REPRO_SCALE", "0.25" if FAST else "1.0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scaled_suite() -> list[Workload]:
+    return [
+        w.scaled(SCALE) if SCALE != 1.0 else w for w in SUITE
+    ]
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a report block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    with path.open("a") as handle:
+        handle.write(text)
+        handle.write("\n")
+    print(f"\n{text}")
+
+
+_context_cache: dict[tuple[str, bool], PlacementContext] = {}
+
+
+def cached_context(
+    workload: Workload, with_pair_db: bool = False
+) -> PlacementContext:
+    """Build (once per session) the placement context of a workload."""
+    key = (workload.name, with_pair_db)
+    context = _context_cache.get(key)
+    if context is None:
+        context = build_context(
+            workload.trace("train"),
+            PAPER_CACHE,
+            with_pair_db=with_pair_db,
+        )
+        _context_cache[key] = context
+    return context
+
+
+@pytest.fixture(scope="session")
+def suite() -> list[Workload]:
+    return scaled_suite()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_results_dir() -> None:
+    """Start each bench session with empty report files."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for path in RESULTS_DIR.glob("*.txt"):
+        path.unlink()

@@ -1,0 +1,66 @@
+"""Compare PH, HKC and GBSC on a Table 1 benchmark analog.
+
+Reproduces one panel of Figure 5 in miniature: a handful of perturbed
+profile copies per algorithm, reported as a sorted series plus the
+unperturbed miss rate.
+
+Run with::
+
+    python examples/benchmark_comparison.py [workload] [runs]
+
+where ``workload`` is one of gcc, go, ghostscript, m88ksim, perl,
+vortex (default: vortex) and ``runs`` is the number of perturbed
+profiles per algorithm (default: 6).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PAPER_CACHE, build_context
+from repro.core import GBSCPlacement
+from repro.eval import (
+    format_figure5_panel,
+    perturbation_sweep,
+    summarize,
+)
+from repro.placement import (
+    HashemiKaeliCalderPlacement,
+    PettisHansenPlacement,
+)
+from repro.workloads import by_name
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "vortex"
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    workload = by_name(name).scaled(0.5)
+
+    train = workload.trace("train")
+    test = workload.trace("test")
+    print(
+        f"{workload.name}: {len(workload.program)} procedures, "
+        f"{workload.program.total_size} bytes; "
+        f"train {len(train)} / test {len(test)} events"
+    )
+
+    context = build_context(train, PAPER_CACHE)
+    print(f"popular: {len(context.popular)} procedures\n")
+
+    results = perturbation_sweep(
+        context,
+        test,
+        [
+            PettisHansenPlacement(),
+            HashemiKaeliCalderPlacement(),
+            GBSCPlacement(),
+        ],
+        runs=runs,
+    )
+    print(format_figure5_panel(workload.name, results))
+    print()
+    print(summarize(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Basic-block positioning composed with procedure placement (§1).
+
+Refines a workload to block granularity with synthetic CFGs, chains
+each hot path contiguously, and shows the two granularities composing:
+block positioning shrinks the lines each activation touches; GBSC then
+keeps the shrunken footprints from conflicting.
+
+Run with::
+
+    python examples/block_positioning.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PAPER_CACHE, DefaultPlacement, build_context, simulate
+from repro.blocks import (
+    apply_reorders,
+    blockify_trace,
+    random_cfg,
+    reorder_all,
+)
+from repro.core import GBSCPlacement
+from repro.workloads import by_name
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "perl"
+    workload = by_name(name).scaled(0.1)
+    program = workload.program
+    train = workload.trace("train")
+    test = workload.trace("test")
+
+    hot = {
+        proc for proc, _ in train.reference_counts().most_common(80)
+    }
+    cfgs = {
+        proc: random_cfg(program[proc], seed=i, cold_fraction=0.4)
+        for i, proc in enumerate(sorted(hot))
+    }
+    print(
+        f"{workload.name}: {len(cfgs)} hot procedures modelled as CFGs "
+        f"({sum(len(c) for c in cfgs.values())} basic blocks)"
+    )
+
+    block_train = blockify_trace(train, cfgs, seed=1)
+    block_test = blockify_trace(test, cfgs, seed=2)
+    reorders = reorder_all(block_train, cfgs)
+    moved = sum(1 for r in reorders.values() if not r.is_identity)
+    print(f"repositioned blocks in {moved}/{len(reorders)} procedures\n")
+
+    repositioned_train = apply_reorders(block_train, reorders)
+    repositioned_test = apply_reorders(block_test, reorders)
+
+    print("test miss rates (8 KB direct-mapped):")
+    for label, train_trace, test_trace in (
+        ("original blocks   ", block_train, block_test),
+        ("repositioned      ", repositioned_train, repositioned_test),
+    ):
+        context = build_context(train_trace, PAPER_CACHE)
+        for algo in (DefaultPlacement(), GBSCPlacement()):
+            layout = algo.place(context)
+            stats = simulate(layout, test_trace, PAPER_CACHE)
+            print(f"  {label} + {algo.name:<8} {stats.miss_rate:.4%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Beyond the L1 cache: reuse distances and paging (Section 8).
+
+The paper's conclusion plans to apply temporal-ordering techniques to
+"other layers of the memory hierarchy", and Section 4.3 notes the
+linearization could be tuned for paging.  This example measures both
+sides on a benchmark analog:
+
+* the reuse-distance histogram that justifies bounding Q at twice the
+  cache size (Section 3);
+* page-level behaviour (pages touched, LRU page faults) of the
+  default layout vs. the GBSC layout — does cache-conflict-driven
+  placement hurt or help the page working set?
+
+Run with::
+
+    python examples/memory_hierarchy.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PAPER_CACHE, DefaultPlacement, build_context
+from repro.core import GBSCPlacement
+from repro.eval.memory import (
+    capacity_bound_fraction,
+    page_stats,
+    reuse_distance_histogram,
+)
+from repro.eval.visualize import cache_occupancy_map
+from repro.workloads import by_name
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    workload = by_name(name).scaled(0.25)
+    train = workload.trace("train")
+    test = workload.trace("test")
+
+    print(f"== reuse distances in the {workload.name} training trace ==")
+    histogram = reuse_distance_histogram(train, bucket=PAPER_CACHE.size)
+    total = sum(c for k, c in histogram.items() if k >= 0)
+    for bucket_index in sorted(k for k in histogram if k >= 0)[:8]:
+        count = histogram[bucket_index]
+        low = bucket_index * PAPER_CACHE.size // 1024
+        high = (bucket_index + 1) * PAPER_CACHE.size // 1024
+        bar = "#" * max(1, round(40 * count / total))
+        print(f"  {low:>4}-{high:<4} KB {count:>8}  {bar}")
+    fraction = capacity_bound_fraction(train, PAPER_CACHE)
+    print(
+        f"  capacity-bound re-references (beyond 2x cache): "
+        f"{fraction:.1%}\n"
+    )
+
+    context = build_context(train, PAPER_CACHE)
+    layouts = {
+        "default": DefaultPlacement().place(context),
+        "GBSC": GBSCPlacement().place(context),
+    }
+
+    print("== page-level behaviour on the test trace (4 KB pages) ==")
+    for label, layout in layouts.items():
+        for resident in (8, 32, 128):
+            stats = page_stats(
+                layout, test, page_size=4096, resident_pages=resident
+            )
+            print(
+                f"  {label:<8} resident={resident:>4}: "
+                f"{stats.page_faults:>7} faults over "
+                f"{stats.pages_touched} pages"
+            )
+        print()
+
+    print("== cache occupancy of the popular procedures (GBSC) ==")
+    print(
+        cache_occupancy_map(
+            layouts["GBSC"], PAPER_CACHE, context.popular, width=64
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

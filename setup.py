@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires building a wheel; this offline environment
+lacks the `wheel` module, so `python setup.py develop` provides the
+equivalent editable install.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""repro — a reproduction of *Procedure Placement Using Temporal
+Ordering Information* (Gloy, Blackwell, Smith & Calder, MICRO-30 1997).
+
+The package implements the paper's GBSC procedure-placement algorithm —
+temporal relationship graphs (TRGs) built from a bounded working set,
+cache-relative alignment via the Figure 4 ``merge_nodes`` step, and the
+Section 4.3 linearization — together with every substrate the paper's
+evaluation depends on: a program/layout model, an instruction-cache
+simulator (direct-mapped and set-associative LRU), the Pettis & Hansen
+and Hashemi/Kaeli/Calder baselines, synthetic SPECint95-analog
+workloads, and the Section 5 experimental methodology (profile
+perturbation sweeps and conflict-metric correlation).
+
+Quickstart::
+
+    from repro import (
+        PAPER_CACHE, GBSCPlacement, build_context, simulate,
+    )
+    from repro.workloads import PERL
+
+    train = PERL.trace("train")
+    context = build_context(train, PAPER_CACHE)
+    layout = GBSCPlacement().place(context)
+    stats = simulate(layout, PERL.trace("test"), PAPER_CACHE)
+    print(stats.miss_rate)
+"""
+
+from repro.cache import (
+    PAPER_CACHE,
+    PAPER_CACHE_2WAY,
+    CacheConfig,
+    MissStats,
+    simulate,
+)
+from repro.core import (
+    GBSCPlacement,
+    GBSCSetAssociativePlacement,
+    select_popular,
+)
+from repro.errors import (
+    ConfigError,
+    LayoutError,
+    PlacementError,
+    ProgramError,
+    ReproError,
+    TraceError,
+)
+from repro.eval import (
+    build_context,
+    perturbation_sweep,
+    run_experiment,
+    run_workload_experiment,
+)
+from repro.placement import (
+    DefaultPlacement,
+    HashemiKaeliCalderPlacement,
+    PettisHansenPlacement,
+    PlacementContext,
+    RandomPlacement,
+)
+from repro.profiles import WeightedGraph, build_trgs, build_wcg
+from repro.program import ChunkId, Layout, Procedure, Program
+from repro.trace import Trace, TraceEvent, TraceInput, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "ChunkId",
+    "ConfigError",
+    "DefaultPlacement",
+    "GBSCPlacement",
+    "GBSCSetAssociativePlacement",
+    "HashemiKaeliCalderPlacement",
+    "Layout",
+    "LayoutError",
+    "MissStats",
+    "PAPER_CACHE",
+    "PAPER_CACHE_2WAY",
+    "PettisHansenPlacement",
+    "PlacementContext",
+    "PlacementError",
+    "Procedure",
+    "Program",
+    "ProgramError",
+    "RandomPlacement",
+    "ReproError",
+    "Trace",
+    "TraceError",
+    "TraceEvent",
+    "TraceInput",
+    "WeightedGraph",
+    "build_context",
+    "build_trgs",
+    "build_wcg",
+    "generate_trace",
+    "perturbation_sweep",
+    "run_experiment",
+    "run_workload_experiment",
+    "select_popular",
+    "simulate",
+    "__version__",
+]

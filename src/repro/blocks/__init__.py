@@ -1,0 +1,31 @@
+"""Basic-block granularity: CFGs, block traces, block positioning.
+
+The paper's temporal-ordering machinery "applies to code blocks of any
+granularity" (Section 1); this subpackage supplies the block-level
+substrate — synthetic per-procedure control-flow graphs, refinement of
+procedure traces into block traces, and Pettis & Hansen-style
+intra-procedure block chaining — so block positioning can be composed
+with procedure placement.
+"""
+
+from repro.blocks.cfg import BasicBlock, BlockEdge, ProcedureCFG, random_cfg
+from repro.blocks.placement import (
+    BlockReorder,
+    apply_reorders,
+    chain_block_order,
+    reorder_all,
+)
+from repro.blocks.trace import block_transition_graph, blockify_trace
+
+__all__ = [
+    "BasicBlock",
+    "BlockEdge",
+    "BlockReorder",
+    "ProcedureCFG",
+    "apply_reorders",
+    "block_transition_graph",
+    "blockify_trace",
+    "chain_block_order",
+    "random_cfg",
+    "reorder_all",
+]

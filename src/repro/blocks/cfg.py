@@ -1,0 +1,201 @@
+"""Synthetic control-flow graphs at basic-block granularity.
+
+The paper's techniques "apply to code blocks of any granularity"
+(Section 1), and its related work (Pettis & Hansen, Hwu & Chang)
+places *basic blocks*.  To study that granularity we need
+intra-procedure structure our byte-extent traces do not carry: which
+blocks execute, which are skipped, and in what order.  A
+:class:`ProcedureCFG` supplies it — a seeded synthetic control-flow
+graph per procedure with realistic block sizes, branch biases and
+rarely-taken side paths.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+from repro.program.procedure import Procedure
+
+
+@dataclass(frozen=True, slots=True)
+class BasicBlock:
+    """One basic block: its index in code order and its byte size."""
+
+    index: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ProgramError("block index must be >= 0")
+        if self.size <= 0:
+            raise ProgramError("block size must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class BlockEdge:
+    """A control-flow edge with a relative probability weight."""
+
+    source: int
+    target: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ProgramError("edge weight must be positive")
+
+
+class ProcedureCFG:
+    """Control-flow graph of one procedure.
+
+    Blocks are numbered in *code order*: block ``i`` occupies the bytes
+    immediately after block ``i-1``.  Edges carry relative weights;
+    a walk starts at block 0 and ends when it leaves the last block or
+    takes an exit edge (target ``-1``).
+    """
+
+    def __init__(
+        self,
+        procedure: Procedure,
+        blocks: list[BasicBlock],
+        edges: list[BlockEdge],
+    ) -> None:
+        if not blocks:
+            raise ProgramError("a CFG needs at least one block")
+        if [b.index for b in blocks] != list(range(len(blocks))):
+            raise ProgramError("blocks must be numbered 0..n-1 in order")
+        total = sum(b.size for b in blocks)
+        if total != procedure.size:
+            raise ProgramError(
+                f"blocks of {procedure.name!r} total {total} bytes, "
+                f"but the procedure is {procedure.size}"
+            )
+        self._procedure = procedure
+        self._blocks = list(blocks)
+        self._successors: dict[int, list[tuple[int, float]]] = {}
+        for edge in edges:
+            if not 0 <= edge.source < len(blocks):
+                raise ProgramError(f"edge source {edge.source} out of range")
+            if edge.target != -1 and not 0 <= edge.target < len(blocks):
+                raise ProgramError(f"edge target {edge.target} out of range")
+            self._successors.setdefault(edge.source, []).append(
+                (edge.target, edge.weight)
+            )
+        self._offsets: list[int] = []
+        cursor = 0
+        for block in self._blocks:
+            self._offsets.append(cursor)
+            cursor += block.size
+
+    @property
+    def procedure(self) -> Procedure:
+        return self._procedure
+
+    @property
+    def blocks(self) -> list[BasicBlock]:
+        return list(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def offset_of(self, index: int) -> int:
+        """Byte offset of block *index* in the original code order."""
+        return self._offsets[index]
+
+    def size_of(self, index: int) -> int:
+        return self._blocks[index].size
+
+    def successors(self, index: int) -> list[tuple[int, float]]:
+        """(target, weight) pairs; empty means fall off the end."""
+        return list(self._successors.get(index, ()))
+
+    def walk(
+        self,
+        rng: _random.Random,
+        max_blocks: int = 256,
+    ) -> list[int]:
+        """One stochastic execution path from the entry block.
+
+        Returns the sequence of block indices executed.  The walk ends
+        on an exit edge (target ``-1``), after a block with no
+        successors, or at the *max_blocks* safety bound (loops).
+        """
+        path = [0]
+        current = 0
+        while len(path) < max_blocks:
+            successors = self._successors.get(current)
+            if not successors:
+                break
+            total = sum(weight for _, weight in successors)
+            pick = rng.random() * total
+            cumulative = 0.0
+            target = successors[-1][0]
+            for candidate, weight in successors:
+                cumulative += weight
+                if pick <= cumulative:
+                    target = candidate
+                    break
+            if target == -1:
+                break
+            path.append(target)
+            current = target
+        return path
+
+
+def random_cfg(
+    procedure: Procedure,
+    seed: int,
+    mean_block_size: int = 24,
+    cold_fraction: float = 0.3,
+    loop_probability: float = 0.3,
+) -> ProcedureCFG:
+    """A seeded random CFG with hot fall-through paths and cold side
+    blocks.
+
+    Structure: blocks laid out in code order; each block usually falls
+    through to the next, sometimes branches over a *cold* block
+    (error/slow paths that rarely execute), and occasionally loops
+    back a short distance — the shapes real compiled code exhibits and
+    that basic-block placement exploits.
+    """
+    if not 0 <= cold_fraction < 1:
+        raise ProgramError("cold_fraction must be in [0, 1)")
+    rng = _random.Random(f"cfg:{seed}:{procedure.name}")
+    sizes: list[int] = []
+    remaining = procedure.size
+    while remaining > 0:
+        size = min(
+            remaining, max(4, int(rng.expovariate(1 / mean_block_size)))
+        )
+        sizes.append(size)
+        remaining -= size
+    blocks = [BasicBlock(i, size) for i, size in enumerate(sizes)]
+    n = len(blocks)
+
+    cold = {
+        i
+        for i in range(1, n)
+        if rng.random() < cold_fraction
+    }
+    edges: list[BlockEdge] = []
+    for i in range(n):
+        if i == n - 1:
+            edges.append(BlockEdge(i, -1, 1.0))
+            continue
+        nxt = i + 1
+        if nxt in cold:
+            # Rarely fall into the cold block; usually skip past it.
+            skip_to = nxt + 1
+            while skip_to < n and skip_to in cold:
+                skip_to += 1
+            edges.append(BlockEdge(i, nxt, 0.05))
+            edges.append(
+                BlockEdge(i, skip_to if skip_to < n else -1, 0.95)
+            )
+        else:
+            edges.append(BlockEdge(i, nxt, 1.0))
+        if i > 1 and rng.random() < loop_probability:
+            back = rng.randint(max(0, i - 4), i - 1)
+            edges.append(BlockEdge(i, back, 0.3))
+    return ProcedureCFG(procedure, blocks, edges)

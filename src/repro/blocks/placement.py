@@ -1,0 +1,170 @@
+"""Intra-procedure basic-block positioning (Pettis & Hansen style).
+
+Procedure placement decides *where procedures start*; basic-block
+positioning decides *the order of blocks inside each procedure* so the
+hot path is contiguous — cold side blocks stop polluting the cache
+lines the hot path occupies.  The paper treats this granularity as
+complementary (Sections 1 and 7); this module provides it so the two
+can be composed.
+
+The algorithm is the classic chain construction: process dynamic block
+transitions heaviest-first, gluing chains together when the edge joins
+the tail of one chain to the head of another (reversal is not applied
+— blocks have a direction).  The entry block's chain always stays
+first so the procedure entry remains at offset 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.blocks.cfg import ProcedureCFG
+from repro.blocks.trace import block_transition_graph
+from repro.errors import PlacementError
+from repro.profiles.graph import WeightedGraph
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class BlockReorder:
+    """A permutation of one procedure's blocks plus derived offsets."""
+
+    cfg: ProcedureCFG
+    order: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if sorted(self.order) != list(range(len(self.cfg))):
+            raise PlacementError(
+                "order must be a permutation of the CFG's blocks"
+            )
+        if self.order[0] != 0:
+            raise PlacementError(
+                "the entry block must remain first in the layout"
+            )
+
+    def new_offset_of(self, block: int) -> int:
+        """Byte offset of *block* under the new order."""
+        cursor = 0
+        for candidate in self.order:
+            if candidate == block:
+                return cursor
+            cursor += self.cfg.size_of(candidate)
+        raise PlacementError(f"unknown block {block}")
+
+    def offset_map(self) -> dict[int, int]:
+        """Old byte offset -> new byte offset for every block."""
+        mapping: dict[int, int] = {}
+        cursor = 0
+        for block in self.order:
+            mapping[self.cfg.offset_of(block)] = cursor
+            cursor += self.cfg.size_of(block)
+        return mapping
+
+    @property
+    def is_identity(self) -> bool:
+        return self.order == tuple(range(len(self.cfg)))
+
+
+def chain_block_order(
+    cfg: ProcedureCFG, transitions: WeightedGraph
+) -> BlockReorder:
+    """Chain blocks by dynamic transition weight (PH block chaining)."""
+    n = len(cfg)
+    chains: dict[int, list[int]] = {i: [i] for i in range(n)}
+    chain_of: dict[int, int] = {i: i for i in range(n)}
+
+    heap: list[tuple[float, int, int]] = []
+    for a, b, weight in transitions.edges():
+        heapq.heappush(heap, (-weight, a, b))
+
+    def try_glue(front: int, back: int) -> None:
+        """Glue chain ending in *front* to chain starting with *back*."""
+        chain_a = chain_of[front]
+        chain_b = chain_of[back]
+        if chain_a == chain_b:
+            return
+        if chains[chain_a][-1] != front or chains[chain_b][0] != back:
+            return
+        if back == 0:
+            # Never glue anything in front of the entry block's chain:
+            # the procedure entry must stay at offset 0.
+            return
+        chains[chain_a].extend(chains[chain_b])
+        for block in chains[chain_b]:
+            chain_of[block] = chain_a
+        del chains[chain_b]
+
+    while heap:
+        _, a, b = heapq.heappop(heap)
+        # Transitions are undirected in the profile; prefer the code
+        # direction (lower index first), then the reverse.
+        try_glue(a, b)
+        try_glue(b, a)
+
+    entry_chain = chain_of[0]
+    ordered_chains = [chains[entry_chain]]
+    rest = [
+        chain
+        for key, chain in chains.items()
+        if key != entry_chain
+    ]
+
+    def chain_weight(chain: list[int]) -> float:
+        return sum(
+            transitions.weight(block, neighbor)
+            for block in chain
+            for neighbor in transitions.neighbors(block)
+        )
+
+    rest.sort(key=lambda chain: (-chain_weight(chain), chain[0]))
+    ordered_chains.extend(rest)
+    order = tuple(block for chain in ordered_chains for block in chain)
+    return BlockReorder(cfg=cfg, order=order)
+
+
+def reorder_all(
+    trace: Trace, cfgs: Mapping[str, ProcedureCFG]
+) -> dict[str, BlockReorder]:
+    """Chain-reorder every procedure with a CFG, profiled on *trace*."""
+    reorders: dict[str, BlockReorder] = {}
+    for name, cfg in cfgs.items():
+        transitions = block_transition_graph(trace, cfg)
+        reorders[name] = chain_block_order(cfg, transitions)
+    return reorders
+
+
+def apply_reorders(
+    trace: Trace, reorders: Mapping[str, BlockReorder]
+) -> Trace:
+    """Rewrite a blockified trace under the new block offsets.
+
+    Each event of a reordered procedure must start exactly on a block
+    boundary (as :func:`~repro.blocks.trace.blockify_trace` emits);
+    other procedures' events pass through unchanged.
+    """
+    program = trace.program
+    names = program.names
+    offset_maps = {
+        name: reorder.offset_map() for name, reorder in reorders.items()
+    }
+    procs = np.asarray(trace.proc_indices).copy()
+    starts = np.asarray(trace.extent_starts).copy()
+    lengths = np.asarray(trace.extent_lengths).copy()
+    for position in range(len(trace)):
+        name = names[procs[position]]
+        mapping = offset_maps.get(name)
+        if mapping is None:
+            continue
+        old_start = int(starts[position])
+        try:
+            starts[position] = mapping[old_start]
+        except KeyError:
+            raise PlacementError(
+                f"event at position {position} of {name!r} does not "
+                "start on a block boundary; blockify the trace first"
+            ) from None
+    return Trace.from_arrays(program, procs, starts, lengths)

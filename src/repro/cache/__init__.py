@@ -1,0 +1,27 @@
+"""Instruction-cache substrate: geometry, simulators and statistics."""
+
+from repro.cache.config import PAPER_CACHE, PAPER_CACHE_2WAY, CacheConfig
+from repro.cache.direct import DirectMappedCache
+from repro.cache.fast import count_direct_mapped_misses, simulate_direct_mapped
+from repro.cache.hierarchy import miss_flags, simulate_hierarchy
+from repro.cache.linetrace import LineStream, line_stream
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.simulator import simulate, simulate_stream
+from repro.cache.stats import MissStats
+
+__all__ = [
+    "CacheConfig",
+    "DirectMappedCache",
+    "LineStream",
+    "MissStats",
+    "PAPER_CACHE",
+    "PAPER_CACHE_2WAY",
+    "SetAssociativeCache",
+    "count_direct_mapped_misses",
+    "line_stream",
+    "miss_flags",
+    "simulate",
+    "simulate_direct_mapped",
+    "simulate_hierarchy",
+    "simulate_stream",
+]

@@ -1,0 +1,57 @@
+"""Vectorized direct-mapped cache simulation.
+
+For a direct-mapped cache, an access hits exactly when the immediately
+preceding access *to the same set* touched the same memory line.  That
+reduces simulation to a grouped previous-occurrence computation, which
+numpy does in ``O(n log n)`` without any Python-level loop:
+
+1. stable-sort access indices by set, preserving trace order in groups;
+2. within each group, compare each line with its predecessor;
+3. a miss is a group head or a line change.
+
+The result is bit-exact with :class:`repro.cache.direct.DirectMappedCache`
+(see ``tests/cache/test_fast_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.stats import MissStats
+from repro.errors import ConfigError
+
+
+def count_direct_mapped_misses(
+    lines: np.ndarray, config: CacheConfig
+) -> int:
+    """Number of misses when *lines* is replayed through the cache."""
+    if not config.is_direct_mapped:
+        raise ConfigError(
+            "count_direct_mapped_misses requires associativity 1, got "
+            f"{config.associativity}"
+        )
+    n = len(lines)
+    if n == 0:
+        return 0
+    lines = np.asarray(lines, dtype=np.int64)
+    sets = lines % config.num_sets
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    sorted_lines = lines[order]
+    miss = np.empty(n, dtype=bool)
+    miss[0] = True
+    miss[1:] = (sorted_sets[1:] != sorted_sets[:-1]) | (
+        sorted_lines[1:] != sorted_lines[:-1]
+    )
+    return int(miss.sum())
+
+
+def simulate_direct_mapped(
+    lines: np.ndarray, fetches: int, config: CacheConfig
+) -> MissStats:
+    """Full statistics for a line stream through a direct-mapped cache."""
+    misses = count_direct_mapped_misses(lines, config)
+    return MissStats(
+        fetches=fetches, line_accesses=len(lines), misses=misses
+    )

@@ -1,0 +1,52 @@
+"""Top-level simulation entry point.
+
+``simulate(layout, trace, config)`` is the one call the rest of the
+library uses: it derives the fetch stream and dispatches to the fastest
+exact model for the given geometry (vectorized for direct-mapped, the
+LRU model otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.cache.config import CacheConfig
+from repro.cache.direct import DirectMappedCache
+from repro.cache.fast import simulate_direct_mapped
+from repro.cache.linetrace import LineStream, line_stream
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import MissStats
+from repro.errors import ConfigError
+from repro.program.layout import Layout
+from repro.trace.trace import Trace
+
+Engine = Literal["auto", "fast", "reference", "lru"]
+
+
+def simulate_stream(
+    stream: LineStream, config: CacheConfig, engine: Engine = "auto"
+) -> MissStats:
+    """Replay a pre-computed line stream through the chosen model."""
+    if engine == "auto":
+        engine = "fast" if config.is_direct_mapped else "lru"
+    if engine == "fast":
+        return simulate_direct_mapped(stream.lines, stream.fetches, config)
+    if engine == "reference":
+        return DirectMappedCache(config).run(
+            stream.lines, fetches=stream.fetches
+        )
+    if engine == "lru":
+        return SetAssociativeCache(config).run(
+            stream.lines, fetches=stream.fetches
+        )
+    raise ConfigError(f"unknown simulation engine {engine!r}")
+
+
+def simulate(
+    layout: Layout,
+    trace: Trace,
+    config: CacheConfig,
+    engine: Engine = "auto",
+) -> MissStats:
+    """Simulate the instruction-cache behaviour of *trace* under *layout*."""
+    return simulate_stream(line_stream(layout, trace, config), config, engine)

@@ -1,0 +1,68 @@
+"""Result objects produced by the cache simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class MissStats:
+    """Outcome of replaying a fetch stream through a cache model.
+
+    Attributes
+    ----------
+    fetches:
+        Total instruction fetches issued (the denominator of the miss
+        rate, as in the paper's ATOM-based simulator).
+    line_accesses:
+        Number of distinct line touches replayed (each may satisfy
+        several instruction fetches).
+    misses:
+        Number of line touches that missed in the cache.
+    """
+
+    fetches: int
+    line_accesses: int
+    misses: int
+
+    def __post_init__(self) -> None:
+        if self.fetches < 0 or self.line_accesses < 0 or self.misses < 0:
+            raise ValueError("miss statistics cannot be negative")
+        if self.misses > self.line_accesses:
+            raise ValueError(
+                f"misses ({self.misses}) cannot exceed line accesses "
+                f"({self.line_accesses})"
+            )
+
+    @property
+    def hits(self) -> int:
+        """Line accesses that hit in the cache."""
+        return self.line_accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per instruction fetch; ``0.0`` for an empty stream."""
+        if self.fetches == 0:
+            return 0.0
+        return self.misses / self.fetches
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per line access; ``0.0`` for an empty stream."""
+        if self.line_accesses == 0:
+            return 0.0
+        return self.misses / self.line_accesses
+
+    def merged(self, other: "MissStats") -> "MissStats":
+        """Combine statistics from two disjoint stream segments."""
+        return MissStats(
+            fetches=self.fetches + other.fetches,
+            line_accesses=self.line_accesses + other.line_accesses,
+            misses=self.misses + other.misses,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.misses}/{self.line_accesses} line misses, "
+            f"miss rate {self.miss_rate:.4%}"
+        )

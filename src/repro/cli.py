@@ -1,0 +1,428 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Experiment commands::
+
+    repro-layout list
+    repro-layout compare perl --runs 8
+    repro-layout table1 --fast
+    repro-layout correlate go --layouts 20
+
+File-based workflow (profile once, place many times)::
+
+    repro-layout gen-trace m88ksim --which train -o train.npz
+    repro-layout gen-trace m88ksim --which test -o test.npz
+    repro-layout place train.npz --algorithm gbsc -o layout.json
+    repro-layout simulate layout.json test.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cache.config import PAPER_CACHE, CacheConfig
+from repro.cache.simulator import simulate
+from repro.core.gbsc import GBSCPlacement
+from repro.eval.experiment import build_context
+from repro.eval.metrics import (
+    damage_layout,
+    pearson_r,
+    trg_conflict_metric,
+    wcg_conflict_metric,
+)
+from repro.eval.randomization import perturbation_sweep, summarize
+from repro.eval.reporting import Table1Row, format_scatter, format_table1
+from repro.placement.hkc import HashemiKaeliCalderPlacement
+from repro.placement.identity import DefaultPlacement
+from repro.placement.ph import PettisHansenPlacement
+from repro.program.layout import Layout
+from repro.workloads.suite import SUITE, by_name
+
+
+def _cache_from_args(args: argparse.Namespace) -> CacheConfig:
+    return CacheConfig(
+        size=args.cache_size,
+        line_size=args.line_size,
+        associativity=args.associativity,
+    )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-size", type=int, default=PAPER_CACHE.size,
+        help="cache capacity in bytes (default: paper's 8192)",
+    )
+    parser.add_argument(
+        "--line-size", type=int, default=PAPER_CACHE.line_size,
+        help="cache line size in bytes (default: 32)",
+    )
+    parser.add_argument(
+        "--associativity", type=int, default=1,
+        help="cache associativity (default: 1, direct-mapped)",
+    )
+
+
+def _workload(args: argparse.Namespace):
+    workload = by_name(args.workload)
+    if args.fast:
+        workload = workload.scaled(0.25)
+    return workload
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    for workload in SUITE:
+        program = workload.program
+        print(
+            f"{workload.name:<12} {len(program):>5} procedures, "
+            f"{program.total_size:>8} bytes  -- {workload.description}"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = _workload(args)
+    config = _cache_from_args(args)
+    train = workload.trace("train")
+    test = workload.trace("test")
+    print(f"profiling {workload.name} (train: {len(train)} events) ...")
+    context = build_context(train, config)
+    print(
+        f"popular procedures: {len(context.popular)} "
+        f"of {len(context.program)}"
+    )
+    algorithms = [
+        DefaultPlacement(),
+        PettisHansenPlacement(),
+        HashemiKaeliCalderPlacement(),
+        GBSCPlacement(),
+    ]
+    if args.runs > 0:
+        results = perturbation_sweep(
+            context, test, algorithms, runs=args.runs
+        )
+        print(summarize(results))
+    else:
+        for algorithm in algorithms:
+            layout = algorithm.place(context)
+            stats = simulate(layout, test, config)
+            print(f"{algorithm.name:<10} miss rate {stats.miss_rate:.4%}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    config = _cache_from_args(args)
+    rows = []
+    for workload in SUITE:
+        if args.fast:
+            workload = workload.scaled(0.25)
+        program = workload.program
+        train = workload.trace("train")
+        test = workload.trace("test")
+        context = build_context(train, config)
+        default_stats = simulate(
+            Layout.default(program), test, config
+        )
+        popular_size = program.subset_size(context.popular)
+        rows.append(
+            Table1Row(
+                name=workload.name,
+                total_size=program.total_size,
+                total_count=len(program),
+                popular_size=popular_size,
+                popular_count=len(context.popular),
+                train_events=len(train),
+                test_events=len(test),
+                default_miss_rate=default_stats.miss_rate,
+                avg_q_size=(
+                    context.trgs.select_stats.avg_q_entries
+                    if context.trgs
+                    else 0.0
+                ),
+            )
+        )
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_correlate(args: argparse.Namespace) -> int:
+    workload = _workload(args)
+    config = _cache_from_args(args)
+    train = workload.trace("train")
+    test = workload.trace("test")
+    context = build_context(train, config)
+    base = GBSCPlacement().place(context)
+    assert context.trgs is not None
+    miss_rates: list[float] = []
+    trg_metrics: list[float] = []
+    wcg_metrics: list[float] = []
+    for index in range(args.layouts):
+        layout = damage_layout(
+            base, context.popular, seed=index, config=config
+        )
+        stats = simulate(layout, test, config)
+        miss_rates.append(stats.miss_rate)
+        trg_metrics.append(
+            trg_conflict_metric(
+                layout, context.trgs.place, config, context.trgs.chunk_size
+            )
+        )
+        wcg_metrics.append(wcg_conflict_metric(layout, context.wcg, config))
+    print(
+        format_scatter(
+            "TRG metric", list(zip(miss_rates, trg_metrics)),
+            pearson_r(miss_rates, trg_metrics),
+        )
+    )
+    print(
+        format_scatter(
+            "WCG metric", list(zip(miss_rates, wcg_metrics)),
+            pearson_r(miss_rates, wcg_metrics),
+        )
+    )
+    return 0
+
+
+def _trg_opt_factory():
+    from repro.placement.localsearch import TRGOptimizerPlacement
+
+    return TRGOptimizerPlacement(start_from=GBSCPlacement())
+
+
+def _txd_factory():
+    from repro.placement.logical import LogicalCachePlacement
+
+    return LogicalCachePlacement()
+
+
+_ALGORITHMS = {
+    "default": DefaultPlacement,
+    "ph": PettisHansenPlacement,
+    "hkc": HashemiKaeliCalderPlacement,
+    "gbsc": GBSCPlacement,
+    "trg-opt": _trg_opt_factory,
+    "txd": _txd_factory,
+}
+
+
+def cmd_gen_trace(args: argparse.Namespace) -> int:
+    from repro.io import save_trace
+
+    if args.spec:
+        from repro.workloads.custom import load_workload
+
+        workload = load_workload(args.spec)
+    else:
+        workload = by_name(args.workload)
+    if args.scale != 1.0:
+        workload = workload.scaled(args.scale)
+    trace = workload.trace(args.which)
+    save_trace(trace, args.output)
+    print(
+        f"wrote {args.which} trace of {workload.name}: {len(trace)} "
+        f"events -> {args.output}"
+    )
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    from repro.io import load_trace, save_layout
+
+    trace = load_trace(args.trace)
+    config = _cache_from_args(args)
+    context = build_context(trace, config)
+    algorithm = _ALGORITHMS[args.algorithm]()
+    layout = algorithm.place(context)
+    save_layout(layout, args.output)
+    train_stats = simulate(layout, trace, config)
+    print(
+        f"{algorithm.name} layout: text size {layout.text_size} bytes, "
+        f"training miss rate {train_stats.miss_rate:.4%} -> {args.output}"
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io import load_layout, load_trace
+
+    layout = load_layout(args.layout)
+    trace = load_trace(args.trace)
+    config = _cache_from_args(args)
+    stats = simulate(layout, trace, config)
+    print(
+        f"{stats.misses} misses / {stats.fetches} fetches "
+        f"(miss rate {stats.miss_rate:.4%})"
+    )
+    return 0
+
+
+def cmd_visualize(args: argparse.Namespace) -> int:
+    from repro.eval.visualize import cache_occupancy_map, layout_table
+    from repro.io import load_layout
+
+    layout = load_layout(args.layout)
+    config = _cache_from_args(args)
+    print(layout_table(layout, config, limit=args.limit))
+    print()
+    print("cache occupancy (all procedures):")
+    print(cache_occupancy_map(layout, config, width=args.width))
+    return 0
+
+
+def cmd_memory(args: argparse.Namespace) -> int:
+    from repro.eval.memory import page_stats, reuse_distance_histogram
+    from repro.io import load_layout, load_trace
+
+    layout = load_layout(args.layout)
+    trace = load_trace(args.trace)
+    config = _cache_from_args(args)
+    histogram = reuse_distance_histogram(trace, bucket=config.size)
+    total = sum(c for k, c in histogram.items() if k >= 0)
+    print("reuse distances (bucket = one cache size):")
+    for key in sorted(k for k in histogram if k >= 0)[:10]:
+        share = histogram[key] / total if total else 0.0
+        print(f"  bucket {key:>3}: {histogram[key]:>8} ({share:.1%})")
+    for resident in (8, 32, 128):
+        stats = page_stats(
+            layout, trace, page_size=args.page_size,
+            resident_pages=resident,
+        )
+        print(
+            f"pages: resident={resident:>4} -> {stats.page_faults} "
+            f"faults over {stats.pages_touched} pages"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-layout",
+        description=(
+            "Reproduction harness for 'Procedure Placement Using "
+            "Temporal Ordering Information' (MICRO-30, 1997)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list the benchmark analog workloads"
+    )
+    list_parser.set_defaults(func=cmd_list)
+
+    compare = subparsers.add_parser(
+        "compare", help="compare placement algorithms on one workload"
+    )
+    compare.add_argument("workload", help="workload name (see 'list')")
+    compare.add_argument(
+        "--runs", type=int, default=0,
+        help="perturbed runs per algorithm (0 = single clean run)",
+    )
+    compare.add_argument(
+        "--fast", action="store_true", help="use 4x shorter traces"
+    )
+    _add_cache_arguments(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    table1 = subparsers.add_parser(
+        "table1", help="print the Table 1 analog statistics"
+    )
+    table1.add_argument(
+        "--fast", action="store_true", help="use 4x shorter traces"
+    )
+    _add_cache_arguments(table1)
+    table1.set_defaults(func=cmd_table1)
+
+    correlate = subparsers.add_parser(
+        "correlate",
+        help="metric-vs-misses correlation on damaged layouts (Figure 6)",
+    )
+    correlate.add_argument("workload", help="workload name (see 'list')")
+    correlate.add_argument(
+        "--layouts", type=int, default=20,
+        help="number of damaged layouts to score",
+    )
+    correlate.add_argument(
+        "--fast", action="store_true", help="use 4x shorter traces"
+    )
+    _add_cache_arguments(correlate)
+    correlate.set_defaults(func=cmd_correlate)
+
+    gen_trace = subparsers.add_parser(
+        "gen-trace", help="generate and save a workload trace"
+    )
+    gen_trace.add_argument(
+        "workload",
+        nargs="?",
+        default="",
+        help="workload name (see 'list'); omit when using --spec",
+    )
+    gen_trace.add_argument(
+        "--spec",
+        default=None,
+        help="JSON workload specification file (repro/workload format)",
+    )
+    gen_trace.add_argument(
+        "--which", choices=["train", "test"], default="train"
+    )
+    gen_trace.add_argument(
+        "--scale", type=float, default=1.0,
+        help="trace-length scale factor",
+    )
+    gen_trace.add_argument(
+        "-o", "--output", required=True, help="output .npz path"
+    )
+    gen_trace.set_defaults(func=cmd_gen_trace)
+
+    place = subparsers.add_parser(
+        "place", help="profile a saved trace and place the program"
+    )
+    place.add_argument("trace", help="training trace (.npz)")
+    place.add_argument(
+        "--algorithm",
+        choices=sorted(_ALGORITHMS),
+        default="gbsc",
+    )
+    place.add_argument(
+        "-o", "--output", required=True, help="output layout .json path"
+    )
+    _add_cache_arguments(place)
+    place.set_defaults(func=cmd_place)
+
+    simulate_cmd = subparsers.add_parser(
+        "simulate", help="simulate a saved layout on a saved trace"
+    )
+    simulate_cmd.add_argument("layout", help="layout .json path")
+    simulate_cmd.add_argument("trace", help="trace .npz path")
+    _add_cache_arguments(simulate_cmd)
+    simulate_cmd.set_defaults(func=cmd_simulate)
+
+    visualize = subparsers.add_parser(
+        "visualize", help="render a saved layout's cache footprint"
+    )
+    visualize.add_argument("layout", help="layout .json path")
+    visualize.add_argument("--width", type=int, default=64)
+    visualize.add_argument("--limit", type=int, default=20)
+    _add_cache_arguments(visualize)
+    visualize.set_defaults(func=cmd_visualize)
+
+    memory = subparsers.add_parser(
+        "memory",
+        help="reuse-distance and paging analysis of a layout + trace",
+    )
+    memory.add_argument("layout", help="layout .json path")
+    memory.add_argument("trace", help="trace .npz path")
+    memory.add_argument("--page-size", type=int, default=4096)
+    _add_cache_arguments(memory)
+    memory.set_defaults(func=cmd_memory)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Procedure splitting (the Section 8 "orthogonal technique").
+
+The paper's conclusion notes that Pettis & Hansen's *procedure
+splitting* is orthogonal to procedure placement "and can therefore be
+combined with our technique to achieve further improvements".  This
+module implements the classic hot/cold split at chunk granularity:
+chunks of a procedure that the training trace never executes are moved
+into a separate ``<name>.cold`` procedure, shrinking the hot code
+footprint the placement algorithms have to manage.
+
+Because cold chunks are by construction never referenced in the
+training trace, every trace extent lands entirely inside the hot part
+and can be remapped exactly; the split program/trace pair feeds the
+ordinary profiling and placement pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.program.procedure import DEFAULT_CHUNK_SIZE, Procedure
+from repro.program.program import Program
+from repro.trace.trace import Trace
+
+#: Suffix of the cold half of a split procedure.
+COLD_SUFFIX = ".cold"
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """A split program plus the remapped trace and bookkeeping.
+
+    Attributes
+    ----------
+    program:
+        The new program: hot parts keep the original procedure names,
+        cold parts are ``<name>.cold``.
+    trace:
+        The training trace remapped onto the split program.
+    split_procedures:
+        Original names that were actually split (had both executed and
+        never-executed chunks).
+    hot_bytes / cold_bytes:
+        Total bytes of hot and cold code across split procedures.
+    """
+
+    program: Program
+    trace: Trace
+    split_procedures: tuple[str, ...]
+    hot_bytes: int
+    cold_bytes: int
+
+    def original_of(self, name: str) -> str:
+        """The original procedure a (possibly split) name came from."""
+        if name.endswith(COLD_SUFFIX):
+            return name[: -len(COLD_SUFFIX)]
+        return name
+
+
+def chunk_execution_counts(
+    trace: Trace, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Counter:
+    """How many trace extents touch each chunk."""
+    counts: Counter = Counter()
+    for chunk in trace.chunk_refs(chunk_size):
+        counts[chunk] += 1
+    return counts
+
+
+def split_procedures(
+    trace: Trace,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    min_cold_bytes: int = 0,
+) -> SplitResult:
+    """Split every procedure with unexecuted chunks into hot + cold.
+
+    Parameters
+    ----------
+    trace:
+        The training trace (defines "executed").
+    chunk_size:
+        Granularity of the split (the paper's 256-byte chunks).
+    min_cold_bytes:
+        Skip splits whose cold part would be smaller than this — tiny
+        cold fragments are not worth a symbol.
+    """
+    if min_cold_bytes < 0:
+        raise ProgramError("min_cold_bytes must be >= 0")
+    program = trace.program
+    counts = chunk_execution_counts(trace, chunk_size)
+
+    # Per procedure: which chunk indices were executed.
+    executed: dict[str, set[int]] = {}
+    for chunk, count in counts.items():
+        if count > 0:
+            executed.setdefault(chunk.procedure, set()).add(chunk.index)
+
+    new_procedures: list[Procedure] = []
+    # Cold halves are collected separately and appended after all hot
+    # code: segregating cold code out of the hot region is the point
+    # of the technique (it shrinks the footprint the cache ever sees).
+    cold_procedures: list[Procedure] = []
+    #: original name -> (sorted hot chunk indices, offset-in-hot of each)
+    hot_layouts: dict[str, dict[int, int]] = {}
+    split_names: list[str] = []
+    hot_bytes = 0
+    cold_bytes = 0
+
+    for proc in program:
+        total_chunks = proc.num_chunks(chunk_size)
+        hot_indices = sorted(executed.get(proc.name, ()))
+        cold_count = total_chunks - len(hot_indices)
+        if not hot_indices or cold_count == 0:
+            # Never executed, or fully hot: keep intact.
+            new_procedures.append(proc)
+            continue
+        cold_size = sum(
+            proc.chunk_size_of(i, chunk_size)
+            for i in range(total_chunks)
+            if i not in set(hot_indices)
+        )
+        if cold_size < min_cold_bytes:
+            new_procedures.append(proc)
+            continue
+        hot_size = proc.size - cold_size
+        offsets: dict[int, int] = {}
+        cursor = 0
+        for index in hot_indices:
+            offsets[index] = cursor
+            cursor += proc.chunk_size_of(index, chunk_size)
+        hot_layouts[proc.name] = offsets
+        new_procedures.append(Procedure(proc.name, hot_size))
+        cold_procedures.append(
+            Procedure(proc.name + COLD_SUFFIX, cold_size)
+        )
+        split_names.append(proc.name)
+        hot_bytes += hot_size
+        cold_bytes += cold_size
+
+    new_program = Program(new_procedures + cold_procedures)
+    new_trace = _remap_trace(
+        trace, new_program, hot_layouts, chunk_size
+    )
+    return SplitResult(
+        program=new_program,
+        trace=new_trace,
+        split_procedures=tuple(split_names),
+        hot_bytes=hot_bytes,
+        cold_bytes=cold_bytes,
+    )
+
+
+def _remap_trace(
+    trace: Trace,
+    new_program: Program,
+    hot_layouts: Mapping[str, Mapping[int, int]],
+    chunk_size: int,
+) -> Trace:
+    """Rewrite extents of split procedures onto their hot parts.
+
+    Every extent of a split procedure touches only executed chunks (a
+    chunk an extent crosses is by definition executed), and executed
+    chunks keep their relative order in the hot part, so each extent
+    maps to exactly one contiguous hot extent.
+    """
+    names = trace.program.names
+    new_index = {name: i for i, name in enumerate(new_program.names)}
+    procs: list[int] = []
+    starts: list[int] = []
+    lengths: list[int] = []
+    old_procs = trace.proc_indices
+    old_starts = trace.extent_starts
+    old_lengths = trace.extent_lengths
+    for position in range(len(trace)):
+        name = names[old_procs[position]]
+        start = int(old_starts[position])
+        length = int(old_lengths[position])
+        layout = hot_layouts.get(name)
+        if layout is not None:
+            first_chunk = start // chunk_size
+            start = layout[first_chunk] + (start - first_chunk * chunk_size)
+        procs.append(new_index[name])
+        starts.append(start)
+        lengths.append(length)
+    return Trace.from_arrays(
+        new_program,
+        np.asarray(procs, dtype=np.int32),
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(lengths, dtype=np.int64),
+    )

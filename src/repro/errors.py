@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting programming errors (``TypeError``,
+``KeyError`` from misuse of plain dicts, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value (cache geometry, chunk size, ...)."""
+
+
+class ProgramError(ReproError):
+    """An invalid program model (duplicate procedures, bad sizes, ...)."""
+
+
+class LayoutError(ReproError):
+    """An invalid layout (overlapping procedures, missing addresses, ...)."""
+
+
+class TraceError(ReproError):
+    """An invalid trace (references to unknown procedures, bad extents)."""
+
+
+class PlacementError(ReproError):
+    """A placement algorithm was driven with inconsistent inputs."""

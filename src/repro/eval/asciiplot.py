@@ -1,0 +1,95 @@
+"""ASCII rendering of Figure 5-style CDF panels.
+
+The paper's Figure 5 plots, per benchmark, the sorted miss rates of
+each algorithm against the fraction of placements at or below that
+rate.  ``ascii_cdf`` renders the same coordinates as a terminal plot so
+the benchmark harness's reports are readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One CDF curve: a label, a glyph and the sorted sample values."""
+
+    label: str
+    glyph: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.glyph) != 1:
+            raise ConfigError("glyph must be a single character")
+        if not self.values:
+            raise ConfigError(f"series {self.label!r} has no values")
+        if list(self.values) != sorted(self.values):
+            raise ConfigError(
+                f"series {self.label!r} values must be sorted"
+            )
+
+
+def ascii_cdf(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 12,
+    percent: bool = True,
+) -> str:
+    """Render one Figure 5 panel as text.
+
+    X axis: the value (miss rate); Y axis: fraction of samples at or
+    below it.  Each series marks its points with its glyph; later
+    series overwrite earlier ones on collisions.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    if width < 10 or height < 4:
+        raise ConfigError("plot must be at least 10x4")
+
+    lo = min(s.values[0] for s in series)
+    hi = max(s.values[-1] for s in series)
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for entry in series:
+        n = len(entry.values)
+        for index, value in enumerate(entry.values):
+            x = int((value - lo) / span * (width - 1))
+            fraction = (index + 1) / n
+            y = height - 1 - int(fraction * (height - 1))
+            grid[y][x] = entry.glyph
+
+    def format_value(value: float) -> str:
+        return f"{value:.2%}" if percent else f"{value:g}"
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:>4.0%} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = format_value(lo)
+    right = format_value(hi)
+    padding = max(1, width - len(left) - len(right))
+    lines.append("      " + left + " " * padding + right)
+    legend = "   ".join(f"{s.glyph} = {s.label}" for s in series)
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def sweep_panel(results, width: int = 60, height: int = 12) -> str:
+    """Render a list of :class:`~repro.eval.randomization.SweepResult`
+    objects as an ASCII Figure 5 panel."""
+    glyphs = "ox+*#@"
+    series = [
+        Series(
+            label=result.algorithm,
+            glyph=glyphs[index % len(glyphs)],
+            values=tuple(result.miss_rates),
+        )
+        for index, result in enumerate(results)
+    ]
+    return ascii_cdf(series, width=width, height=height)

@@ -1,0 +1,150 @@
+"""End-to-end experiment pipeline: profile → place → simulate.
+
+This is the harness behind every number in Section 5: build the
+profile structures from the *training* trace, run one or more placement
+algorithms, then simulate the resulting layouts on the *testing*
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.cache.stats import MissStats
+from repro.core.popular import (
+    DEFAULT_COVERAGE,
+    DEFAULT_MAX_POPULAR,
+    select_popular,
+)
+from repro.placement.base import PlacementAlgorithm, PlacementContext
+from repro.profiles.pairdb import build_pair_database
+from repro.profiles.trg import DEFAULT_Q_MULTIPLIER, build_trgs, procedure_refs
+from repro.profiles.wcg import build_wcg
+from repro.program.layout import Layout
+from repro.program.procedure import DEFAULT_CHUNK_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.spec import Workload
+
+
+def build_context(
+    train_trace: Trace,
+    config: CacheConfig,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    coverage: float = DEFAULT_COVERAGE,
+    q_multiplier: int = DEFAULT_Q_MULTIPLIER,
+    with_pair_db: bool = False,
+    max_popular: int | None = DEFAULT_MAX_POPULAR,
+) -> PlacementContext:
+    """Profile a training trace into a :class:`PlacementContext`.
+
+    Builds the WCG, both TRGs (popular procedures only, Section 4) and
+    optionally the Section 6 pair database (procedure granularity).
+    """
+    program = train_trace.program
+    popular = select_popular(
+        train_trace, coverage=coverage, max_procedures=max_popular
+    )
+    popular_set = set(popular.procedures)
+    wcg = build_wcg(train_trace)
+    trgs = build_trgs(
+        train_trace,
+        config,
+        chunk_size=chunk_size,
+        popular=popular_set,
+        q_multiplier=q_multiplier,
+    )
+    pair_db = None
+    if with_pair_db:
+        pair_db, _ = build_pair_database(
+            procedure_refs(train_trace, popular_set),
+            program.size_of,
+            q_multiplier * config.size,
+        )
+    return PlacementContext(
+        program=program,
+        config=config,
+        wcg=wcg,
+        trgs=trgs,
+        popular=popular.procedures,
+        pair_db=pair_db,
+    )
+
+
+@dataclass(frozen=True)
+class AlgorithmOutcome:
+    """One algorithm's layout and its simulated test performance."""
+
+    algorithm: str
+    layout: Layout
+    stats: MissStats
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcomes for a set of algorithms on one train/test pair."""
+
+    outcomes: tuple[AlgorithmOutcome, ...]
+
+    def __getitem__(self, algorithm: str) -> AlgorithmOutcome:
+        for outcome in self.outcomes:
+            if outcome.algorithm == algorithm:
+                return outcome
+        raise KeyError(algorithm)
+
+    def miss_rates(self) -> Mapping[str, float]:
+        return {o.algorithm: o.miss_rate for o in self.outcomes}
+
+    def best(self) -> AlgorithmOutcome:
+        return min(self.outcomes, key=lambda o: o.miss_rate)
+
+
+def run_experiment(
+    context: PlacementContext,
+    test_trace: Trace,
+    algorithms: Iterable[PlacementAlgorithm],
+) -> ExperimentResult:
+    """Place with every algorithm and simulate each layout on the test
+    trace."""
+    outcomes = []
+    for algorithm in algorithms:
+        layout = algorithm.place(context)
+        stats = simulate(layout, test_trace, context.config)
+        outcomes.append(
+            AlgorithmOutcome(
+                algorithm=algorithm.name, layout=layout, stats=stats
+            )
+        )
+    return ExperimentResult(tuple(outcomes))
+
+
+def run_workload_experiment(
+    workload: Workload,
+    config: CacheConfig,
+    algorithms: Iterable[PlacementAlgorithm],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    coverage: float = DEFAULT_COVERAGE,
+    with_pair_db: bool = False,
+    test_on_train: bool = False,
+) -> ExperimentResult:
+    """Convenience wrapper running a suite workload end to end.
+
+    ``test_on_train=True`` evaluates on the training trace itself —
+    the paper's "train/test same" check for m88ksim (Section 5.3).
+    """
+    train = workload.trace("train")
+    test = train if test_on_train else workload.trace("test")
+    context = build_context(
+        train,
+        config,
+        chunk_size=chunk_size,
+        coverage=coverage,
+        with_pair_db=with_pair_db,
+    )
+    return run_experiment(context, test, algorithms)

@@ -1,0 +1,159 @@
+"""Memory-hierarchy analysis beyond the L1 I-cache (Section 8).
+
+The paper closes by planning "to develop similar techniques to
+optimize the behavior of applications in other layers of the memory
+hierarchy", and Section 4.3 notes the linearization step could be
+altered to reduce paging problems.  This module provides the
+measurement side of that plan:
+
+* **reuse-distance histograms** — the distribution of unique code
+  bytes executed between consecutive references to a procedure (the
+  quantity the working set ``Q`` thresholds at twice the cache size);
+* **page-level behaviour of a layout** — pages touched, and page
+  faults under an LRU-resident-set model, so layouts can be compared
+  for their paging cost as well as their cache cost.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.linetrace import line_stream
+from repro.errors import ConfigError
+from repro.profiles.qset import WorkingSet
+from repro.program.layout import Layout
+from repro.trace.trace import Trace
+
+#: A large sentinel capacity: track reuse without evicting.
+_UNBOUNDED = 1 << 60
+
+
+def reuse_distance_histogram(
+    trace: Trace, bucket: int = 4096
+) -> Counter:
+    """Histogram of code-byte reuse distances at procedure granularity.
+
+    The reuse distance of a reference to procedure ``p`` is the total
+    byte size of the *distinct* procedures executed since the previous
+    reference to ``p``.  Distances are bucketed (``bucket`` bytes per
+    bin, bin index = ``distance // bucket``); first references count
+    under the special key ``-1``.
+
+    The Section 3 eviction rule is the statement that references with
+    reuse distance beyond the cache size are capacity-bound and
+    irrelevant to conflict-oriented placement — this histogram shows
+    how much of a trace that rule discards.
+    """
+    if bucket <= 0:
+        raise ConfigError(f"bucket must be positive, got {bucket}")
+    program = trace.program
+    working_set = WorkingSet(_UNBOUNDED, program.size_of)
+    histogram: Counter = Counter()
+    previous: str | None = None
+    for name in trace.procedure_refs():
+        if name == previous:
+            continue
+        previous = name
+        between = working_set.reference(name)
+        if between is None:
+            histogram[-1] += 1
+            continue
+        distance = sum(program.size_of(other) for other in between)
+        histogram[distance // bucket] += 1
+    return histogram
+
+
+def capacity_bound_fraction(
+    trace: Trace, config: CacheConfig, q_multiplier: int = 2
+) -> float:
+    """Fraction of re-references whose reuse distance exceeds the Q
+    bound — the references Section 3 deems capacity-bound."""
+    histogram = reuse_distance_histogram(trace, bucket=1)
+    threshold = q_multiplier * config.size
+    rereferences = sum(
+        count for key, count in histogram.items() if key >= 0
+    )
+    if rereferences == 0:
+        return 0.0
+    far = sum(
+        count
+        for key, count in histogram.items()
+        if key >= 0 and key > threshold
+    )
+    return far / rereferences
+
+
+@dataclass(frozen=True, slots=True)
+class PageStats:
+    """Page-level behaviour of one layout on one trace."""
+
+    page_size: int
+    resident_pages: int
+    pages_touched: int
+    page_accesses: int
+    page_faults: int
+
+    @property
+    def fault_ratio(self) -> float:
+        if self.page_accesses == 0:
+            return 0.0
+        return self.page_faults / self.page_accesses
+
+
+def page_stats(
+    layout: Layout,
+    trace: Trace,
+    page_size: int = 4096,
+    resident_pages: int = 16,
+) -> PageStats:
+    """Replay the fetch stream through an LRU page-resident-set model.
+
+    ``resident_pages`` models the portion of physical memory (or of a
+    software-managed level) available to code pages; faults count
+    first touches and LRU re-fetches.
+    """
+    if page_size <= 0:
+        raise ConfigError(f"page size must be positive, got {page_size}")
+    if resident_pages <= 0:
+        raise ConfigError(
+            f"resident_pages must be positive, got {resident_pages}"
+        )
+    # Derive the page stream from the line stream (any line size works;
+    # use one page per "line" to avoid a second expansion).
+    config = CacheConfig(
+        size=page_size * resident_pages,
+        line_size=page_size,
+        instruction_size=4,
+    )
+    stream = line_stream(layout, trace, config)
+    pages = stream.lines
+    if len(pages) == 0:
+        return PageStats(page_size, resident_pages, 0, 0, 0)
+    # Collapse consecutive repeats: sequential execution within a page
+    # cannot fault twice in a row.
+    keep = np.empty(len(pages), dtype=bool)
+    keep[0] = True
+    keep[1:] = pages[1:] != pages[:-1]
+    collapsed = pages[keep]
+
+    resident: OrderedDict[int, None] = OrderedDict()
+    faults = 0
+    for page in collapsed.tolist():
+        if page in resident:
+            resident.move_to_end(page)
+            continue
+        faults += 1
+        resident[page] = None
+        if len(resident) > resident_pages:
+            resident.popitem(last=False)
+    return PageStats(
+        page_size=page_size,
+        resident_pages=resident_pages,
+        pages_touched=int(len(np.unique(pages))),
+        page_accesses=int(len(collapsed)),
+        page_faults=faults,
+    )

@@ -1,0 +1,73 @@
+"""Text reporting mirroring the paper's tables and figure data.
+
+The benchmark harness prints through these helpers so every table and
+figure of the paper has a recognisable textual counterpart: Table 1
+rows, Figure 5 CDF series, and Figure 6 scatter data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.eval.randomization import SweepResult
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's row of Table 1."""
+
+    name: str
+    total_size: int
+    total_count: int
+    popular_size: int
+    popular_count: int
+    train_events: int
+    test_events: int
+    default_miss_rate: float
+    avg_q_size: float
+
+
+TABLE1_HEADER = (
+    f"{'program':<12} {'size':>9} {'count':>6} {'pop size':>9} "
+    f"{'pop cnt':>7} {'train':>8} {'test':>8} {'def MR':>8} {'avg Q':>6}"
+)
+
+
+def format_table1_row(row: Table1Row) -> str:
+    return (
+        f"{row.name:<12} {row.total_size:>9} {row.total_count:>6} "
+        f"{row.popular_size:>9} {row.popular_count:>7} "
+        f"{row.train_events:>8} {row.test_events:>8} "
+        f"{row.default_miss_rate:>8.2%} {row.avg_q_size:>6.1f}"
+    )
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    lines = [TABLE1_HEADER]
+    lines.extend(format_table1_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_figure5_panel(
+    benchmark: str, results: Sequence[SweepResult]
+) -> str:
+    """One Figure 5 panel as text: sorted series plus the MR table."""
+    lines = [f"== {benchmark} =="]
+    for result in results:
+        series = " ".join(f"{rate:.4%}" for rate in result.miss_rates)
+        lines.append(f"{result.algorithm:<6} {series}")
+    lines.append("unperturbed miss rates:")
+    for result in results:
+        lines.append(f"  {result.algorithm:<6} MR = {result.unperturbed:.4%}")
+    return "\n".join(lines)
+
+
+def format_scatter(
+    label: str, points: Sequence[tuple[float, float]], correlation: float
+) -> str:
+    """Figure 6-style scatter data: (miss rate, metric) pairs."""
+    lines = [f"== {label} (pearson r = {correlation:+.3f}) =="]
+    for miss_rate, metric in points:
+        lines.append(f"  {miss_rate:.4%}  {metric:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Statistical comparison of miss-rate distributions.
+
+Section 5.1's methodology produces *distributions* of miss rates per
+algorithm precisely because single runs of greedy layout algorithms
+are statistically meaningless.  This module supplies the matching
+inference tools: a Mann-Whitney U rank test for "does algorithm A's
+distribution sit left of algorithm B's?", and a bootstrap confidence
+interval for the median difference.  Both are implemented directly
+(and validated against scipy in the test suite) so the library has no
+scipy dependency at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class RankTestResult:
+    """Outcome of a one-sided Mann-Whitney U test."""
+
+    u_statistic: float
+    p_value: float
+    effect_size: float  # P(A < B), the common-language effect size
+
+    @property
+    def significant(self) -> bool:
+        """Conventional 5% threshold."""
+        return self.p_value < 0.05
+
+
+def mann_whitney_less(
+    a: Sequence[float], b: Sequence[float]
+) -> RankTestResult:
+    """One-sided Mann-Whitney U: alternative "A tends smaller than B".
+
+    Uses the normal approximation with tie correction and continuity
+    correction — accurate for the sample sizes the Figure 5 sweeps
+    produce (n >= 8) and conservative below that.
+    """
+    n_a, n_b = len(a), len(b)
+    if n_a < 2 or n_b < 2:
+        raise ConfigError("both samples need at least two values")
+
+    combined = [(value, 0) for value in a] + [(value, 1) for value in b]
+    combined.sort(key=lambda pair: pair[0])
+
+    # Midranks with tie groups.
+    ranks = [0.0] * len(combined)
+    index = 0
+    tie_correction = 0.0
+    while index < len(combined):
+        j = index
+        while (
+            j + 1 < len(combined)
+            and combined[j + 1][0] == combined[index][0]
+        ):
+            j += 1
+        midrank = (index + j) / 2 + 1
+        for k in range(index, j + 1):
+            ranks[k] = midrank
+        tie_size = j - index + 1
+        tie_correction += tie_size**3 - tie_size
+        index = j + 1
+
+    rank_sum_a = sum(
+        rank for rank, (_, group) in zip(ranks, combined) if group == 0
+    )
+    u_a = rank_sum_a - n_a * (n_a + 1) / 2
+    total = n_a + n_b
+    mean_u = n_a * n_b / 2
+    variance = (
+        n_a
+        * n_b
+        / 12
+        * ((total + 1) - tie_correction / (total * (total - 1)))
+    )
+    if variance <= 0:
+        # All values identical: no evidence either way.
+        return RankTestResult(
+            u_statistic=u_a, p_value=1.0, effect_size=0.5
+        )
+    # Alternative "A smaller" means small U_A; continuity-corrected z.
+    z = (u_a - mean_u + 0.5) / math.sqrt(variance)
+    p_value = _normal_cdf(z)
+    effect = 1.0 - u_a / (n_a * n_b)
+    return RankTestResult(
+        u_statistic=u_a, p_value=p_value, effect_size=effect
+    )
+
+
+def _normal_cdf(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapInterval:
+    """A bootstrap confidence interval for a median difference."""
+
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def excludes_zero(self) -> bool:
+        return self.low > 0 or self.high < 0
+
+
+def bootstrap_median_difference(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile-bootstrap CI for ``median(b) - median(a)``.
+
+    A positive interval means *b* is reliably larger (worse, for miss
+    rates) than *a*.
+    """
+    if not 0 < confidence < 1:
+        raise ConfigError("confidence must be in (0, 1)")
+    if len(a) < 2 or len(b) < 2:
+        raise ConfigError("both samples need at least two values")
+    rng = _random.Random(seed)
+
+    def median(values: list[float]) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    differences = []
+    for _ in range(resamples):
+        sample_a = [rng.choice(a) for _ in range(len(a))]
+        sample_b = [rng.choice(b) for _ in range(len(b))]
+        differences.append(median(sample_b) - median(sample_a))
+    differences.sort()
+    alpha = (1 - confidence) / 2
+    low_index = int(alpha * resamples)
+    high_index = min(resamples - 1, int((1 - alpha) * resamples))
+    return BootstrapInterval(
+        low=differences[low_index],
+        high=differences[high_index],
+        confidence=confidence,
+    )
+
+
+def compare_sweeps(better, worse) -> str:
+    """One-line significance summary between two SweepResults."""
+    test = mann_whitney_less(better.miss_rates, worse.miss_rates)
+    interval = bootstrap_median_difference(
+        better.miss_rates, worse.miss_rates
+    )
+    verdict = (
+        "significantly better"
+        if test.significant and interval.low > 0
+        else "not separable"
+    )
+    return (
+        f"{better.algorithm} vs {worse.algorithm}: "
+        f"p={test.p_value:.4f}, P(better<worse)={test.effect_size:.2f}, "
+        f"median diff CI [{interval.low:+.4%}, {interval.high:+.4%}] "
+        f"-> {verdict}"
+    )

@@ -1,0 +1,105 @@
+"""Text visualisation of cache footprints and layouts.
+
+Small, dependency-free helpers for inspecting what a layout does to
+the cache — handy in examples, notebooks and failure triage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.program.layout import Layout
+
+#: Glyphs for per-line occupancy counts; the last one is "10 or more".
+_DENSITY = ".123456789#"
+
+
+def cache_occupancy_map(
+    layout: Layout,
+    config: CacheConfig,
+    procedures: Iterable[str] | None = None,
+    width: int = 64,
+) -> str:
+    """A grid of the cache: one glyph per line, showing how many of the
+    given procedures occupy it.
+
+    ``.`` means no procedure maps there; digits count the overlapping
+    procedures (``#`` for ten or more).  High digits under hot
+    procedures are exactly the conflicts placement tries to avoid.
+    """
+    if width <= 0:
+        raise ConfigError(f"width must be positive, got {width}")
+    names = (
+        list(procedures)
+        if procedures is not None
+        else list(layout.program.names)
+    )
+    counts = [0] * config.num_lines
+    for name in names:
+        for line in layout.lines_of(name, config):
+            counts[line % config.num_lines] += 1
+    glyphs = [
+        _DENSITY[min(count, len(_DENSITY) - 1)] for count in counts
+    ]
+    rows = [
+        "".join(glyphs[start : start + width])
+        for start in range(0, config.num_lines, width)
+    ]
+    return "\n".join(rows)
+
+
+def layout_table(
+    layout: Layout,
+    config: CacheConfig,
+    procedures: Sequence[str] | None = None,
+    limit: int | None = 20,
+) -> str:
+    """A table of procedures in address order: address, size, cache sets."""
+    names = (
+        list(procedures)
+        if procedures is not None
+        else layout.order_by_address()
+    )
+    if limit is not None:
+        names = names[:limit]
+    lines = [f"{'procedure':<24} {'address':>10} {'size':>8}  cache lines"]
+    for name in names:
+        sets = sorted(layout.cache_sets_of(name, config))
+        span = (
+            f"{sets[0]}..{sets[-1]}"
+            if len(sets) > 1 and sets == list(range(sets[0], sets[-1] + 1))
+            else ",".join(str(s) for s in sets[:8])
+            + ("..." if len(sets) > 8 else "")
+        )
+        lines.append(
+            f"{name:<24} {layout.address_of(name):>10} "
+            f"{layout.program.size_of(name):>8}  {span}"
+        )
+    return "\n".join(lines)
+
+
+def conflict_histogram(
+    layout: Layout,
+    config: CacheConfig,
+    procedures: Iterable[str] | None = None,
+) -> dict[int, int]:
+    """How many cache lines are occupied by exactly k procedures.
+
+    ``{1: 200, 2: 40, ...}`` — a perfectly spread layout maximises the
+    count at low k.
+    """
+    names = (
+        list(procedures)
+        if procedures is not None
+        else list(layout.program.names)
+    )
+    counts = [0] * config.num_lines
+    for name in names:
+        for line in layout.lines_of(name, config):
+            counts[line % config.num_lines] += 1
+    histogram: dict[int, int] = {}
+    for count in counts:
+        histogram[count] = histogram.get(count, 0) + 1
+    return histogram

@@ -1,0 +1,247 @@
+"""Persistence for programs, traces, profiles and layouts.
+
+A placement tool is only adoptable if its artifacts survive between
+processes: profile once, place many times, ship the layout to a
+linker.  This module serialises every pipeline artifact:
+
+* **programs** and **layouts** — JSON (human-readable, diff-able);
+* **traces** — compressed ``.npz`` (three integer arrays plus the
+  program);
+* **weighted graphs** (WCG/TRGs) — JSON with canonical edge order.
+
+All writers produce deterministic output for identical inputs, and all
+readers validate through the ordinary constructors, so a corrupt file
+fails loudly rather than producing a silently-wrong layout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.profiles.graph import WeightedGraph
+from repro.program.layout import Layout
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+from repro.trace.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """A file could not be read as the requested artifact."""
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+
+
+def program_to_dict(program: Program) -> dict[str, Any]:
+    return {
+        "format": "repro/program",
+        "version": _FORMAT_VERSION,
+        "procedures": [
+            {"name": proc.name, "size": proc.size} for proc in program
+        ],
+    }
+
+
+def program_from_dict(data: dict[str, Any]) -> Program:
+    _expect_format(data, "repro/program")
+    try:
+        return Program.from_sizes(
+            {entry["name"]: entry["size"] for entry in data["procedures"]}
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(
+            f"malformed program payload: {error}"
+        ) from error
+
+
+def save_program(program: Program, path: str | Path) -> None:
+    _write_json(path, program_to_dict(program))
+
+
+def load_program(path: str | Path) -> Program:
+    return program_from_dict(_read_json(path))
+
+
+# ----------------------------------------------------------------------
+# Layouts
+# ----------------------------------------------------------------------
+
+
+def layout_to_dict(layout: Layout) -> dict[str, Any]:
+    return {
+        "format": "repro/layout",
+        "version": _FORMAT_VERSION,
+        "program": program_to_dict(layout.program),
+        "addresses": {
+            name: address for name, address in layout.items()
+        },
+    }
+
+
+def layout_from_dict(data: dict[str, Any]) -> Layout:
+    _expect_format(data, "repro/layout")
+    program = program_from_dict(data["program"])
+    try:
+        return Layout(program, dict(data["addresses"]))
+    except (KeyError, TypeError) as error:
+        raise SerializationError(
+            f"malformed layout payload: {error}"
+        ) from error
+
+
+def save_layout(layout: Layout, path: str | Path) -> None:
+    _write_json(path, layout_to_dict(layout))
+
+
+def load_layout(path: str | Path) -> Layout:
+    return layout_from_dict(_read_json(path))
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace as compressed npz (program embedded as JSON)."""
+    program_json = json.dumps(program_to_dict(trace.program))
+    np.savez_compressed(
+        path,
+        format=np.array("repro/trace"),
+        version=np.array(_FORMAT_VERSION),
+        program=np.array(program_json),
+        procs=np.asarray(trace.proc_indices),
+        starts=np.asarray(trace.extent_starts),
+        lengths=np.asarray(trace.extent_lengths),
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    try:
+        with np.load(path, allow_pickle=False) as payload:
+            if str(payload["format"]) != "repro/trace":
+                raise SerializationError(
+                    f"{path} is not a repro trace file"
+                )
+            program = program_from_dict(
+                json.loads(str(payload["program"]))
+            )
+            return Trace.from_arrays(
+                program,
+                payload["procs"],
+                payload["starts"],
+                payload["lengths"],
+            )
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+        raise SerializationError(
+            f"cannot load trace from {path}: {error}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# Weighted graphs (WCG / TRG)
+# ----------------------------------------------------------------------
+
+
+def _node_to_json(node: Any) -> Any:
+    if isinstance(node, ChunkId):
+        return {"procedure": node.procedure, "index": node.index}
+    if isinstance(node, str):
+        return node
+    raise SerializationError(
+        f"cannot serialise graph node of type {type(node).__name__}"
+    )
+
+
+def _node_from_json(payload: Any) -> Any:
+    if isinstance(payload, str):
+        return payload
+    if isinstance(payload, dict):
+        try:
+            return ChunkId(payload["procedure"], payload["index"])
+        except (KeyError, TypeError) as error:
+            raise SerializationError(
+                f"malformed chunk node: {payload!r}"
+            ) from error
+    raise SerializationError(f"malformed graph node: {payload!r}")
+
+
+def graph_to_dict(graph: WeightedGraph) -> dict[str, Any]:
+    nodes = sorted(graph.nodes, key=repr)
+    edges = sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    return {
+        "format": "repro/graph",
+        "version": _FORMAT_VERSION,
+        "nodes": [_node_to_json(node) for node in nodes],
+        "edges": [
+            [_node_to_json(a), _node_to_json(b), weight]
+            for a, b, weight in edges
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> WeightedGraph:
+    _expect_format(data, "repro/graph")
+    graph = WeightedGraph()
+    try:
+        for node in data["nodes"]:
+            graph.add_node(_node_from_json(node))
+        for a, b, weight in data["edges"]:
+            graph.set_weight(
+                _node_from_json(a), _node_from_json(b), float(weight)
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(
+            f"malformed graph payload: {error}"
+        ) from error
+    return graph
+
+
+def save_graph(graph: WeightedGraph, path: str | Path) -> None:
+    _write_json(path, graph_to_dict(graph))
+
+
+def load_graph(path: str | Path) -> WeightedGraph:
+    return graph_from_dict(_read_json(path))
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+
+
+def _expect_format(data: dict[str, Any], expected: str) -> None:
+    if not isinstance(data, dict) or data.get("format") != expected:
+        raise SerializationError(
+            f"payload is not {expected!r} "
+            f"(found format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"payload is not {expected!r}"
+        )
+    if data.get("version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported {expected} version {data.get('version')!r}"
+        )
+
+
+def _write_json(path: str | Path, payload: dict[str, Any]) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    Path(path).write_text(text + "\n")
+
+
+def _read_json(path: str | Path) -> dict[str, Any]:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SerializationError(
+            f"cannot read {path}: {error}"
+        ) from error

@@ -1,0 +1,22 @@
+"""Placement algorithms: the shared interface and the baselines."""
+
+from repro.placement.base import PlacementAlgorithm, PlacementContext
+from repro.placement.hkc import HashemiKaeliCalderPlacement, hkc_order
+from repro.placement.identity import DefaultPlacement, RandomPlacement
+from repro.placement.localsearch import TRGOptimizerPlacement
+from repro.placement.logical import LogicalCachePlacement, logical_cache_order
+from repro.placement.ph import PettisHansenPlacement, ph_order
+
+__all__ = [
+    "DefaultPlacement",
+    "HashemiKaeliCalderPlacement",
+    "LogicalCachePlacement",
+    "PettisHansenPlacement",
+    "PlacementAlgorithm",
+    "PlacementContext",
+    "RandomPlacement",
+    "TRGOptimizerPlacement",
+    "hkc_order",
+    "logical_cache_order",
+    "ph_order",
+]

@@ -1,0 +1,34 @@
+"""Trivial baseline placements.
+
+The *default layout* is what Table 1's "miss rate of default layout"
+column measures: procedures in source/link order, placed contiguously.
+The *random layout* is the chance-level baseline the paper alludes to
+when noting that large perturbation scales make layouts effectively
+random.
+"""
+
+from __future__ import annotations
+
+from repro.placement.base import PlacementContext
+from repro.program.layout import Layout
+
+
+class DefaultPlacement:
+    """Source-order contiguous placement (the compiler default)."""
+
+    name = "default"
+
+    def place(self, context: PlacementContext) -> Layout:
+        return Layout.default(context.program)
+
+
+class RandomPlacement:
+    """Uniformly random procedure order, placed contiguously."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def place(self, context: PlacementContext) -> Layout:
+        return Layout.random(context.program, self._seed)

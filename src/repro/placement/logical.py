@@ -1,0 +1,120 @@
+"""Logical-cache placement (Torrellas, Xia & Daigle style, §7).
+
+The paper's related work describes the Torrellas/Xia/Daigle approach
+for OS-intensive workloads: the address space is treated as "an array
+of *logical caches*, equal in size and address alignment to the
+hardware cache.  Code placed within a single logical cache is
+guaranteed never to conflict with any other code in that logical
+cache", with placement guided by execution counts and no general
+mechanism for costs *across* logical caches.
+
+This is a reimplementation in spirit of that idea as a baseline:
+procedures are taken hottest-first and packed into the current logical
+cache frame while they fit; when the frame is full a new frame is
+opened.  Code inside one frame can never conflict; conflicts across
+frames are left to chance — exactly the structural property (and the
+limitation) the paper attributes to the technique.  Unpopular
+procedures trail the layout.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.placement.base import PlacementContext
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+
+class LogicalCachePlacement:
+    """Hottest-first packing into cache-sized, cache-aligned frames."""
+
+    name = "TXD"
+
+    def place(self, context: PlacementContext) -> Layout:
+        order, gaps = logical_cache_order(
+            context.program,
+            context.config,
+            self._hotness_ranking(context),
+        )
+        return Layout.from_order(
+            context.program, order, gaps_before=gaps
+        )
+
+    def _hotness_ranking(self, context: PlacementContext) -> list[str]:
+        """Popular procedures in decreasing dynamic importance; the
+        context's popular tuple is already ranked by executed bytes."""
+        if context.popular:
+            return list(context.popular)
+        # Fall back to WCG edge mass when no popularity data exists.
+        strength = {
+            node: sum(
+                context.wcg.weight(node, neighbor)
+                for neighbor in context.wcg.neighbors(node)
+            )
+            for node in context.wcg.nodes
+        }
+        return sorted(strength, key=lambda n: (-strength[n], n))
+
+
+def logical_cache_order(
+    program: Program,
+    config: CacheConfig,
+    ranking: list[str],
+) -> tuple[list[str], dict[str, int]]:
+    """Frame-packing order plus alignment gaps.
+
+    Returns ``(order, gaps_before)`` for
+    :meth:`repro.program.layout.Layout.from_order`.  Each frame starts
+    at a multiple of the cache size; procedures are assigned to the
+    earliest frame with room (first-fit over open frames, hottest
+    procedures first), so no procedure straddles a frame boundary
+    unless it is larger than the cache itself.
+    """
+    def aligned(size: int) -> int:
+        """Line-aligned footprint: members must start on line
+        boundaries or adjacent procedures would share a boundary line,
+        voiding the no-conflict guarantee."""
+        return -(-size // config.line_size) * config.line_size
+
+    frames: list[list[str]] = []
+    frame_free: list[int] = []
+    oversized: list[str] = []
+    for name in ranking:
+        if name not in program:
+            continue
+        footprint = aligned(program.size_of(name))
+        if footprint > config.size:
+            oversized.append(name)
+            continue
+        placed = False
+        for index, free in enumerate(frame_free):
+            if footprint <= free:
+                frames[index].append(name)
+                frame_free[index] -= footprint
+                placed = True
+                break
+        if not placed:
+            frames.append([name])
+            frame_free.append(config.size - footprint)
+
+    order: list[str] = []
+    gaps: dict[str, int] = {}
+    cursor = 0
+    for frame in frames:
+        frame_base = -(-cursor // config.size) * config.size
+        for position, name in enumerate(frame):
+            if position == 0:
+                target = frame_base
+            else:
+                target = (
+                    -(-cursor // config.line_size) * config.line_size
+                )
+            gaps[name] = target - cursor
+            order.append(name)
+            cursor = target + program.size_of(name)
+    for name in oversized:
+        order.append(name)
+        cursor += program.size_of(name)
+    placed_set = set(order)
+    order.extend(n for n in program.names if n not in placed_set)
+    return order, gaps

@@ -1,0 +1,35 @@
+"""Profile summaries: WCG, TRG, the working set Q, pair DB, perturbation."""
+
+from repro.profiles.graph import WeightedGraph
+from repro.profiles.pairdb import PairDatabase, build_pair_database
+from repro.profiles.perturb import PAPER_SCALE, perturbed
+from repro.profiles.qset import WorkingSet
+from repro.profiles.trg import (
+    DEFAULT_Q_MULTIPLIER,
+    TRGBuildStats,
+    TRGPair,
+    build_trg,
+    build_trgs,
+    chunk_refs,
+    procedure_refs,
+)
+from repro.profiles.wcg import build_wcg, build_wcg_from_refs, collapse_consecutive
+
+__all__ = [
+    "DEFAULT_Q_MULTIPLIER",
+    "PAPER_SCALE",
+    "PairDatabase",
+    "TRGBuildStats",
+    "TRGPair",
+    "WeightedGraph",
+    "WorkingSet",
+    "build_pair_database",
+    "build_trg",
+    "build_trgs",
+    "build_wcg",
+    "build_wcg_from_refs",
+    "chunk_refs",
+    "collapse_consecutive",
+    "perturbed",
+    "procedure_refs",
+]

@@ -1,0 +1,195 @@
+"""Undirected weighted graphs over arbitrary hashable code-block ids.
+
+Both profile summaries in the paper — the weighted call graph (WCG,
+Section 2) and the temporal relationship graph (TRG, Section 3) — are
+undirected graphs with non-negative edge weights whose nodes are code
+blocks (procedure names or :class:`~repro.program.procedure.ChunkId`
+chunks).  This module provides that shared structure, with the
+deterministic heaviest-edge selection the greedy placement algorithms
+need (the paper notes ties are "decided arbitrarily"; we break them by
+a canonical node-pair key so every run is reproducible).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import PlacementError
+
+Node = Hashable
+
+
+def _canon(a: Node, b: Node) -> tuple[Node, Node]:
+    """Canonical ordering of an edge's endpoints (repr-based, total)."""
+    return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+class WeightedGraph:
+    """A mutable undirected graph with float edge weights.
+
+    Self-edges are rejected: a code block never conflicts with itself.
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[Node, dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Ensure *node* exists (idempotent)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, a: Node, b: Node, weight: float = 1.0) -> None:
+        """Add *weight* to the edge ``{a, b}`` (creating it if absent)."""
+        if a == b:
+            raise PlacementError(f"self-edge on {a!r} is not allowed")
+        if weight < 0:
+            raise PlacementError(f"edge weight must be >= 0, got {weight}")
+        self.add_node(a)
+        self.add_node(b)
+        self._adj[a][b] = self._adj[a].get(b, 0.0) + weight
+        self._adj[b][a] = self._adj[b].get(a, 0.0) + weight
+
+    def set_weight(self, a: Node, b: Node, weight: float) -> None:
+        """Set the edge ``{a, b}`` to exactly *weight*."""
+        if a == b:
+            raise PlacementError(f"self-edge on {a!r} is not allowed")
+        if weight < 0:
+            raise PlacementError(f"edge weight must be >= 0, got {weight}")
+        self.add_node(a)
+        self.add_node(b)
+        self._adj[a][b] = weight
+        self._adj[b][a] = weight
+
+    def remove_edge(self, a: Node, b: Node) -> None:
+        """Remove the edge ``{a, b}`` if present."""
+        self._adj.get(a, {}).pop(b, None)
+        self._adj.get(b, {}).pop(a, None)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove *node* and all incident edges."""
+        for neighbor in list(self._adj.get(node, {})):
+            del self._adj[neighbor][node]
+        self._adj.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._adj)
+
+    def weight(self, a: Node, b: Node) -> float:
+        """Weight of edge ``{a, b}``; 0 when absent."""
+        return self._adj.get(a, {}).get(b, 0.0)
+
+    def has_edge(self, a: Node, b: Node) -> bool:
+        return b in self._adj.get(a, {})
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        yield from self._adj.get(node, {})
+
+    def has_neighbor_in(self, node: Node, candidates: set) -> bool:
+        """True when *node* has at least one neighbor in *candidates*.
+
+        Runs at C speed via ``set.isdisjoint`` — the hot path of the
+        merge-cost evaluation uses this to discard chunks with no
+        cross-node edges.
+        """
+        neighbors = self._adj.get(node)
+        if not neighbors:
+            return False
+        return not candidates.isdisjoint(neighbors)
+
+    def degree(self, node: Node) -> int:
+        return len(self._adj.get(node, {}))
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]:
+        """All edges once each, as ``(a, b, weight)``."""
+        seen: set[tuple[Node, Node]] = set()
+        for a, neighbors in self._adj.items():
+            for b, weight in neighbors.items():
+                key = _canon(a, b)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield key[0], key[1], weight
+
+    def num_edges(self) -> int:
+        return sum(len(n) for n in self._adj.values()) // 2
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def heaviest_edge(self) -> tuple[Node, Node, float] | None:
+        """The maximum-weight edge, ties broken by canonical key.
+
+        Returns ``None`` when the graph has no edges.
+        """
+        best: tuple[Node, Node, float] | None = None
+        best_key: tuple[float, str, str] | None = None
+        for a, b, weight in self.edges():
+            key = (-weight, repr(a), repr(b))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (a, b, weight)
+        return best
+
+    def copy(self) -> "WeightedGraph":
+        clone = WeightedGraph()
+        clone._adj = {
+            node: dict(neighbors) for node, neighbors in self._adj.items()
+        }
+        return clone
+
+    def subgraph(self, keep: Iterable[Node]) -> "WeightedGraph":
+        """The induced subgraph on *keep* (missing nodes are ignored)."""
+        keep_set = set(keep)
+        sub = WeightedGraph()
+        for node in self._adj:
+            if node in keep_set:
+                sub.add_node(node)
+        for a, b, weight in self.edges():
+            if a in keep_set and b in keep_set:
+                sub.set_weight(a, b, weight)
+        return sub
+
+    def merge_nodes_into(self, target: Node, source: Node) -> None:
+        """Fold *source* into *target*, summing parallel edge weights.
+
+        This is the node-coalescing step of the PH working graph
+        (Section 2): edges from either endpoint to a common neighbor
+        ``r`` combine into a single edge of summed weight, and any edge
+        between the two merged nodes disappears.
+        """
+        if target == source:
+            raise PlacementError("cannot merge a node with itself")
+        if target not in self._adj or source not in self._adj:
+            raise PlacementError("both nodes must be present to merge")
+        self.remove_edge(target, source)
+        for neighbor, weight in list(self._adj[source].items()):
+            self.add_edge(target, neighbor, weight)
+        self.remove_node(source)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        if set(self._adj) != set(other._adj):
+            return False
+        return dict(self._edge_dict()) == dict(other._edge_dict())
+
+    def _edge_dict(self) -> dict[tuple[Node, Node], float]:
+        return {_canon(a, b): w for a, b, w in self.edges()}
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph({len(self)} nodes, {self.num_edges()} edges)"

@@ -1,0 +1,156 @@
+"""The bounded ordered working set ``Q`` of Section 3.
+
+``Q`` holds recently referenced code-block identifiers in trace order,
+at most one occurrence of each.  Its byte capacity is bounded — the
+paper found twice the cache size to work well — because a block whose
+reuse distance exceeds the cache capacity would miss for capacity
+reasons regardless of layout, so it is irrelevant to conflict-oriented
+placement.
+
+Implemented as a doubly-linked list plus an id-to-node map so that the
+three operations a trace step needs are all cheap: find the previous
+occurrence (O(1)), walk the blocks between it and the new reference
+(O(k) where k is the number of such blocks — exactly the edges that
+must be credited), and evict from the least-recent end (O(1) each).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator
+
+from repro.errors import ConfigError
+
+Block = Hashable
+
+
+class _Node:
+    __slots__ = ("block", "size", "prev", "next")
+
+    def __init__(self, block: Block, size: int) -> None:
+        self.block = block
+        self.size = size
+        self.prev: _Node | None = None
+        self.next: _Node | None = None
+
+
+class WorkingSet:
+    """The ordered set ``Q`` with a byte-capacity bound.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum total byte size retained (twice the cache size in the
+        paper).  Eviction keeps removing the oldest entry while the
+        remaining entries would still total at least *capacity*.
+    size_of:
+        Byte size of a block identifier (procedure or chunk size).
+    """
+
+    def __init__(self, capacity: int, size_of: Callable[[Block], int]) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._size_of = size_of
+        self._head: _Node | None = None  # oldest
+        self._tail: _Node | None = None  # most recent
+        self._nodes: dict[Block, _Node] = {}
+        self._total_size = 0
+
+    # ------------------------------------------------------------------
+    # Trace processing
+    # ------------------------------------------------------------------
+
+    def reference(self, block: Block) -> list[Block] | None:
+        """Process one trace reference to *block* (Section 3).
+
+        Returns the blocks that appeared between the previous reference
+        to *block* and this one (in order, possibly empty) when a
+        previous reference is still in ``Q``; returns ``None`` when
+        there was no previous reference — the two cases in which the
+        TRG builder does and does not credit edges.
+        """
+        previous = self._nodes.get(block)
+        if previous is not None:
+            between = []
+            node = previous.next
+            while node is not None:
+                between.append(node.block)
+                node = node.next
+            self._unlink(previous)
+            self._append(block)
+            return between
+        self._append(block)
+        self._evict_oldest()
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, block: object) -> bool:
+        return block in self._nodes
+
+    @property
+    def total_size(self) -> int:
+        """Total byte size of the blocks currently in ``Q``."""
+        return self._total_size
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def blocks(self) -> Iterator[Block]:
+        """Blocks from oldest to most recent."""
+        node = self._head
+        while node is not None:
+            yield node.block
+            node = node.next
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _append(self, block: Block) -> None:
+        size = self._size_of(block)
+        if size <= 0:
+            raise ConfigError(
+                f"block {block!r} has non-positive size {size}"
+            )
+        node = _Node(block, size)
+        node.prev = self._tail
+        if self._tail is not None:
+            self._tail.next = node
+        self._tail = node
+        if self._head is None:
+            self._head = node
+        self._nodes[block] = node
+        self._total_size += size
+
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        del self._nodes[node.block]
+        self._total_size -= node.size
+
+    def _evict_oldest(self) -> None:
+        """Remove oldest entries while the remainder still fills *capacity*.
+
+        Mirrors Section 3: "remove the oldest members of Q until the
+        removal of the next least-recently-used identifier would cause
+        the total size of remaining code blocks in Q to be less than
+        twice the cache size."
+        """
+        while (
+            self._head is not None
+            and self._total_size - self._head.size >= self._capacity
+        ):
+            self._unlink(self._head)

@@ -1,0 +1,14 @@
+"""Static program model: procedures, chunks, programs and layouts."""
+
+from repro.program.layout import Layout, layouts_equal_mod_cache
+from repro.program.procedure import DEFAULT_CHUNK_SIZE, ChunkId, Procedure
+from repro.program.program import Program
+
+__all__ = [
+    "ChunkId",
+    "DEFAULT_CHUNK_SIZE",
+    "Layout",
+    "Procedure",
+    "Program",
+    "layouts_equal_mod_cache",
+]

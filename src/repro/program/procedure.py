@@ -1,0 +1,116 @@
+"""Procedures and procedure chunks.
+
+The paper places *whole procedures* but gathers temporal information at
+two granularities: whole procedures (``TRG_select``) and fixed-size
+*chunks* of procedures (``TRG_place``, Section 4.1).  A chunk is a
+statically determined 256-byte slice of a procedure's code; the last
+chunk of a procedure may be shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from repro.errors import ProgramError
+
+#: Chunk size the paper found to work well (Section 4.1).
+DEFAULT_CHUNK_SIZE = 256
+
+
+class ChunkId(NamedTuple):
+    """Identity of one chunk: the owning procedure and the chunk index."""
+
+    procedure: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.procedure}#{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Procedure:
+    """A contiguous block of code with a name and a byte size.
+
+    Procedures are the placement unit of every algorithm in the paper;
+    the layout fixes each procedure's starting address and therefore the
+    cache lines it occupies.
+    """
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramError("procedure name must be non-empty")
+        if self.size <= 0:
+            raise ProgramError(
+                f"procedure {self.name!r} must have positive size, "
+                f"got {self.size}"
+            )
+
+    def num_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+        """Number of *chunk_size*-byte chunks (ceiling division)."""
+        _check_chunk_size(chunk_size)
+        return -(-self.size // chunk_size)
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[ChunkId]:
+        """Yield the chunk identities of this procedure, in code order."""
+        for index in range(self.num_chunks(chunk_size)):
+            yield ChunkId(self.name, index)
+
+    def chunk_size_of(
+        self, index: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> int:
+        """Byte size of chunk *index* (the final chunk may be partial)."""
+        _check_chunk_size(chunk_size)
+        count = self.num_chunks(chunk_size)
+        if not 0 <= index < count:
+            raise ProgramError(
+                f"procedure {self.name!r} has {count} chunks of "
+                f"{chunk_size} bytes; index {index} is out of range"
+            )
+        if index < count - 1:
+            return chunk_size
+        return self.size - chunk_size * (count - 1)
+
+    def chunk_of_offset(
+        self, offset: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> ChunkId:
+        """Chunk identity containing the procedure-relative byte *offset*."""
+        _check_chunk_size(chunk_size)
+        if not 0 <= offset < self.size:
+            raise ProgramError(
+                f"offset {offset} outside procedure {self.name!r} "
+                f"of size {self.size}"
+            )
+        return ChunkId(self.name, offset // chunk_size)
+
+    def chunks_of_extent(
+        self,
+        start: int,
+        length: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[ChunkId]:
+        """Yield chunks overlapped by ``length`` bytes at offset *start*."""
+        _check_chunk_size(chunk_size)
+        if length < 0:
+            raise ProgramError(f"extent length must be >= 0, got {length}")
+        if length == 0:
+            return
+        if start < 0 or start + length > self.size:
+            raise ProgramError(
+                f"extent [{start}, {start + length}) outside procedure "
+                f"{self.name!r} of size {self.size}"
+            )
+        first = start // chunk_size
+        last = (start + length - 1) // chunk_size
+        for index in range(first, last + 1):
+            yield ChunkId(self.name, index)
+
+
+def _check_chunk_size(chunk_size: int) -> None:
+    if chunk_size <= 0:
+        raise ProgramError(f"chunk size must be positive, got {chunk_size}")

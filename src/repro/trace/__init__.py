@@ -1,0 +1,40 @@
+"""Trace substrate: events, containers and synthetic generation."""
+
+from repro.trace.callgraph import (
+    CallGraphModel,
+    CallGraphParams,
+    CallSite,
+    ProcedureModel,
+    random_call_graph,
+)
+from repro.trace.events import TraceEvent
+from repro.trace.generator import TraceInput, generate_trace
+from repro.trace.patterns import (
+    alternation,
+    caller_callee_loop,
+    figure1_program,
+    figure1_trace,
+    full_body_trace,
+    phased,
+    round_robin,
+)
+from repro.trace.trace import Trace
+
+__all__ = [
+    "CallGraphModel",
+    "CallGraphParams",
+    "CallSite",
+    "ProcedureModel",
+    "Trace",
+    "TraceEvent",
+    "TraceInput",
+    "alternation",
+    "caller_callee_loop",
+    "figure1_program",
+    "figure1_trace",
+    "full_body_trace",
+    "generate_trace",
+    "phased",
+    "random_call_graph",
+    "round_robin",
+]

@@ -1,0 +1,58 @@
+"""Trace events.
+
+A trace event records one *activation extent*: control entered (or
+resumed in) a procedure and executed ``length`` bytes of it starting at
+procedure-relative byte offset ``start``.  A sequence of such events is
+the shape of information an ATOM-style basic-block trace provides — the
+order of control transfers between procedures plus which parts of each
+procedure ran — which is exactly what both the TRG builders (Section 3)
+and the cache simulator consume.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import TraceError
+from repro.program.program import Program
+
+
+class TraceEvent(NamedTuple):
+    """One activation extent in a trace.
+
+    Attributes
+    ----------
+    procedure:
+        Name of the procedure that executed.
+    start:
+        Procedure-relative byte offset where execution began.
+    length:
+        Number of bytes executed (must be positive).
+    """
+
+    procedure: str
+    start: int
+    length: int
+
+    @classmethod
+    def full(cls, procedure: str, size: int) -> "TraceEvent":
+        """An event that executes the whole body of *procedure*."""
+        return cls(procedure, 0, size)
+
+    def validate(self, program: Program) -> None:
+        """Raise :class:`TraceError` if this event is inconsistent."""
+        if self.procedure not in program:
+            raise TraceError(
+                f"trace references unknown procedure {self.procedure!r}"
+            )
+        size = program.size_of(self.procedure)
+        if self.length <= 0:
+            raise TraceError(
+                f"event for {self.procedure!r} has non-positive length "
+                f"{self.length}"
+            )
+        if self.start < 0 or self.start + self.length > size:
+            raise TraceError(
+                f"event extent [{self.start}, {self.start + self.length}) "
+                f"is outside procedure {self.procedure!r} of size {size}"
+            )

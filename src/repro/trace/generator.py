@@ -1,0 +1,215 @@
+"""Stochastic call/return trace generation.
+
+Given a :class:`~repro.trace.callgraph.CallGraphModel`, the generator
+executes a seeded stochastic call/return process: an explicit stack of
+activations, each activation running a loop that invokes callees chosen
+by call-site weight.  Entering a callee emits an *entry extent* for it;
+returning emits a *resume extent* for the caller.  Per-activation
+cursors make successive extents walk through a procedure's body, which
+gives the chunk-level TRG (Section 4.1) real intra-procedure structure
+to observe.
+
+Phase behaviour — the property that motivates the TRG over the WCG
+(Figure 1, trace #2) — is modelled by re-skewing every procedure's
+call-site weights a configurable number of times over the trace, so
+different parts of the trace alternate among different callee subsets.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.callgraph import CallGraphModel, ProcedureModel
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TraceInput:
+    """One program input: the knobs that vary between train and test runs.
+
+    Attributes
+    ----------
+    name:
+        Label ("train", "test", ...) used in reports.
+    seed:
+        Seed for all stochastic choices of this run.
+    target_events:
+        Approximate number of trace events to generate.
+    phases:
+        Number of distinct phases; each phase re-skews call-site
+        weights, changing which callees alternate.
+    phase_skew:
+        Log-normal sigma of the per-phase weight multipliers.  ``0``
+        disables phase behaviour.
+    body_scale:
+        Multiplier on every procedure's ``body_fraction`` — different
+        inputs exercise different amounts of each procedure.
+    max_depth:
+        Call-stack depth limit; deeper calls are suppressed.
+    """
+
+    name: str
+    seed: int
+    target_events: int
+    phases: int = 4
+    phase_skew: float = 0.8
+    body_scale: float = 1.0
+    max_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.target_events <= 0:
+            raise TraceError("target_events must be positive")
+        if self.phases < 1:
+            raise TraceError("phases must be >= 1")
+        if self.phase_skew < 0:
+            raise TraceError("phase_skew must be >= 0")
+        if not 0 < self.body_scale <= 2.0:
+            raise TraceError("body_scale must be in (0, 2]")
+        if self.max_depth < 1:
+            raise TraceError("max_depth must be >= 1")
+
+
+class _PhaseTables:
+    """Per-(procedure, phase) cumulative call-site weights, built lazily."""
+
+    def __init__(
+        self, graph: CallGraphModel, inp: TraceInput
+    ) -> None:
+        self._graph = graph
+        self._inp = inp
+        self._cache: dict[tuple[str, int], tuple[list[float], list[str]]] = {}
+
+    def sites_for(
+        self, model: ProcedureModel, phase: int
+    ) -> tuple[list[float], list[str]]:
+        """Cumulative weights and callee names for a procedure in a phase."""
+        key = (model.name, phase)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        # A string-seeded Random is deterministic across processes
+        # (unlike hash()-based seeding).
+        rng = _random.Random(f"{self._inp.seed}:{phase}:{model.name}")
+        cumulative: list[float] = []
+        callees: list[str] = []
+        total = 0.0
+        for site in model.call_sites:
+            multiplier = (
+                rng.lognormvariate(0.0, self._inp.phase_skew)
+                if self._inp.phase_skew > 0
+                else 1.0
+            )
+            total += site.weight * multiplier
+            cumulative.append(total)
+            callees.append(site.callee)
+        entry = (cumulative, callees)
+        self._cache[key] = entry
+        return entry
+
+
+class _Frame:
+    """One activation on the synthetic call stack."""
+
+    __slots__ = ("model", "remaining", "cursor")
+
+    def __init__(self, model: ProcedureModel, remaining: int) -> None:
+        self.model = model
+        self.remaining = remaining
+        self.cursor = 0
+
+
+def generate_trace(graph: CallGraphModel, inp: TraceInput) -> Trace:
+    """Run the stochastic call/return process and return the trace."""
+    rng = _random.Random(inp.seed)
+    tables = _PhaseTables(graph, inp)
+    program = graph.program
+    name_to_index = {name: i for i, name in enumerate(program.names)}
+
+    procs: list[int] = []
+    starts: list[int] = []
+    lengths: list[int] = []
+
+    def emit(frame: _Frame, scale: float) -> None:
+        """Emit one extent for *frame*, advancing its body cursor."""
+        size = frame.model.procedure.size
+        mean_bytes = size * frame.model.body_fraction * inp.body_scale
+        nbytes = int(mean_bytes * scale * rng.uniform(0.6, 1.4))
+        nbytes = max(4, min(size, nbytes))
+        index = name_to_index[frame.model.name]
+        cursor = frame.cursor
+        if cursor + nbytes <= size:
+            procs.append(index)
+            starts.append(cursor)
+            lengths.append(nbytes)
+        else:
+            head = size - cursor
+            procs.append(index)
+            starts.append(cursor)
+            lengths.append(head)
+            tail = nbytes - head
+            if tail > 0:
+                procs.append(index)
+                starts.append(0)
+                lengths.append(tail)
+        frame.cursor = (cursor + nbytes) % size
+
+    def sample_invocations(model: ProcedureModel) -> int:
+        if model.mean_invocations <= 0:
+            return 0
+        return 1 + int(rng.expovariate(1.0 / model.mean_invocations))
+
+    stack: list[_Frame] = []
+
+    def push_root() -> None:
+        root = graph.model_of(graph.root)
+        frame = _Frame(root, sample_invocations(root))
+        stack.append(frame)
+        emit(frame, 1.0)
+
+    push_root()
+    target = inp.target_events
+    while len(procs) < target:
+        frame = stack[-1]
+        phase = min(inp.phases - 1, len(procs) * inp.phases // target)
+        if frame.remaining <= 0 or len(stack) >= inp.max_depth:
+            stack.pop()
+            if not stack:
+                push_root()
+            else:
+                # Resume extent in the caller after the return.
+                emit(stack[-1], 0.5)
+            continue
+        frame.remaining -= 1
+        cumulative, callees = tables.sites_for(frame.model, phase)
+        if not callees:
+            frame.remaining = 0
+            continue
+        pick = rng.random() * cumulative[-1]
+        chosen = _bisect(cumulative, pick)
+        callee = graph.model_of(callees[chosen])
+        child = _Frame(callee, sample_invocations(callee))
+        stack.append(child)
+        emit(child, 1.0)
+
+    return Trace.from_arrays(
+        program,
+        np.asarray(procs, dtype=np.int32),
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(lengths, dtype=np.int64),
+    )
+
+
+def _bisect(cumulative: list[float], value: float) -> int:
+    """First index whose cumulative weight exceeds *value*."""
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] <= value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

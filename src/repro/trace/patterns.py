@@ -1,0 +1,107 @@
+"""Canonical reference patterns for controlled experiments.
+
+The paper's motivating example (Figure 1) is a *pattern*: the same
+call counts arranged with different temporal structure.  This module
+provides seeded builders for the classic patterns used to probe layout
+algorithms — alternation, phases, round-robin rotations and nested
+loops — as plain procedure-reference lists plus a helper that turns
+them into full-body traces.  Tests and examples in this repository use
+them; downstream users can use them to probe their own cache models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TraceError
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+def full_body_trace(program: Program, refs: Sequence[str]) -> Trace:
+    """A trace where every reference executes the whole procedure."""
+    return Trace(
+        program,
+        [TraceEvent.full(name, program.size_of(name)) for name in refs],
+    )
+
+
+def alternation(a: str, b: str, pairs: int) -> list[str]:
+    """``a b a b ...`` — the maximal-interleaving pattern that makes
+    any cache overlap between *a* and *b* maximally expensive."""
+    if pairs < 1:
+        raise TraceError("pairs must be >= 1")
+    return [a, b] * pairs
+
+
+def phased(groups: Sequence[Sequence[str]], repeats: int) -> list[str]:
+    """Each group repeated *repeats* times, groups in sequence.
+
+    ``phased([["x"], ["y"]], 40)`` around a driver is Figure 1's
+    trace #2 shape: heavy use of one callee, then heavy use of another,
+    with no interleaving between them.
+    """
+    if repeats < 1:
+        raise TraceError("repeats must be >= 1")
+    if not groups or any(not group for group in groups):
+        raise TraceError("groups must be non-empty")
+    refs: list[str] = []
+    for group in groups:
+        for _ in range(repeats):
+            refs.extend(group)
+    return refs
+
+
+def round_robin(names: Sequence[str], rounds: int) -> list[str]:
+    """``a b c a b c ...`` — a working set cycling with reuse distance
+    equal to the whole set; the canonical conflict-or-capacity probe."""
+    if rounds < 1:
+        raise TraceError("rounds must be >= 1")
+    if not names:
+        raise TraceError("names must be non-empty")
+    return list(names) * rounds
+
+
+def caller_callee_loop(
+    caller: str, callees: Sequence[str], iterations: int
+) -> list[str]:
+    """``M c1 M c2 M ... `` — a driver returning between each callee,
+    the shape that makes WCG weights equal while temporal structure
+    varies with the callee order."""
+    if iterations < 1:
+        raise TraceError("iterations must be >= 1")
+    if not callees:
+        raise TraceError("callees must be non-empty")
+    refs: list[str] = []
+    for index in range(iterations):
+        refs.append(caller)
+        refs.append(callees[index % len(callees)])
+    return refs
+
+
+def figure1_trace(
+    alternating: bool, iterations: int = 40
+) -> list[str]:
+    """The paper's Figure 1 traces over procedures M, X, Y, Z.
+
+    Each loop iteration is ``M -> (X or Y) -> M -> Z``; trace #1
+    alternates the condition every iteration, trace #2 runs it true
+    for *iterations* iterations and then false for as many.
+    """
+    if iterations < 1:
+        raise TraceError("iterations must be >= 1")
+    refs: list[str] = []
+    if alternating:
+        for index in range(2 * iterations):
+            refs += ["M", "X" if index % 2 == 0 else "Y", "M", "Z"]
+    else:
+        for leaf in ("X", "Y"):
+            for _ in range(iterations):
+                refs += ["M", leaf, "M", "Z"]
+    return refs
+
+
+def figure1_program() -> Program:
+    """Four single-cache-line procedures (32 bytes each)."""
+    return Program.from_sizes({"M": 32, "X": 32, "Y": 32, "Z": 32})

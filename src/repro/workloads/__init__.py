@@ -1,0 +1,35 @@
+"""Synthetic benchmark workloads (the Table 1 analogs)."""
+
+from repro.workloads.custom import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.spec import Workload
+from repro.workloads.suite import (
+    GCC,
+    GHOSTSCRIPT,
+    GO,
+    M88KSIM,
+    PERL,
+    SUITE,
+    VORTEX,
+    by_name,
+)
+
+__all__ = [
+    "GCC",
+    "GHOSTSCRIPT",
+    "GO",
+    "M88KSIM",
+    "PERL",
+    "SUITE",
+    "VORTEX",
+    "Workload",
+    "by_name",
+    "load_workload",
+    "save_workload",
+    "workload_from_dict",
+    "workload_to_dict",
+]

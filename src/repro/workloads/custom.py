@@ -1,0 +1,132 @@
+"""User-defined workloads from JSON specifications.
+
+The built-in suite mirrors Table 1, but a downstream user studying
+their own program shape needs to define analogs with their own
+statistics.  A workload spec file is a small JSON document::
+
+    {
+      "format": "repro/workload",
+      "version": 1,
+      "name": "my-server",
+      "graph": {
+        "n_procedures": 800, "hot_procedures": 60, "seed": 7,
+        "mean_size": 900, "hot_mean_size": 1200, "depth": 7
+      },
+      "train": {"seed": 1, "target_events": 50000, "phases": 4},
+      "test":  {"seed": 2, "target_events": 60000, "phases": 6}
+    }
+
+Unknown keys are rejected (typos must not silently fall back to
+defaults); everything omitted takes the library default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.trace.callgraph import CallGraphParams
+from repro.trace.generator import TraceInput
+from repro.workloads.spec import Workload
+
+_FORMAT = "repro/workload"
+_VERSION = 1
+
+
+def _build(cls, payload: dict[str, Any], where: str, **forced):
+    allowed = {field.name for field in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ConfigError(
+            f"unknown keys in {where}: {sorted(unknown)} "
+            f"(allowed: {sorted(allowed - set(forced))})"
+        )
+    overlap = set(payload) & set(forced)
+    if overlap:
+        raise ConfigError(
+            f"keys {sorted(overlap)} in {where} are set by the loader"
+        )
+    try:
+        return cls(**payload, **forced)
+    except TypeError as error:
+        raise ConfigError(f"malformed {where}: {error}") from error
+
+
+def workload_from_dict(data: dict[str, Any]) -> Workload:
+    """Build a :class:`Workload` from a parsed spec document."""
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ConfigError(
+            "workload spec must have format 'repro/workload'"
+        )
+    if data.get("version") != _VERSION:
+        raise ConfigError(
+            f"unsupported workload spec version {data.get('version')!r}"
+        )
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigError("workload spec needs a non-empty 'name'")
+    for key in ("graph", "train", "test"):
+        if not isinstance(data.get(key), dict):
+            raise ConfigError(f"workload spec needs a {key!r} object")
+    extra = set(data) - {
+        "format",
+        "version",
+        "name",
+        "description",
+        "graph",
+        "train",
+        "test",
+    }
+    if extra:
+        raise ConfigError(f"unknown top-level keys: {sorted(extra)}")
+
+    graph_params = _build(CallGraphParams, data["graph"], "'graph'")
+    train = _build(TraceInput, data["train"], "'train'", name="train")
+    test = _build(TraceInput, data["test"], "'test'", name="test")
+    return Workload(
+        name=name,
+        graph_params=graph_params,
+        train=train,
+        test=test,
+        description=str(data.get("description", "")),
+    )
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Load a workload spec from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigError(
+            f"cannot read workload spec {path}: {error}"
+        ) from error
+    return workload_from_dict(data)
+
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialise a workload back to the spec-document shape."""
+
+    def as_dict(value, skip=()):
+        return {
+            field.name: getattr(value, field.name)
+            for field in fields(value)
+            if field.name not in skip
+        }
+
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": workload.name,
+        "description": workload.description,
+        "graph": as_dict(workload.graph_params),
+        "train": as_dict(workload.train, skip=("name",)),
+        "test": as_dict(workload.test, skip=("name",)),
+    }
+
+
+def save_workload(workload: Workload, path: str | Path) -> None:
+    text = json.dumps(workload_to_dict(workload), indent=2, sort_keys=True)
+    Path(path).write_text(text + "\n")

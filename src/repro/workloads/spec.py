@@ -1,0 +1,72 @@
+"""Workload definitions: a program model plus train/test inputs.
+
+A :class:`Workload` bundles everything one benchmark row of the paper
+needs: the synthetic program (via its call-graph parameters) and the
+two trace inputs — *training* (drives profiling and placement) and
+*testing* (evaluates the resulting layout), mirroring the paper's
+methodology of separate train/test data sets (Section 5.2).
+
+Everything is derived deterministically from seeds, and the expensive
+artifacts (call graph, traces) are memoised per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from repro.errors import ConfigError
+from repro.program.program import Program
+from repro.trace.callgraph import CallGraphModel, CallGraphParams, random_call_graph
+from repro.trace.generator import TraceInput, generate_trace
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark analog: program model plus train and test inputs."""
+
+    name: str
+    graph_params: CallGraphParams
+    train: TraceInput
+    test: TraceInput
+    description: str = ""
+
+    def call_graph(self) -> CallGraphModel:
+        return _cached_call_graph(self.graph_params)
+
+    @property
+    def program(self) -> Program:
+        return self.call_graph().program
+
+    def trace(self, which: str) -> Trace:
+        """The ``"train"`` or ``"test"`` trace (memoised)."""
+        if which == "train":
+            return _cached_trace(self.graph_params, self.train)
+        if which == "test":
+            return _cached_trace(self.graph_params, self.test)
+        raise ConfigError(f"unknown trace selector {which!r}")
+
+    def scaled(self, factor: float) -> "Workload":
+        """A copy with trace lengths scaled by *factor* (for fast runs)."""
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+
+        def scale(inp: TraceInput) -> TraceInput:
+            return replace(
+                inp, target_events=max(1000, int(inp.target_events * factor))
+            )
+
+        return replace(self, train=scale(self.train), test=scale(self.test))
+
+
+@lru_cache(maxsize=32)
+def _cached_call_graph(params: CallGraphParams) -> CallGraphModel:
+    return random_call_graph(params)
+
+
+@lru_cache(maxsize=64)
+def _cached_trace(
+    params: CallGraphParams, inp: TraceInput
+) -> Trace:
+    return generate_trace(_cached_call_graph(params), inp)

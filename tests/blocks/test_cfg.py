@@ -1,0 +1,137 @@
+"""Tests for synthetic control-flow graphs."""
+
+import random
+
+import pytest
+
+from repro.blocks.cfg import BasicBlock, BlockEdge, ProcedureCFG, random_cfg
+from repro.errors import ProgramError
+from repro.program.procedure import Procedure
+
+
+def diamond_cfg(sizes=(10, 20, 30, 40)) -> ProcedureCFG:
+    """0 -> (1 | 2) -> 3, with block 1 hot and block 2 cold."""
+    procedure = Procedure("f", sum(sizes))
+    blocks = [BasicBlock(i, size) for i, size in enumerate(sizes)]
+    edges = [
+        BlockEdge(0, 1, 0.9),
+        BlockEdge(0, 2, 0.1),
+        BlockEdge(1, 3, 1.0),
+        BlockEdge(2, 3, 1.0),
+        BlockEdge(3, -1, 1.0),
+    ]
+    return ProcedureCFG(procedure, blocks, edges)
+
+
+class TestValidation:
+    def test_block_sizes_must_sum_to_procedure(self):
+        procedure = Procedure("f", 100)
+        blocks = [BasicBlock(0, 60)]
+        with pytest.raises(ProgramError):
+            ProcedureCFG(procedure, blocks, [])
+
+    def test_blocks_must_be_sequential(self):
+        procedure = Procedure("f", 30)
+        blocks = [BasicBlock(0, 10), BasicBlock(2, 20)]
+        with pytest.raises(ProgramError):
+            ProcedureCFG(procedure, blocks, [])
+
+    def test_edge_bounds_checked(self):
+        procedure = Procedure("f", 10)
+        blocks = [BasicBlock(0, 10)]
+        with pytest.raises(ProgramError):
+            ProcedureCFG(procedure, blocks, [BlockEdge(0, 5, 1.0)])
+        with pytest.raises(ProgramError):
+            ProcedureCFG(procedure, blocks, [BlockEdge(7, 0, 1.0)])
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ProgramError):
+            ProcedureCFG(Procedure("f", 10), [], [])
+
+    def test_block_validation(self):
+        with pytest.raises(ProgramError):
+            BasicBlock(0, 0)
+        with pytest.raises(ProgramError):
+            BlockEdge(0, 1, 0.0)
+
+
+class TestStructure:
+    def test_offsets(self):
+        cfg = diamond_cfg()
+        assert [cfg.offset_of(i) for i in range(4)] == [0, 10, 30, 60]
+
+    def test_sizes(self):
+        cfg = diamond_cfg()
+        assert cfg.size_of(2) == 30
+
+    def test_successors(self):
+        cfg = diamond_cfg()
+        assert cfg.successors(0) == [(1, 0.9), (2, 0.1)]
+        assert cfg.successors(1) == [(3, 1.0)]
+
+
+class TestWalk:
+    def test_walk_starts_at_entry(self):
+        cfg = diamond_cfg()
+        path = cfg.walk(random.Random(0))
+        assert path[0] == 0
+
+    def test_walk_follows_edges(self):
+        cfg = diamond_cfg()
+        for seed in range(20):
+            path = cfg.walk(random.Random(seed))
+            assert path in ([0, 1, 3], [0, 2, 3])
+
+    def test_hot_branch_dominates(self):
+        cfg = diamond_cfg()
+        rng = random.Random(42)
+        hot = sum(1 for _ in range(500) if cfg.walk(rng)[1] == 1)
+        assert hot > 400
+
+    def test_walk_bounded_on_loops(self):
+        procedure = Procedure("f", 20)
+        blocks = [BasicBlock(0, 10), BasicBlock(1, 10)]
+        edges = [BlockEdge(0, 1, 1.0), BlockEdge(1, 0, 1.0)]
+        cfg = ProcedureCFG(procedure, blocks, edges)
+        path = cfg.walk(random.Random(0), max_blocks=50)
+        assert len(path) == 50
+
+
+class TestRandomCFG:
+    def test_sizes_partition_procedure(self):
+        procedure = Procedure("f", 5000)
+        cfg = random_cfg(procedure, seed=1)
+        assert sum(b.size for b in cfg.blocks) == 5000
+
+    def test_deterministic(self):
+        procedure = Procedure("f", 3000)
+        a = random_cfg(procedure, seed=7)
+        b = random_cfg(procedure, seed=7)
+        assert [blk.size for blk in a.blocks] == [
+            blk.size for blk in b.blocks
+        ]
+
+    def test_walks_terminate(self):
+        procedure = Procedure("f", 2000)
+        cfg = random_cfg(procedure, seed=3)
+        rng = random.Random(0)
+        for _ in range(50):
+            path = cfg.walk(rng)
+            assert 1 <= len(path) <= 256
+
+    def test_cold_blocks_rarely_executed(self):
+        """With cold side blocks, some blocks execute much less often
+        than others — the asymmetry block positioning exploits."""
+        procedure = Procedure("f", 4000)
+        cfg = random_cfg(procedure, seed=11, cold_fraction=0.4)
+        rng = random.Random(5)
+        counts = [0] * len(cfg)
+        for _ in range(300):
+            for block in cfg.walk(rng):
+                counts[block] += 1
+        executed = [c for c in counts if c > 0]
+        assert min(counts) < max(executed) / 4
+
+    def test_invalid_cold_fraction(self):
+        with pytest.raises(ProgramError):
+            random_cfg(Procedure("f", 100), seed=0, cold_fraction=1.0)

@@ -1,0 +1,168 @@
+"""Tests for intra-procedure block positioning."""
+
+import random
+
+import pytest
+
+from repro.blocks.cfg import BasicBlock, BlockEdge, ProcedureCFG, random_cfg
+from repro.blocks.placement import (
+    BlockReorder,
+    apply_reorders,
+    chain_block_order,
+    reorder_all,
+)
+from repro.blocks.trace import block_transition_graph, blockify_trace
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.errors import PlacementError
+from repro.profiles.graph import WeightedGraph
+from repro.program.layout import Layout
+from repro.program.procedure import Procedure
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+def cold_middle_cfg() -> ProcedureCFG:
+    """0 -> (cold 1 | hot skip) -> 2 -> 3; block 1 is a cold island."""
+    blocks = [
+        BasicBlock(0, 32),
+        BasicBlock(1, 96),  # cold
+        BasicBlock(2, 32),
+        BasicBlock(3, 32),
+    ]
+    edges = [
+        BlockEdge(0, 1, 0.02),
+        BlockEdge(0, 2, 0.98),
+        BlockEdge(1, 2, 1.0),
+        BlockEdge(2, 3, 1.0),
+        BlockEdge(3, -1, 1.0),
+    ]
+    return ProcedureCFG(Procedure("f", 192), blocks, edges)
+
+
+class TestBlockReorder:
+    def test_permutation_required(self):
+        cfg = cold_middle_cfg()
+        with pytest.raises(PlacementError):
+            BlockReorder(cfg, (0, 1, 1, 3))
+
+    def test_entry_must_stay_first(self):
+        cfg = cold_middle_cfg()
+        with pytest.raises(PlacementError):
+            BlockReorder(cfg, (1, 0, 2, 3))
+
+    def test_new_offsets(self):
+        cfg = cold_middle_cfg()
+        reorder = BlockReorder(cfg, (0, 2, 3, 1))
+        assert reorder.new_offset_of(0) == 0
+        assert reorder.new_offset_of(2) == 32
+        assert reorder.new_offset_of(3) == 64
+        assert reorder.new_offset_of(1) == 96
+
+    def test_offset_map(self):
+        cfg = cold_middle_cfg()
+        reorder = BlockReorder(cfg, (0, 2, 3, 1))
+        assert reorder.offset_map() == {0: 0, 128: 32, 160: 64, 32: 96}
+
+    def test_identity(self):
+        cfg = cold_middle_cfg()
+        assert BlockReorder(cfg, (0, 1, 2, 3)).is_identity
+
+
+class TestChaining:
+    def test_hot_path_made_contiguous(self):
+        """The dominant transitions 0->2->3 must chain together,
+        pushing the cold block 1 out of the hot path."""
+        cfg = cold_middle_cfg()
+        transitions = WeightedGraph()
+        transitions.add_edge(0, 2, 98.0)
+        transitions.add_edge(2, 3, 100.0)
+        transitions.add_edge(0, 1, 2.0)
+        transitions.add_edge(1, 2, 2.0)
+        reorder = chain_block_order(cfg, transitions)
+        assert reorder.order[:3] == (0, 2, 3)
+        assert reorder.order[3] == 1
+
+    def test_no_transitions_keeps_identity(self):
+        cfg = cold_middle_cfg()
+        transitions = WeightedGraph()
+        for i in range(4):
+            transitions.add_node(i)
+        reorder = chain_block_order(cfg, transitions)
+        assert reorder.order[0] == 0
+        assert sorted(reorder.order) == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        cfg = random_cfg(Procedure("f", 2000), seed=4)
+        program = Program([cfg.procedure])
+        trace = Trace(program, [TraceEvent.full("f", 2000)] * 30)
+        refined = blockify_trace(trace, {"f": cfg}, seed=1)
+        transitions = block_transition_graph(refined, cfg)
+        assert chain_block_order(cfg, transitions) == chain_block_order(
+            cfg, transitions
+        )
+
+
+class TestApplyReorders:
+    def test_events_get_new_offsets(self):
+        cfg = cold_middle_cfg()
+        program = Program([cfg.procedure])
+        trace = Trace(
+            program,
+            [
+                TraceEvent("f", 0, 32),
+                TraceEvent("f", 128, 32),
+                TraceEvent("f", 160, 32),
+            ],
+        )
+        reorder = BlockReorder(cfg, (0, 2, 3, 1))
+        remapped = apply_reorders(trace, {"f": reorder})
+        assert [e.start for e in remapped] == [0, 32, 64]
+
+    def test_non_boundary_event_rejected(self):
+        cfg = cold_middle_cfg()
+        program = Program([cfg.procedure])
+        trace = Trace(program, [TraceEvent("f", 5, 10)])
+        reorder = BlockReorder(cfg, (0, 2, 3, 1))
+        with pytest.raises(PlacementError):
+            apply_reorders(trace, {"f": reorder})
+
+    def test_other_procedures_untouched(self):
+        cfg = cold_middle_cfg()
+        program = Program(
+            [cfg.procedure, Procedure("g", 64)]
+        )
+        trace = Trace(program, [TraceEvent.full("g", 64)])
+        reorder = BlockReorder(cfg, (0, 2, 3, 1))
+        remapped = apply_reorders(trace, {"f": reorder})
+        assert remapped[0] == TraceEvent("g", 0, 64)
+
+
+class TestEndToEndBenefit:
+    def test_block_positioning_reduces_lines_touched(self):
+        """Making the hot path contiguous reduces the cache lines each
+        activation touches, and with them the misses."""
+        rng = random.Random(0)
+        procedures = {f"p{i}": 1536 for i in range(6)}
+        program = Program.from_sizes(procedures)
+        cfgs = {
+            name: random_cfg(
+                Procedure(name, size), seed=i, cold_fraction=0.45
+            )
+            for i, (name, size) in enumerate(procedures.items())
+        }
+        refs = [
+            TraceEvent.full(f"p{rng.randrange(6)}", 1536)
+            for _ in range(400)
+        ]
+        base = Trace(program, refs)
+        blocked = blockify_trace(base, cfgs, seed=3)
+        reorders = reorder_all(blocked, cfgs)
+        repositioned = apply_reorders(blocked, reorders)
+
+        config = CacheConfig(size=2048, line_size=32)
+        layout = Layout.default(program)
+        before = simulate(layout, blocked, config)
+        after = simulate(layout, repositioned, config)
+        assert after.misses < before.misses

@@ -1,0 +1,97 @@
+"""Tests for trace blockification and block-transition profiling."""
+
+import pytest
+
+from repro.blocks.cfg import BasicBlock, BlockEdge, ProcedureCFG, random_cfg
+from repro.blocks.trace import block_transition_graph, blockify_trace
+from repro.errors import TraceError
+from repro.program.procedure import Procedure
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"f": 100, "g": 50})
+
+
+@pytest.fixture
+def cfg_f() -> ProcedureCFG:
+    blocks = [BasicBlock(0, 40), BasicBlock(1, 60)]
+    edges = [BlockEdge(0, 1, 1.0), BlockEdge(1, -1, 1.0)]
+    return ProcedureCFG(Procedure("f", 100), blocks, edges)
+
+
+class TestBlockify:
+    def test_extents_become_block_extents(self, program, cfg_f):
+        trace = Trace(program, [TraceEvent.full("f", 100)])
+        refined = blockify_trace(trace, {"f": cfg_f}, seed=0)
+        assert list(refined) == [
+            TraceEvent("f", 0, 40),
+            TraceEvent("f", 40, 60),
+        ]
+
+    def test_budget_truncates_walk(self, program, cfg_f):
+        trace = Trace(program, [TraceEvent("f", 0, 30)])
+        refined = blockify_trace(trace, {"f": cfg_f}, seed=0)
+        # 30-byte budget: the 40-byte entry block satisfies it.
+        assert list(refined) == [TraceEvent("f", 0, 40)]
+
+    def test_procedures_without_cfg_pass_through(self, program, cfg_f):
+        trace = Trace(
+            program,
+            [TraceEvent.full("g", 50), TraceEvent.full("f", 100)],
+        )
+        refined = blockify_trace(trace, {"f": cfg_f}, seed=0)
+        assert refined[0] == TraceEvent("g", 0, 50)
+
+    def test_unknown_procedure_rejected(self, cfg_f):
+        other = Program.from_sizes({"x": 10})
+        trace = Trace(other, [TraceEvent.full("x", 10)])
+        with pytest.raises(TraceError):
+            blockify_trace(trace, {"f": cfg_f}, seed=0)
+
+    def test_mislabeled_cfg_rejected(self, program, cfg_f):
+        trace = Trace(program, [TraceEvent.full("g", 50)])
+        with pytest.raises(TraceError):
+            blockify_trace(trace, {"g": cfg_f}, seed=0)
+
+    def test_deterministic(self, program):
+        cfg = random_cfg(Procedure("f", 100), seed=2)
+        trace = Trace(program, [TraceEvent.full("f", 100)] * 20)
+        a = blockify_trace(trace, {"f": cfg}, seed=9)
+        b = blockify_trace(trace, {"f": cfg}, seed=9)
+        assert list(a.extent_starts) == list(b.extent_starts)
+
+
+class TestTransitionGraph:
+    def test_counts_adjacent_blocks(self, program, cfg_f):
+        trace = Trace(program, [TraceEvent.full("f", 100)] * 3)
+        refined = blockify_trace(trace, {"f": cfg_f}, seed=0)
+        graph = block_transition_graph(refined, cfg_f)
+        # Each activation contributes one 0 -> 1 transition; the
+        # 1 -> 0 transition across activations also counts.
+        assert graph.weight(0, 1) == 5
+
+    def test_other_procedures_break_adjacency(self, program, cfg_f):
+        trace = Trace(
+            program,
+            [
+                TraceEvent("f", 0, 40),
+                TraceEvent.full("g", 50),
+                TraceEvent("f", 40, 60),
+            ],
+        )
+        graph = block_transition_graph(trace, cfg_f)
+        assert graph.weight(0, 1) == 0
+
+    def test_non_boundary_extents_ignored(self, program, cfg_f):
+        trace = Trace(program, [TraceEvent("f", 10, 20)] * 2)
+        graph = block_transition_graph(trace, cfg_f)
+        assert graph.num_edges() == 0
+
+    def test_all_blocks_present_as_nodes(self, program, cfg_f):
+        trace = Trace(program, [TraceEvent.full("g", 50)])
+        graph = block_transition_graph(trace, cfg_f)
+        assert len(graph) == 2

@@ -1,0 +1,70 @@
+"""Tests for the reference direct-mapped cache model."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.direct import DirectMappedCache
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cache() -> DirectMappedCache:
+    # 4 lines of 32 bytes.
+    return DirectMappedCache(CacheConfig(size=128, line_size=32))
+
+
+class TestBasics:
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ConfigError):
+            DirectMappedCache(
+                CacheConfig(size=128, line_size=32, associativity=2)
+            )
+
+    def test_cold_miss(self, cache):
+        assert cache.touch(0) is True
+
+    def test_hit_after_fill(self, cache):
+        cache.touch(0)
+        assert cache.touch(0) is False
+
+    def test_conflict_between_aliasing_lines(self, cache):
+        cache.touch(0)
+        assert cache.touch(4) is True  # same set (4 % 4 == 0)
+        assert cache.touch(0) is True  # evicted
+
+    def test_distinct_sets_coexist(self, cache):
+        cache.touch(0)
+        cache.touch(1)
+        cache.touch(2)
+        cache.touch(3)
+        assert cache.touch(0) is False
+        assert cache.touch(3) is False
+
+    def test_counters(self, cache):
+        for line in [0, 1, 0, 4, 0]:
+            cache.touch(line)
+        assert cache.accesses == 5
+        assert cache.misses == 4  # hit only on the second touch of 0
+
+
+class TestRun:
+    def test_run_counts(self, cache):
+        stats = cache.run([0, 0, 4, 4, 0])
+        assert stats.line_accesses == 5
+        assert stats.misses == 3
+        assert stats.fetches == 5
+
+    def test_run_with_explicit_fetches(self, cache):
+        stats = cache.run([0, 0], fetches=16)
+        assert stats.fetches == 16
+        assert stats.miss_rate == 1 / 16
+
+    def test_flush_invalidates(self, cache):
+        cache.touch(0)
+        cache.flush()
+        assert cache.touch(0) is True
+
+    def test_contents(self, cache):
+        cache.touch(0)
+        cache.touch(5)
+        assert cache.contents() == {0: 0, 1: 5}

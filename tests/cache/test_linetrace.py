@@ -1,0 +1,92 @@
+"""Tests for line-stream derivation from layouts and traces."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.linetrace import line_stream
+from repro.program.layout import Layout
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"a": 64, "b": 100})
+
+
+class TestExpansion:
+    def test_full_extent_lines(self, program, config):
+        layout = Layout.default(program)
+        trace = Trace(program, [TraceEvent.full("a", 64)])
+        stream = line_stream(layout, trace, config)
+        assert list(stream.lines) == [0, 1]
+
+    def test_offset_extent(self, program, config):
+        layout = Layout.default(program)
+        # 'b' starts at 64 (line 2); extent [10, 40) within b covers
+        # bytes [74, 104) -> lines 2..3.
+        trace = Trace(program, [TraceEvent("b", 10, 30)])
+        stream = line_stream(layout, trace, config)
+        assert list(stream.lines) == [2, 3]
+
+    def test_multiple_events_concatenate(self, program, config):
+        layout = Layout.default(program)
+        trace = Trace(
+            program,
+            [TraceEvent.full("a", 64), TraceEvent("b", 0, 10)],
+        )
+        stream = line_stream(layout, trace, config)
+        assert list(stream.lines) == [0, 1, 2]
+
+    def test_unaligned_procedure_start(self, program, config):
+        layout = Layout(program, {"a": 30, "b": 200})
+        trace = Trace(program, [TraceEvent("a", 0, 4)])
+        stream = line_stream(layout, trace, config)
+        assert list(stream.lines) == [0, 1]
+
+    def test_empty_trace(self, program, config):
+        layout = Layout.default(program)
+        trace = Trace(program, [])
+        stream = line_stream(layout, trace, config)
+        assert len(stream) == 0
+        assert stream.fetches == 0
+
+
+class TestFetchAccounting:
+    def test_fetches_from_bytes(self, program, config):
+        layout = Layout.default(program)
+        trace = Trace(program, [TraceEvent.full("a", 64)])
+        stream = line_stream(layout, trace, config)
+        assert stream.fetches == 16  # 64 bytes / 4-byte instructions
+
+    def test_tiny_extent_counts_one_fetch(self, program, config):
+        layout = Layout.default(program)
+        trace = Trace(program, [TraceEvent("a", 0, 2)])
+        stream = line_stream(layout, trace, config)
+        assert stream.fetches == 1
+
+    def test_fetches_sum_over_events(self, program, config):
+        layout = Layout.default(program)
+        trace = Trace(
+            program, [TraceEvent("a", 0, 8), TraceEvent("b", 0, 12)]
+        )
+        stream = line_stream(layout, trace, config)
+        assert stream.fetches == 2 + 3
+
+
+class TestLayoutSensitivity:
+    def test_different_layouts_different_lines(self, program, config):
+        trace = Trace(program, [TraceEvent.full("a", 64)])
+        default = line_stream(Layout.default(program), trace, config)
+        moved = line_stream(
+            Layout(program, {"a": 256, "b": 0}), trace, config
+        )
+        assert list(default.lines) == [0, 1]
+        assert list(moved.lines) == [8, 9]

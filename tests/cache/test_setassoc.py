@@ -1,0 +1,79 @@
+"""Tests for the set-associative LRU cache model."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.direct import DirectMappedCache
+from repro.cache.setassoc import SetAssociativeCache
+
+
+@pytest.fixture
+def two_way() -> SetAssociativeCache:
+    # 4 lines, 2 ways -> 2 sets.
+    return SetAssociativeCache(
+        CacheConfig(size=128, line_size=32, associativity=2)
+    )
+
+
+class TestLRU:
+    def test_two_lines_coexist_in_a_set(self, two_way):
+        two_way.touch(0)
+        two_way.touch(2)  # same set (2 % 2 == 0), second way
+        assert two_way.touch(0) is False
+        assert two_way.touch(2) is False
+
+    def test_third_line_evicts_lru(self, two_way):
+        two_way.touch(0)
+        two_way.touch(2)
+        two_way.touch(0)  # 0 is now MRU; 2 is LRU
+        two_way.touch(4)  # evicts 2
+        assert two_way.touch(0) is False
+        assert two_way.touch(2) is True
+
+    def test_hit_promotes_to_mru(self, two_way):
+        two_way.touch(0)
+        two_way.touch(2)
+        two_way.touch(2)  # promote 2 (already MRU; exercise the path)
+        two_way.touch(0)  # promote 0
+        two_way.touch(4)  # evicts 2, not 0
+        assert two_way.touch(0) is False
+
+    def test_contents_mru_first(self, two_way):
+        two_way.touch(0)
+        two_way.touch(2)
+        assert two_way.contents()[0] == (2, 0)
+
+    def test_flush(self, two_way):
+        two_way.touch(0)
+        two_way.flush()
+        assert two_way.touch(0) is True
+
+    def test_run_fetch_accounting(self, two_way):
+        stats = two_way.run([0, 0, 1], fetches=24)
+        assert stats.fetches == 24
+        assert stats.misses == 2
+
+
+class TestDegenerateDirectMapped:
+    def test_one_way_matches_direct_mapped(self):
+        config = CacheConfig(size=256, line_size=32, associativity=1)
+        stream = [0, 8, 0, 8, 1, 2, 3, 1, 9, 1, 0, 16, 8, 0]
+        lru = SetAssociativeCache(config).run(stream)
+        direct = DirectMappedCache(config).run(stream)
+        assert lru.misses == direct.misses
+        assert lru.line_accesses == direct.line_accesses
+
+
+class TestAssociativityBenefit:
+    def test_two_way_resolves_pingpong(self):
+        """The canonical case: two aliasing lines thrash a DM cache but
+        coexist in a 2-way cache."""
+        stream = [0, 8, 0, 8, 0, 8, 0, 8]
+        dm = DirectMappedCache(
+            CacheConfig(size=256, line_size=32)
+        ).run(stream)
+        sa = SetAssociativeCache(
+            CacheConfig(size=256, line_size=32, associativity=2)
+        ).run(stream)
+        assert dm.misses == 8
+        assert sa.misses == 2

@@ -1,0 +1,83 @@
+"""Tests for the top-level simulate() facade."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate, simulate_stream
+from repro.cache.linetrace import line_stream
+from repro.errors import ConfigError
+from repro.program.layout import Layout
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def setup():
+    program = Program.from_sizes({"a": 128, "b": 128, "c": 64})
+    layout = Layout.default(program)
+    trace = Trace(
+        program,
+        [
+            TraceEvent.full("a", 128),
+            TraceEvent.full("b", 128),
+            TraceEvent.full("a", 128),
+            TraceEvent.full("c", 64),
+        ],
+    )
+    config = CacheConfig(size=128, line_size=32)
+    return program, layout, trace, config
+
+
+class TestEngines:
+    def test_fast_and_reference_agree(self, setup):
+        _, layout, trace, config = setup
+        fast = simulate(layout, trace, config, engine="fast")
+        reference = simulate(layout, trace, config, engine="reference")
+        assert fast == reference
+
+    def test_lru_with_associativity_one_agrees(self, setup):
+        _, layout, trace, config = setup
+        fast = simulate(layout, trace, config, engine="fast")
+        lru = simulate(layout, trace, config, engine="lru")
+        assert fast.misses == lru.misses
+
+    def test_auto_picks_fast_for_direct_mapped(self, setup):
+        _, layout, trace, config = setup
+        auto = simulate(layout, trace, config)
+        fast = simulate(layout, trace, config, engine="fast")
+        assert auto == fast
+
+    def test_auto_handles_set_associative(self, setup):
+        _, layout, trace, _ = setup
+        config = CacheConfig(size=128, line_size=32, associativity=2)
+        stats = simulate(layout, trace, config)
+        assert stats.misses > 0
+
+    def test_unknown_engine_rejected(self, setup):
+        _, layout, trace, config = setup
+        with pytest.raises(ConfigError):
+            simulate(layout, trace, config, engine="nope")
+
+
+class TestSemantics:
+    def test_thrashing_layout_worse_than_separated(self, setup):
+        """a and b alias fully in a 128-byte cache when placed one
+        cache-size apart, and the trace alternates between them."""
+        program, _, trace, config = setup
+        aliased = Layout(program, {"a": 0, "b": 128, "c": 256})
+        # In a 128-byte cache both a and b cover all 4 lines either
+        # way; use a bigger cache to separate them.
+        big = CacheConfig(size=256, line_size=32)
+        separated = Layout(program, {"a": 0, "b": 128, "c": 256})
+        conflicting = Layout(program, {"a": 0, "b": 256, "c": 512})
+        good = simulate(separated, trace, big)
+        bad = simulate(conflicting, trace, big)
+        assert bad.misses > good.misses
+
+    def test_stream_reuse(self, setup):
+        _, layout, trace, config = setup
+        stream = line_stream(layout, trace, config)
+        direct = simulate(layout, trace, config)
+        via_stream = simulate_stream(stream, config)
+        assert direct == via_stream

@@ -1,0 +1,46 @@
+"""Tests for MissStats."""
+
+import pytest
+
+from repro.cache.stats import MissStats
+
+
+class TestValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MissStats(fetches=-1, line_accesses=0, misses=0)
+
+    def test_misses_cannot_exceed_accesses(self):
+        with pytest.raises(ValueError):
+            MissStats(fetches=10, line_accesses=5, misses=6)
+
+
+class TestDerived:
+    def test_miss_rate(self):
+        stats = MissStats(fetches=200, line_accesses=20, misses=10)
+        assert stats.miss_rate == 0.05
+
+    def test_miss_ratio(self):
+        stats = MissStats(fetches=200, line_accesses=20, misses=10)
+        assert stats.miss_ratio == 0.5
+
+    def test_hits(self):
+        stats = MissStats(fetches=200, line_accesses=20, misses=10)
+        assert stats.hits == 10
+
+    def test_empty_stream(self):
+        stats = MissStats(fetches=0, line_accesses=0, misses=0)
+        assert stats.miss_rate == 0.0
+        assert stats.miss_ratio == 0.0
+
+    def test_merged(self):
+        a = MissStats(fetches=100, line_accesses=10, misses=5)
+        b = MissStats(fetches=50, line_accesses=8, misses=1)
+        merged = a.merged(b)
+        assert merged.fetches == 150
+        assert merged.line_accesses == 18
+        assert merged.misses == 6
+
+    def test_str_mentions_miss_rate(self):
+        stats = MissStats(fetches=100, line_accesses=10, misses=5)
+        assert "5/10" in str(stats)

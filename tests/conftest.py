@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def three_line_cache() -> CacheConfig:
+    """The paper's Figure 1 toy: a 3-line direct-mapped cache."""
+    return CacheConfig(size=96, line_size=32)
+
+
+@pytest.fixture
+def paper_cache() -> CacheConfig:
+    """The 8 KB, 32 B line direct-mapped cache of Section 5.2."""
+    return CacheConfig(size=8192, line_size=32)
+
+
+@pytest.fixture
+def figure1_program() -> Program:
+    """Four single-line procedures: M and the leaves X, Y, Z."""
+    return Program.from_sizes({"M": 32, "X": 32, "Y": 32, "Z": 32})
+
+
+def full_trace(program: Program, names: list[str]) -> Trace:
+    """A trace where each reference executes the whole procedure."""
+    return Trace(
+        program,
+        [TraceEvent.full(name, program.size_of(name)) for name in names],
+    )
+
+
+def figure1_trace2_refs(iterations: int = 40) -> list[str]:
+    """Trace #2 of Figure 1: cond true for all iterations, then false.
+
+    Each loop iteration is M -> leaf -> M -> Z (M calls X or Y, then Z).
+    """
+    refs: list[str] = []
+    for leaf in ("X", "Y"):
+        for _ in range(iterations):
+            refs.extend(["M", leaf, "M", "Z"])
+    return refs
+
+
+def figure1_trace1_refs(iterations: int = 40) -> list[str]:
+    """Trace #1 of Figure 1: cond alternates every iteration."""
+    refs: list[str] = []
+    for index in range(2 * iterations):
+        leaf = "X" if index % 2 == 0 else "Y"
+        refs.extend(["M", leaf, "M", "Z"])
+    return refs

@@ -1,0 +1,141 @@
+"""Focused tests for GBSC's inner mechanics (working graph, heap,
+detailed results) and linearization corner cases."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.gbsc import GBSCPlacement, gbsc_nodes
+from repro.core.linearize import linearize
+from repro.core.merge import MergeNode, PlacedProcedure
+from repro.placement.base import PlacementContext
+from repro.profiles.graph import WeightedGraph
+from repro.profiles.trg import TRGBuildStats, TRGPair
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)
+
+
+def make_trgs(select, place, chunk_size=256) -> TRGPair:
+    stats = TRGBuildStats(refs_processed=1, avg_q_entries=1.0)
+    return TRGPair(
+        select=select,
+        place=place,
+        select_stats=stats,
+        place_stats=stats,
+        chunk_size=chunk_size,
+    )
+
+
+class TestWorkingGraphMerging:
+    def test_merged_edges_accumulate(self, config):
+        """After merging a-b, the working edge to c is the sum of the
+        original a-c and b-c weights, so c merges next regardless of
+        which original edge was larger."""
+        program = Program.from_sizes({"a": 32, "b": 32, "c": 32, "d": 32})
+        select = WeightedGraph()
+        select.add_edge("a", "b", 100.0)
+        select.add_edge("a", "c", 30.0)
+        select.add_edge("b", "c", 30.0)
+        select.add_edge("c", "d", 50.0)
+        place = WeightedGraph()
+        nodes = gbsc_nodes(
+            select, place, ("a", "b", "c", "d"), program, config
+        )
+        # Everything is connected: one node remains.
+        assert len(nodes) == 1
+        assert set(nodes[0].names) == {"a", "b", "c", "d"}
+
+    def test_stale_heap_entries_skipped(self, config):
+        """A graph engineered so the heap holds stale weights: after
+        the first merge, the old a-c edge entry is stale because a-c
+        accumulated b's contribution."""
+        program = Program.from_sizes({"a": 32, "b": 32, "c": 32})
+        select = WeightedGraph()
+        select.add_edge("a", "b", 10.0)
+        select.add_edge("a", "c", 4.0)
+        select.add_edge("b", "c", 5.0)
+        place = WeightedGraph()
+        nodes = gbsc_nodes(select, place, ("a", "b", "c"), program, config)
+        assert len(nodes) == 1
+
+    def test_isolated_popular_procedures_survive(self, config):
+        program = Program.from_sizes({"a": 32, "b": 32, "lone": 32})
+        select = WeightedGraph()
+        select.add_edge("a", "b", 5.0)
+        nodes = gbsc_nodes(
+            select, WeightedGraph(), ("a", "b", "lone"), program, config
+        )
+        assert len(nodes) == 2
+        assert any(node.names == ("lone",) for node in nodes)
+
+    def test_nodes_sorted_largest_first(self, config):
+        program = Program.from_sizes(
+            {"a": 32, "b": 32, "c": 32, "x": 32}
+        )
+        select = WeightedGraph()
+        select.add_edge("a", "b", 5.0)
+        select.add_edge("b", "c", 4.0)
+        nodes = gbsc_nodes(
+            select, WeightedGraph(), ("a", "b", "c", "x"), program, config
+        )
+        assert len(nodes[0]) == 3
+        assert len(nodes[1]) == 1
+
+
+class TestPlaceDetailed:
+    def test_result_exposes_nodes_and_linearization(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64, "cold": 64})
+        select = WeightedGraph()
+        select.add_edge("a", "b", 3.0)
+        place = WeightedGraph()
+        place.add_edge(ChunkId("a", 0), ChunkId("b", 0), 3.0)
+        context = PlacementContext(
+            program=program,
+            config=config,
+            wcg=WeightedGraph(),
+            trgs=make_trgs(select, place),
+            popular=("a", "b"),
+        )
+        result = GBSCPlacement().place_detailed(context)
+        assert result.layout is result.linearization.layout
+        assert len(result.nodes) == 1
+        assert set(result.nodes[0].names) == {"a", "b"}
+        assert result.linearization.popular_order
+
+
+class TestLinearizeCorners:
+    def test_first_procedure_nonzero_offset(self, config):
+        """With no offset-0 procedure, the scan starts from the
+        smallest offset and still realises it."""
+        program = Program.from_sizes({"a": 32, "b": 32})
+        nodes = [
+            MergeNode(
+                [PlacedProcedure("a", 3), PlacedProcedure("b", 6)]
+            )
+        ]
+        layout = linearize(nodes, program, config).layout
+        assert layout.start_set_of("a", config) == 3
+        assert layout.start_set_of("b", config) == 6
+        assert layout.address_of("a") == 3 * 32
+
+    def test_offsets_reduced_modulo_cache(self, config):
+        """Node offsets beyond the line count are taken modulo C."""
+        program = Program.from_sizes({"a": 32})
+        nodes = [MergeNode([PlacedProcedure("a", 8 + 2)])]
+        layout = linearize(nodes, program, config).layout
+        assert layout.start_set_of("a", config) == 2
+
+    def test_start_tie_breaks_deterministically(self, config):
+        """Equal start offsets break by node size then name — here
+        both nodes are singletons, so name order decides."""
+        program = Program.from_sizes({"big": 64, "small": 32})
+        nodes = [
+            MergeNode([PlacedProcedure("big", 2)]),
+            MergeNode([PlacedProcedure("small", 2)]),
+        ]
+        result = linearize(nodes, program, config)
+        assert result.popular_order[0] == "big"

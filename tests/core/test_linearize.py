@@ -1,0 +1,174 @@
+"""Tests for the Section 4.3 linearization."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.linearize import linearize
+from repro.core.merge import MergeNode, PlacedProcedure
+from repro.errors import PlacementError
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)  # 8 lines
+
+
+class TestOffsetRealization:
+    def test_every_offset_realized_mod_cache(self, config):
+        """The defining invariant: each popular procedure's address is
+        congruent to its node offset modulo the cache size."""
+        program = Program.from_sizes({"a": 64, "b": 64, "c": 64, "d": 64})
+        nodes = [
+            MergeNode(
+                [
+                    PlacedProcedure("a", 0),
+                    PlacedProcedure("b", 3),
+                    PlacedProcedure("c", 6),
+                ]
+            ),
+            MergeNode([PlacedProcedure("d", 2)]),
+        ]
+        result = linearize(nodes, program, config)
+        layout = result.layout
+        for name, offset in [("a", 0), ("b", 3), ("c", 6), ("d", 2)]:
+            assert layout.start_set_of(name, config) == offset
+
+    def test_relative_alignment_within_node_preserved(self, config):
+        program = Program.from_sizes({"a": 64, "b": 96})
+        nodes = [
+            MergeNode([PlacedProcedure("a", 1), PlacedProcedure("b", 5)])
+        ]
+        layout = linearize(nodes, program, config).layout
+        delta = (
+            layout.start_set_of("b", config)
+            - layout.start_set_of("a", config)
+        ) % config.num_lines
+        assert delta == 4
+
+    def test_adjacent_offsets_get_zero_gap(self, config):
+        """b starts exactly where a ends: the layout should be
+        gap-free between them."""
+        program = Program.from_sizes({"a": 64, "b": 64})
+        nodes = [
+            MergeNode([PlacedProcedure("a", 0), PlacedProcedure("b", 2)])
+        ]
+        result = linearize(nodes, program, config)
+        layout = result.layout
+        assert layout.address_of("b") == layout.end_address_of("a")
+        assert result.gap_bytes == 0
+
+    def test_wraparound_gap(self, config):
+        """A candidate whose offset precedes the last end line wraps
+        into the next cache-size region."""
+        program = Program.from_sizes({"a": 96, "b": 32})
+        nodes = [
+            MergeNode([PlacedProcedure("a", 0), PlacedProcedure("b", 1)])
+        ]
+        layout = linearize(nodes, program, config).layout
+        # a (offset 0, lines 0-2) is placed first; b's offset 1 lies
+        # "behind" a's end line, so b wraps into the next cache frame.
+        assert layout.start_set_of("a", config) == 0
+        assert layout.start_set_of("b", config) == 1
+        assert layout.address_of("b") == 288  # 256 + 1 * 32
+
+
+class TestGapFilling:
+    def test_unpopular_fill_gaps(self, config):
+        program = Program.from_sizes(
+            {"a": 32, "b": 32, "filler": 64, "tail": 320}
+        )
+        nodes = [
+            MergeNode([PlacedProcedure("a", 0), PlacedProcedure("b", 4)])
+        ]
+        result = linearize(
+            nodes, program, config, unpopular=["filler", "tail"]
+        )
+        layout = result.layout
+        # Gap between a (ends at 32) and b (starts at line 4 = 128) is
+        # 96 bytes; 'filler' (64) fits, 'tail' (320) does not.
+        assert result.gap_fillers == ("filler",)
+        assert 32 <= layout.address_of("filler") < 128
+        assert layout.address_of("tail") >= layout.end_address_of("b")
+
+    def test_best_fit_prefers_largest(self, config):
+        program = Program.from_sizes(
+            {"a": 32, "b": 32, "small": 32, "medium": 64}
+        )
+        nodes = [
+            MergeNode([PlacedProcedure("a", 0), PlacedProcedure("b", 3)])
+        ]
+        result = linearize(
+            nodes, program, config, unpopular=["small", "medium"]
+        )
+        # 64-byte gap: best fit takes 'medium', which fills it exactly;
+        # 'small' trails the layout instead.
+        assert result.gap_fillers == ("medium",)
+        assert result.gap_bytes == 0
+        layout = result.layout
+        assert layout.address_of("small") >= layout.end_address_of("b")
+
+    def test_leftover_unpopular_appended_in_order(self, config):
+        program = Program.from_sizes(
+            {"a": 256, "u1": 64, "u2": 64}
+        )
+        nodes = [MergeNode([PlacedProcedure("a", 0)])]
+        result = linearize(nodes, program, config, unpopular=["u1", "u2"])
+        layout = result.layout
+        assert layout.address_of("u1") == layout.end_address_of("a")
+        assert layout.address_of("u2") == layout.end_address_of("u1")
+
+    def test_procedures_not_mentioned_are_appended(self, config):
+        program = Program.from_sizes({"a": 32, "ghost": 32})
+        nodes = [MergeNode([PlacedProcedure("a", 0)])]
+        layout = linearize(nodes, program, config).layout
+        assert layout.address_of("ghost") >= layout.end_address_of("a")
+
+
+class TestValidation:
+    def test_duplicate_procedure_rejected(self, config):
+        program = Program.from_sizes({"a": 32})
+        nodes = [MergeNode.single("a"), MergeNode.single("a")]
+        with pytest.raises(PlacementError):
+            linearize(nodes, program, config)
+
+    def test_unknown_procedure_rejected(self, config):
+        program = Program.from_sizes({"a": 32})
+        with pytest.raises(PlacementError):
+            linearize([MergeNode.single("zz")], program, config)
+
+    def test_popular_unpopular_overlap_rejected(self, config):
+        program = Program.from_sizes({"a": 32})
+        with pytest.raises(PlacementError):
+            linearize(
+                [MergeNode.single("a")], program, config, unpopular=["a"]
+            )
+
+    def test_no_nodes_appends_everything(self, config):
+        program = Program.from_sizes({"a": 32, "b": 32})
+        result = linearize([], program, config, unpopular=["a", "b"])
+        assert result.layout.order_by_address() == ["a", "b"]
+        assert result.popular_order == ()
+
+
+class TestDeterminism:
+    def test_repeatable(self, config):
+        program = Program.from_sizes(
+            {f"p{i}": 48 + 16 * i for i in range(6)}
+        )
+        nodes = [
+            MergeNode(
+                [
+                    PlacedProcedure("p0", 0),
+                    PlacedProcedure("p1", 4),
+                    PlacedProcedure("p2", 2),
+                ]
+            ),
+            MergeNode(
+                [PlacedProcedure("p3", 6), PlacedProcedure("p4", 1)]
+            ),
+        ]
+        a = linearize(nodes, program, config, unpopular=["p5"])
+        b = linearize(nodes, program, config, unpopular=["p5"])
+        assert a.layout == b.layout
+        assert a.popular_order == b.popular_order

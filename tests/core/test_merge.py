@@ -1,0 +1,294 @@
+"""Tests for the Figure 4 merge_nodes step."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.core.merge import (
+    MergeNode,
+    PlacedProcedure,
+    best_offset,
+    line_occupancy,
+    merge_nodes,
+    offset_costs_fast,
+    offset_costs_reference,
+)
+from repro.errors import PlacementError
+from repro.profiles.graph import WeightedGraph
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)  # 8 lines
+
+
+class TestMergeNode:
+    def test_single(self):
+        node = MergeNode.single("a")
+        assert node.placements == (PlacedProcedure("a", 0),)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(PlacementError):
+            MergeNode([PlacedProcedure("a", 0), PlacedProcedure("a", 1)])
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacedProcedure("a", -1)
+
+    def test_shifted_wraps(self):
+        node = MergeNode([PlacedProcedure("a", 6)])
+        shifted = node.shifted(4, num_lines=8)
+        assert shifted.offset_of("a") == 2
+
+    def test_offset_of_unknown(self):
+        with pytest.raises(PlacementError):
+            MergeNode.single("a").offset_of("b")
+
+    def test_combined(self):
+        combined = MergeNode.single("a").combined_with(MergeNode.single("b"))
+        assert combined.names == ("a", "b")
+
+    def test_equality_order_insensitive(self):
+        n1 = MergeNode([PlacedProcedure("a", 0), PlacedProcedure("b", 2)])
+        n2 = MergeNode([PlacedProcedure("b", 2), PlacedProcedure("a", 0)])
+        assert n1 == n2
+
+
+class TestLineOccupancy:
+    def test_small_procedure(self, config):
+        program = Program.from_sizes({"a": 64})
+        occupancy = line_occupancy(
+            MergeNode.single("a"), program, config, chunk_size=256
+        )
+        assert occupancy[0] == [ChunkId("a", 0)]
+        assert occupancy[1] == [ChunkId("a", 0)]
+        assert occupancy[2] == []
+
+    def test_offset_placement(self, config):
+        program = Program.from_sizes({"a": 32})
+        node = MergeNode([PlacedProcedure("a", 5)])
+        occupancy = line_occupancy(node, program, config, chunk_size=256)
+        assert occupancy[5] == [ChunkId("a", 0)]
+        assert sum(len(line) for line in occupancy) == 1
+
+    def test_wrap_around(self, config):
+        program = Program.from_sizes({"a": 96})
+        node = MergeNode([PlacedProcedure("a", 6)])
+        occupancy = line_occupancy(node, program, config, chunk_size=256)
+        assert occupancy[6] == [ChunkId("a", 0)]
+        assert occupancy[7] == [ChunkId("a", 0)]
+        assert occupancy[0] == [ChunkId("a", 0)]
+
+    def test_chunk_boundaries(self, config):
+        program = Program.from_sizes({"a": 512})
+        occupancy = line_occupancy(
+            MergeNode.single("a"), program, config, chunk_size=256
+        )
+        # 512 bytes = 16 lines wrap twice over 8 lines; lines 0..7 get
+        # chunk 0 (bytes 0-255) and chunk 1 (bytes 256-511).
+        assert occupancy[0] == [ChunkId("a", 0), ChunkId("a", 1)]
+
+    def test_larger_than_cache_procedure(self, config):
+        program = Program.from_sizes({"a": 1024})
+        occupancy = line_occupancy(
+            MergeNode.single("a"), program, config, chunk_size=256
+        )
+        for line in occupancy:
+            assert len(line) == 4  # 1024/256 bytes per line slot
+
+
+class TestOffsetCosts:
+    def test_zero_when_no_edges(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64})
+        graph = WeightedGraph()
+        costs = offset_costs_fast(
+            MergeNode.single("a"),
+            MergeNode.single("b"),
+            graph,
+            program,
+            config,
+        )
+        assert np.all(costs == 0)
+
+    def test_overlap_costs_weight(self, config):
+        program = Program.from_sizes({"a": 32, "b": 32})
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("a", 0), ChunkId("b", 0), 7.0)
+        costs = offset_costs_reference(
+            MergeNode.single("a"),
+            MergeNode.single("b"),
+            graph,
+            program,
+            config,
+        )
+        # Only offset 0 overlaps the two single-line procedures.
+        assert costs[0] == 7.0
+        assert np.all(costs[1:] == 0)
+
+    def test_multi_line_overlap_scales(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64})
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("a", 0), ChunkId("b", 0), 3.0)
+        costs = offset_costs_reference(
+            MergeNode.single("a"),
+            MergeNode.single("b"),
+            graph,
+            program,
+            config,
+        )
+        # Offset 0: both lines overlap -> 2 line-pairs x 3.0.
+        assert costs[0] == 6.0
+        # Offset 1: one line overlaps.
+        assert costs[1] == 3.0
+        assert costs[7] == 3.0  # wrap: b's line 7+1 = 0 overlaps a's 0
+
+    def test_intra_node_conflicts_not_counted(self, config):
+        program = Program.from_sizes({"a": 32, "b": 32, "c": 32})
+        graph = WeightedGraph()
+        # Heavy edge *within* n1 must not affect the offset costs.
+        graph.add_edge(ChunkId("a", 0), ChunkId("b", 0), 1000.0)
+        n1 = MergeNode([PlacedProcedure("a", 0), PlacedProcedure("b", 0)])
+        n2 = MergeNode.single("c")
+        costs = offset_costs_reference(n1, n2, graph, program, config)
+        assert np.all(costs == 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_fast_matches_reference(self, seed):
+        config = CacheConfig(size=256, line_size=32)
+        rng = random.Random(seed)
+        sizes = {
+            f"p{i}": rng.randint(16, 600) for i in range(6)
+        }
+        program = Program.from_sizes(sizes)
+        graph = WeightedGraph()
+        names = list(sizes)
+        for _ in range(rng.randint(0, 30)):
+            a, b = rng.sample(names, 2)
+            graph.add_edge(
+                ChunkId(a, rng.randrange(program[a].num_chunks())),
+                ChunkId(b, rng.randrange(program[b].num_chunks())),
+                rng.randint(1, 100),
+            )
+        split = rng.randint(1, 5)
+        n1 = MergeNode(
+            [
+                PlacedProcedure(name, rng.randrange(config.num_lines))
+                for name in names[:split]
+            ]
+        )
+        n2 = MergeNode(
+            [
+                PlacedProcedure(name, rng.randrange(config.num_lines))
+                for name in names[split:]
+            ]
+        )
+        fast = offset_costs_fast(n1, n2, graph, program, config)
+        reference = offset_costs_reference(n1, n2, graph, program, config)
+        assert np.allclose(fast, reference, atol=1e-6)
+
+
+class TestBestOffset:
+    def test_first_minimum_wins(self):
+        assert best_offset(np.asarray([3.0, 1.0, 1.0, 2.0])) == 1
+
+    def test_all_equal_picks_zero(self):
+        assert best_offset(np.zeros(8)) == 0
+
+    def test_fft_noise_tolerated(self):
+        costs = np.asarray([1e-12, 0.0, 5.0])
+        assert best_offset(costs) == 0
+
+
+class TestMergeNodes:
+    def test_ph_chain_equivalence(self, config):
+        """Section 4.2, note 3: merging two small single-procedure
+        nodes places the second at the first zero-cost line — right
+        after the first procedure, exactly like a PH chain."""
+        program = Program.from_sizes({"p": 96, "q": 64})
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("p", 0), ChunkId("q", 0), 5.0)
+        merged = merge_nodes(
+            MergeNode.single("p"),
+            MergeNode.single("q"),
+            graph,
+            program,
+            config,
+        )
+        # p occupies lines 0-2; the first zero-cost offset for q is 3.
+        assert merged.offset_of("p") == 0
+        assert merged.offset_of("q") == 3
+
+    def test_shared_procedure_rejected(self, config):
+        program = Program.from_sizes({"p": 32})
+        graph = WeightedGraph()
+        with pytest.raises(PlacementError):
+            merge_nodes(
+                MergeNode.single("p"),
+                MergeNode.single("p"),
+                graph,
+                program,
+                config,
+            )
+
+    def test_unknown_method_rejected(self, config):
+        program = Program.from_sizes({"p": 32, "q": 32})
+        with pytest.raises(PlacementError):
+            merge_nodes(
+                MergeNode.single("p"),
+                MergeNode.single("q"),
+                WeightedGraph(),
+                program,
+                config,
+                method="nope",
+            )
+
+    def test_intra_node_alignment_preserved(self, config):
+        """Merging never rearranges procedures within a node."""
+        program = Program.from_sizes({"a": 32, "b": 32, "c": 32})
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("a", 0), ChunkId("c", 0), 2.0)
+        n1 = MergeNode([PlacedProcedure("a", 1), PlacedProcedure("b", 4)])
+        merged = merge_nodes(
+            n1, MergeNode.single("c"), graph, program, config
+        )
+        assert merged.offset_of("a") == 1
+        assert merged.offset_of("b") == 4
+
+    def test_merge_avoids_conflict(self, config):
+        """q must not be placed on top of p when their chunks have a
+        TRG_place edge and a free line exists."""
+        program = Program.from_sizes({"p": 128, "q": 128})
+        graph = WeightedGraph()
+        for i in range(1):
+            graph.add_edge(ChunkId("p", 0), ChunkId("q", 0), 10.0)
+        merged = merge_nodes(
+            MergeNode.single("p"),
+            MergeNode.single("q"),
+            graph,
+            program,
+            config,
+        )
+        p_lines = {(merged.offset_of("p") + i) % 8 for i in range(4)}
+        q_lines = {(merged.offset_of("q") + i) % 8 for i in range(4)}
+        assert not (p_lines & q_lines)
+
+    def test_reference_method_agrees(self, config):
+        program = Program.from_sizes({"p": 96, "q": 64})
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("p", 0), ChunkId("q", 0), 5.0)
+        fast = merge_nodes(
+            MergeNode.single("p"), MergeNode.single("q"),
+            graph, program, config, method="fast",
+        )
+        reference = merge_nodes(
+            MergeNode.single("p"), MergeNode.single("q"),
+            graph, program, config, method="reference",
+        )
+        assert fast == reference

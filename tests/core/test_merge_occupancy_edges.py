@@ -1,0 +1,72 @@
+"""Edge cases of chunk/line interaction in line occupancy."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.merge import MergeNode, line_occupancy
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)
+
+
+class TestChunkLineInteraction:
+    def test_line_attributed_to_chunk_at_line_start(self, config):
+        """When the chunk size is not a multiple of the line size, a
+        line crossing a chunk boundary is attributed to the chunk
+        containing the line's first byte (matching Figure 4's
+        line-granular CACHE array)."""
+        program = Program.from_sizes({"a": 96})
+        occupancy = line_occupancy(
+            MergeNode.single("a"), program, config, chunk_size=48
+        )
+        # line 0: bytes 0-31 -> chunk 0; line 1: bytes 32-63 starts in
+        # chunk 1 (byte 32 is within chunk 0's 0-47? No: 32 < 48, so
+        # chunk 0). (1*32)//48 == 0; line 2: (2*32)//48 == 1.
+        assert occupancy[0] == [ChunkId("a", 0)]
+        assert occupancy[1] == [ChunkId("a", 0)]
+        assert occupancy[2] == [ChunkId("a", 1)]
+
+    def test_tiny_chunks_many_per_line(self, config):
+        """Chunk size below the line size: each line is attributed to
+        the chunk at its start; intermediate chunks never appear in
+        the occupancy (they share a line with their predecessor)."""
+        program = Program.from_sizes({"a": 64})
+        occupancy = line_occupancy(
+            MergeNode.single("a"), program, config, chunk_size=16
+        )
+        assert occupancy[0] == [ChunkId("a", 0)]
+        assert occupancy[1] == [ChunkId("a", 2)]
+
+    def test_offset_does_not_change_chunk_attribution(self, config):
+        """Moving the procedure's cache offset rotates lines but keeps
+        the procedure-relative chunk attribution fixed."""
+        program = Program.from_sizes({"a": 96})
+        base = line_occupancy(
+            MergeNode.single("a"), program, config, chunk_size=48
+        )
+        from repro.core.merge import PlacedProcedure
+
+        moved = line_occupancy(
+            MergeNode([PlacedProcedure("a", 5)]),
+            program,
+            config,
+            chunk_size=48,
+        )
+        assert moved[5] == base[0]
+        assert moved[6] == base[1]
+        assert moved[7] == base[2]
+
+    def test_total_entries_equal_total_lines(self, config):
+        program = Program.from_sizes({"a": 100, "b": 300})
+        node = MergeNode.single("a").combined_with(
+            MergeNode.single("b").shifted(3, config.num_lines)
+        )
+        occupancy = line_occupancy(node, program, config)
+        total_entries = sum(len(line) for line in occupancy)
+        lines_a = len(config.lines_spanned(0, 100))
+        lines_b = len(config.lines_spanned(0, 300))
+        assert total_entries == lines_a + lines_b

@@ -1,0 +1,131 @@
+"""Tests for the page-affinity linearization variant (Section 4.3)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.gbsc import GBSCPlacement
+from repro.core.linearize import linearize
+from repro.core.merge import MergeNode, PlacedProcedure
+from repro.eval.memory import page_stats
+from repro.placement.base import PlacementContext
+from repro.profiles.graph import WeightedGraph
+from repro.profiles.trg import build_trgs
+from repro.profiles.wcg import build_wcg
+from repro.program.program import Program
+from tests.conftest import full_trace
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)
+
+
+class TestAffinityTieBreak:
+    def test_affine_candidate_wins_gap_tie(self, config):
+        """Two candidates with identical offsets (hence identical
+        gaps): affinity decides the order."""
+        program = Program.from_sizes(
+            {"first": 32, "friend": 32, "stranger": 32}
+        )
+        nodes = [
+            MergeNode([PlacedProcedure("first", 0)]),
+            MergeNode([PlacedProcedure("friend", 2)]),
+            MergeNode([PlacedProcedure("stranger", 2)]),
+        ]
+        affinity = WeightedGraph()
+        affinity.add_edge("first", "friend", 50.0)
+        result = linearize(
+            nodes, program, config, affinity=affinity
+        )
+        assert result.popular_order == ("first", "friend", "stranger")
+
+    def test_plain_tie_break_is_name_order(self, config):
+        program = Program.from_sizes(
+            {"first": 32, "zzz": 32, "aaa": 32}
+        )
+        nodes = [
+            MergeNode([PlacedProcedure("first", 0)]),
+            MergeNode([PlacedProcedure("zzz", 2)]),
+            MergeNode([PlacedProcedure("aaa", 2)]),
+        ]
+        result = linearize(nodes, program, config)
+        assert result.popular_order == ("first", "aaa", "zzz")
+
+    def test_affinity_overrides_name_order(self, config):
+        program = Program.from_sizes(
+            {"first": 32, "zzz": 32, "aaa": 32}
+        )
+        nodes = [
+            MergeNode([PlacedProcedure("first", 0)]),
+            MergeNode([PlacedProcedure("zzz", 2)]),
+            MergeNode([PlacedProcedure("aaa", 2)]),
+        ]
+        affinity = WeightedGraph()
+        affinity.add_edge("first", "zzz", 10.0)
+        result = linearize(nodes, program, config, affinity=affinity)
+        assert result.popular_order == ("first", "zzz", "aaa")
+
+    def test_offsets_still_realized(self, config):
+        program = Program.from_sizes({"a": 32, "b": 32, "c": 32})
+        nodes = [
+            MergeNode([PlacedProcedure("a", 0)]),
+            MergeNode([PlacedProcedure("b", 4)]),
+            MergeNode([PlacedProcedure("c", 4)]),
+        ]
+        affinity = WeightedGraph()
+        affinity.add_edge("a", "c", 9.0)
+        layout = linearize(
+            nodes, program, config, affinity=affinity
+        ).layout
+        assert layout.start_set_of("b", config) == 4
+        assert layout.start_set_of("c", config) == 4
+
+
+class TestGBSCPageAffinity:
+    def _context(self, config):
+        program = Program.from_sizes(
+            {f"p{i}": 64 for i in range(8)}
+        )
+        # Two temporal clusters that the cache offsets cannot express:
+        # p0..p3 interleave heavily, p4..p7 interleave heavily.
+        refs = (
+            ["p0", "p1", "p2", "p3"] * 25
+            + ["p4", "p5", "p6", "p7"] * 25
+        )
+        trace = full_trace(program, refs)
+        return (
+            PlacementContext(
+                program=program,
+                config=config,
+                wcg=build_wcg(trace),
+                trgs=build_trgs(trace, config, chunk_size=64),
+                popular=tuple(program.names),
+            ),
+            trace,
+        )
+
+    def test_same_cache_behaviour(self, config):
+        """Affinity only reorders gap ties: the cache-set mapping of
+        every procedure is identical with and without it."""
+        context, _ = self._context(config)
+        plain = GBSCPlacement().place(context)
+        affine = GBSCPlacement(page_affinity=True).place(context)
+        for name in context.program.names:
+            assert plain.start_set_of(name, config) == (
+                affine.start_set_of(name, config)
+            )
+
+    def test_page_faults_no_worse(self, config):
+        """The affinity order packs temporally-close procedures
+        together, which cannot increase (and usually decreases) the
+        page working set."""
+        context, trace = self._context(config)
+        plain = GBSCPlacement().place(context)
+        affine = GBSCPlacement(page_affinity=True).place(context)
+        plain_faults = page_stats(
+            plain, trace, page_size=256, resident_pages=2
+        ).page_faults
+        affine_faults = page_stats(
+            affine, trace, page_size=256, resident_pages=2
+        ).page_faults
+        assert affine_faults <= plain_faults

@@ -1,0 +1,75 @@
+"""Tests for popular-procedure selection."""
+
+import pytest
+
+from repro.core.popular import select_popular
+from repro.errors import ConfigError
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"hot": 100, "warm": 100, "cold": 100})
+
+
+def make_trace(program, spec: dict[str, int]) -> Trace:
+    events = []
+    for name, count in spec.items():
+        events.extend(
+            TraceEvent.full(name, program.size_of(name))
+            for _ in range(count)
+        )
+    return Trace(program, events)
+
+
+class TestSelection:
+    def test_ranked_by_executed_bytes(self, program):
+        trace = make_trace(program, {"hot": 100, "warm": 10, "cold": 1})
+        selection = select_popular(trace, coverage=0.9)
+        assert selection.procedures[0] == "hot"
+
+    def test_coverage_cuts_tail(self, program):
+        trace = make_trace(program, {"hot": 98, "warm": 1, "cold": 1})
+        selection = select_popular(trace, coverage=0.9)
+        assert selection.procedures == ("hot",)
+        assert selection.covered_fraction == pytest.approx(0.98)
+
+    def test_full_coverage_includes_everything(self, program):
+        trace = make_trace(program, {"hot": 5, "warm": 3, "cold": 2})
+        selection = select_popular(trace, coverage=1.0)
+        assert set(selection.procedures) == {"hot", "warm", "cold"}
+
+    def test_max_procedures_cap(self, program):
+        trace = make_trace(program, {"hot": 5, "warm": 4, "cold": 3})
+        selection = select_popular(trace, coverage=1.0, max_procedures=2)
+        assert selection.procedures == ("hot", "warm")
+
+    def test_deterministic_tie_break(self, program):
+        trace = make_trace(program, {"hot": 5, "warm": 5, "cold": 5})
+        selection = select_popular(trace, coverage=1.0)
+        assert selection.procedures == ("cold", "hot", "warm")
+
+    def test_empty_trace(self, program):
+        selection = select_popular(Trace(program, []))
+        assert selection.procedures == ()
+        assert selection.covered_fraction == 0.0
+
+    def test_contains_and_len(self, program):
+        trace = make_trace(program, {"hot": 5})
+        selection = select_popular(trace)
+        assert "hot" in selection
+        assert "cold" not in selection
+        assert len(selection) == 1
+
+    @pytest.mark.parametrize("coverage", [0.0, -0.5, 1.5])
+    def test_invalid_coverage(self, program, coverage):
+        trace = make_trace(program, {"hot": 1})
+        with pytest.raises(ConfigError):
+            select_popular(trace, coverage=coverage)
+
+    def test_invalid_cap(self, program):
+        trace = make_trace(program, {"hot": 1})
+        with pytest.raises(ConfigError):
+            select_popular(trace, max_procedures=0)

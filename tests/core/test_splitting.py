@@ -1,0 +1,143 @@
+"""Tests for the procedure-splitting extension."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.core.splitting import (
+    COLD_SUFFIX,
+    chunk_execution_counts,
+    split_procedures,
+)
+from repro.errors import ProgramError
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def program() -> Program:
+    # 'mixed' has 4 chunks of 256 B; only the first is executed.
+    return Program.from_sizes({"mixed": 1024, "hot": 256, "unused": 512})
+
+
+@pytest.fixture
+def trace(program) -> Trace:
+    return Trace(
+        program,
+        [
+            TraceEvent("mixed", 0, 200),
+            TraceEvent.full("hot", 256),
+            TraceEvent("mixed", 100, 100),
+        ],
+    )
+
+
+class TestChunkCounts:
+    def test_counts(self, trace):
+        counts = chunk_execution_counts(trace, 256)
+        assert counts[ChunkId("mixed", 0)] == 2
+        assert counts[ChunkId("hot", 0)] == 1
+        assert ChunkId("mixed", 1) not in counts
+
+
+class TestSplit:
+    def test_cold_part_created(self, trace):
+        result = split_procedures(trace, 256)
+        assert result.split_procedures == ("mixed",)
+        assert result.program.size_of("mixed") == 256
+        assert result.program.size_of("mixed" + COLD_SUFFIX) == 768
+
+    def test_fully_hot_untouched(self, trace):
+        result = split_procedures(trace, 256)
+        assert result.program.size_of("hot") == 256
+        assert ("hot" + COLD_SUFFIX) not in result.program
+
+    def test_never_executed_untouched(self, trace):
+        result = split_procedures(trace, 256)
+        assert result.program.size_of("unused") == 512
+        assert ("unused" + COLD_SUFFIX) not in result.program
+
+    def test_byte_accounting(self, trace):
+        result = split_procedures(trace, 256)
+        assert result.hot_bytes == 256
+        assert result.cold_bytes == 768
+        assert (
+            result.program.total_size == trace.program.total_size
+        )
+
+    def test_min_cold_bytes_skips_small_splits(self, trace):
+        result = split_procedures(trace, 256, min_cold_bytes=1000)
+        assert result.split_procedures == ()
+
+    def test_negative_min_cold_rejected(self, trace):
+        with pytest.raises(ProgramError):
+            split_procedures(trace, 256, min_cold_bytes=-1)
+
+    def test_original_of(self, trace):
+        result = split_procedures(trace, 256)
+        assert result.original_of("mixed.cold") == "mixed"
+        assert result.original_of("hot") == "hot"
+
+
+class TestTraceRemap:
+    def test_extents_remapped_into_hot_part(self, trace):
+        result = split_procedures(trace, 256)
+        events = list(result.trace)
+        assert events[0] == TraceEvent("mixed", 0, 200)
+        assert events[2] == TraceEvent("mixed", 100, 100)
+
+    def test_mid_procedure_hot_chunk(self):
+        """Hot chunk in the middle: its extents shift to hot offset 0."""
+        program = Program.from_sizes({"p": 1024})
+        trace = Trace(program, [TraceEvent("p", 512, 100)] * 3)
+        result = split_procedures(trace, 256)
+        assert result.program.size_of("p") == 256
+        for event in result.trace:
+            assert event == TraceEvent("p", 0, 100)
+
+    def test_multi_chunk_extent_stays_contiguous(self):
+        """An extent spanning chunks 1-2 (both hot) remaps cleanly even
+        when chunk 0 is cold."""
+        program = Program.from_sizes({"p": 768})
+        trace = Trace(program, [TraceEvent("p", 300, 400)] * 2)
+        result = split_procedures(trace, 256)
+        # Chunks 1 and 2 are hot (512 bytes); chunk 0 is cold.
+        assert result.program.size_of("p") == 512
+        event = result.trace[0]
+        assert event.start == 300 - 256
+        assert event.length == 400
+
+    def test_remapped_trace_simulates(self, trace):
+        """The split program + trace run through the whole pipeline."""
+        from repro.program.layout import Layout
+
+        result = split_procedures(trace, 256)
+        config = CacheConfig(size=256, line_size=32)
+        stats = simulate(
+            Layout.default(result.program), result.trace, config
+        )
+        assert stats.fetches == simulate(
+            Layout.default(trace.program), trace, config
+        ).fetches
+
+    def test_split_reduces_hot_footprint_and_misses(self):
+        """The point of splitting: hot halves of many procedures fit
+        the cache together after splitting where the originals thrash."""
+        config = CacheConfig(size=512, line_size=32)
+        # Four procedures, each 512 B, but only the first 128 B hot.
+        program = Program.from_sizes({f"p{i}": 512 for i in range(4)})
+        refs = []
+        for _ in range(50):
+            for i in range(4):
+                refs.append(TraceEvent(f"p{i}", 0, 128))
+        trace = Trace(program, refs)
+        result = split_procedures(trace, 128)
+        from repro.program.layout import Layout
+
+        before = simulate(Layout.default(program), trace, config)
+        after = simulate(
+            Layout.default(result.program), result.trace, config
+        )
+        assert after.misses < before.misses

@@ -1,0 +1,93 @@
+"""Tests for the ASCII CDF renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.asciiplot import Series, ascii_cdf, sweep_panel
+from repro.eval.randomization import SweepResult
+
+
+class TestSeries:
+    def test_glyph_must_be_single_char(self):
+        with pytest.raises(ConfigError):
+            Series("a", "ab", (1.0,))
+
+    def test_values_required(self):
+        with pytest.raises(ConfigError):
+            Series("a", "o", ())
+
+    def test_values_must_be_sorted(self):
+        with pytest.raises(ConfigError):
+            Series("a", "o", (2.0, 1.0))
+
+
+class TestAsciiCdf:
+    def test_contains_glyphs_and_legend(self):
+        plot = ascii_cdf(
+            [
+                Series("PH", "o", (0.01, 0.02, 0.03)),
+                Series("GBSC", "x", (0.005, 0.015, 0.025)),
+            ]
+        )
+        assert "o" in plot
+        assert "x" in plot
+        assert "o = PH" in plot
+        assert "x = GBSC" in plot
+
+    def test_axis_labels_show_range(self):
+        plot = ascii_cdf([Series("A", "o", (0.01, 0.05))])
+        assert "1.00%" in plot
+        assert "5.00%" in plot
+
+    def test_left_series_plots_left(self):
+        """A strictly better series' glyphs appear at lower columns."""
+        plot = ascii_cdf(
+            [
+                Series("worse", "w", (0.04, 0.05, 0.06)),
+                Series("better", "b", (0.01, 0.02, 0.03)),
+            ],
+            width=40,
+            height=6,
+        )
+        rows = [line[6:] for line in plot.splitlines()[:6]]
+        min_b = min(
+            row.index("b") for row in rows if "b" in row
+        )
+        max_b = max(
+            (len(row) - 1 - row[::-1].index("b"))
+            for row in rows
+            if "b" in row
+        )
+        min_w = min(row.index("w") for row in rows if "w" in row)
+        assert min_b < min_w
+        assert max_b < 40
+
+    def test_identical_values_single_column(self):
+        plot = ascii_cdf(
+            [Series("flat", "f", (0.02, 0.02, 0.02))], width=20, height=4
+        )
+        assert "f" in plot
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_cdf([])
+        with pytest.raises(ConfigError):
+            ascii_cdf([Series("a", "o", (1.0,))], width=2)
+
+    def test_non_percent_mode(self):
+        plot = ascii_cdf(
+            [Series("a", "o", (1.0, 5.0))], percent=False
+        )
+        assert "1" in plot and "5" in plot
+        assert "%" not in plot.splitlines()[-2]
+
+
+class TestSweepPanel:
+    def test_renders_sweep_results(self):
+        results = [
+            SweepResult("PH", (0.02, 0.03, 0.04), 0.03),
+            SweepResult("GBSC", (0.01, 0.02, 0.03), 0.02),
+        ]
+        panel = sweep_panel(results)
+        assert "o = PH" in panel
+        assert "x = GBSC" in panel

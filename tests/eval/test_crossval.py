@@ -1,0 +1,101 @@
+"""Tests for the training-input transfer matrix (Section 5.3 theme)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.gbsc import GBSCPlacement
+from repro.errors import ConfigError
+from repro.eval.crossval import TransferMatrix, input_transfer_matrix
+from repro.trace.callgraph import CallGraphParams, random_call_graph
+from repro.trace.generator import TraceInput
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_call_graph(
+        CallGraphParams(n_procedures=60, hot_procedures=12, seed=21)
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix(graph):
+    inputs = [
+        TraceInput("alpha", seed=1, target_events=4000),
+        TraceInput("beta", seed=2, target_events=4000, phase_skew=1.5),
+        TraceInput(
+            "gamma", seed=3, target_events=4000, body_scale=0.6
+        ),
+    ]
+    return input_transfer_matrix(
+        graph,
+        inputs,
+        CacheConfig(size=2048, line_size=32),
+        GBSCPlacement(),
+    )
+
+
+class TestMatrix:
+    def test_full_matrix(self, matrix):
+        assert len(matrix.miss_rates) == 9
+        for train in matrix.inputs:
+            for test in matrix.inputs:
+                assert 0 < matrix.rate(train, test) < 1
+
+    def test_diagonal_generally_best_in_column(self, matrix):
+        """Native training should beat (or roughly match) transfer on
+        average across columns."""
+        natives = []
+        transfers = []
+        for test in matrix.inputs:
+            natives.append(matrix.self_rate(test))
+            for train in matrix.inputs:
+                if train != test:
+                    transfers.append(matrix.rate(train, test))
+        assert sum(natives) / len(natives) <= (
+            sum(transfers) / len(transfers)
+        ) * 1.05
+
+    def test_transfer_penalty_definition(self, matrix):
+        train, test = matrix.inputs[0], matrix.inputs[1]
+        expected = matrix.rate(train, test) / matrix.self_rate(test)
+        assert matrix.transfer_penalty(train, test) == pytest.approx(
+            expected
+        )
+
+    def test_self_penalty_is_one(self, matrix):
+        name = matrix.inputs[0]
+        assert matrix.transfer_penalty(name, name) == pytest.approx(1.0)
+
+    def test_worst_training_input_is_valid(self, matrix):
+        assert matrix.worst_training_input() in matrix.inputs
+
+    def test_format_has_all_cells(self, matrix):
+        text = matrix.format()
+        assert "train\\test" in text
+        for name in matrix.inputs:
+            assert name in text
+        assert text.count("%") == 9
+
+
+class TestValidation:
+    def test_needs_two_inputs(self, graph):
+        with pytest.raises(ConfigError):
+            input_transfer_matrix(
+                graph,
+                [TraceInput("only", seed=1, target_events=1000)],
+                CacheConfig(size=1024, line_size=32),
+                GBSCPlacement(),
+            )
+
+    def test_unique_names_required(self, graph):
+        inputs = [
+            TraceInput("same", seed=1, target_events=1000),
+            TraceInput("same", seed=2, target_events=1000),
+        ]
+        with pytest.raises(ConfigError):
+            input_transfer_matrix(
+                graph,
+                inputs,
+                CacheConfig(size=1024, line_size=32),
+                GBSCPlacement(),
+            )

@@ -1,0 +1,130 @@
+"""Tests for the end-to-end experiment pipeline."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.eval.experiment import (
+    build_context,
+    run_experiment,
+    run_workload_experiment,
+)
+from repro.placement.identity import DefaultPlacement, RandomPlacement
+from repro.program.program import Program
+from repro.trace.callgraph import CallGraphParams
+from repro.trace.generator import TraceInput
+from repro.workloads.spec import Workload
+from tests.conftest import full_trace
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes(
+        {"hot1": 64, "hot2": 64, "hot3": 64, "cold": 64}
+    )
+
+
+@pytest.fixture
+def train(program):
+    refs = ["hot1", "hot2", "hot1", "hot3"] * 25 + ["cold"]
+    return full_trace(program, refs)
+
+
+class TestBuildContext:
+    def test_contains_all_profiles(self, train, config):
+        context = build_context(train, config)
+        assert context.wcg.num_edges() > 0
+        assert context.trgs is not None
+        assert context.trgs.select.num_edges() > 0
+        assert len(context.popular) > 0
+        assert context.pair_db is None
+
+    def test_popular_excludes_cold(self, train, config):
+        context = build_context(train, config, coverage=0.9)
+        assert "cold" not in context.popular
+        assert "hot1" in context.popular
+
+    def test_pair_db_optional(self, train, config):
+        context = build_context(train, config, with_pair_db=True)
+        assert context.pair_db is not None
+        assert context.pair_db.total_records() > 0
+
+    def test_max_popular_cap(self, train, config):
+        context = build_context(
+            train, config, coverage=1.0, max_popular=2
+        )
+        assert len(context.popular) == 2
+
+    def test_chunk_size_propagates(self, train, config):
+        context = build_context(train, config, chunk_size=64)
+        assert context.trgs.chunk_size == 64
+
+
+class TestRunExperiment:
+    def test_outcomes_per_algorithm(self, train, config):
+        context = build_context(train, config)
+        result = run_experiment(
+            context, train, [DefaultPlacement(), RandomPlacement(1)]
+        )
+        assert len(result.outcomes) == 2
+        assert result["default"].stats.misses >= 0
+        assert result["random"].algorithm == "random"
+
+    def test_unknown_algorithm_lookup(self, train, config):
+        context = build_context(train, config)
+        result = run_experiment(context, train, [DefaultPlacement()])
+        with pytest.raises(KeyError):
+            result["nope"]
+
+    def test_best(self, train, config):
+        context = build_context(train, config)
+        result = run_experiment(
+            context, train, [DefaultPlacement(), RandomPlacement(1)]
+        )
+        assert result.best().miss_rate == min(
+            o.miss_rate for o in result.outcomes
+        )
+
+    def test_miss_rates_mapping(self, train, config):
+        context = build_context(train, config)
+        result = run_experiment(context, train, [DefaultPlacement()])
+        assert set(result.miss_rates()) == {"default"}
+
+
+class TestRunWorkloadExperiment:
+    @pytest.fixture
+    def workload(self) -> Workload:
+        params = CallGraphParams(
+            n_procedures=40, hot_procedures=8, seed=77
+        )
+        return Workload(
+            name="tiny",
+            graph_params=params,
+            train=TraceInput("train", seed=1, target_events=3000),
+            test=TraceInput("test", seed=2, target_events=3000),
+        )
+
+    def test_runs_end_to_end(self, workload, config):
+        result = run_workload_experiment(
+            workload, config, [DefaultPlacement()]
+        )
+        assert result["default"].stats.fetches > 0
+
+    def test_test_on_train(self, workload, config):
+        """Evaluating on the training input itself (the paper's
+        m88ksim same-input check) must not error and generally gives
+        different numbers than train/test."""
+        on_train = run_workload_experiment(
+            workload, config, [DefaultPlacement()], test_on_train=True
+        )
+        on_test = run_workload_experiment(
+            workload, config, [DefaultPlacement()]
+        )
+        assert (
+            on_train["default"].stats.fetches
+            != on_test["default"].stats.fetches
+        )

@@ -1,0 +1,139 @@
+"""Tests for the memory-hierarchy analysis module."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.eval.memory import (
+    capacity_bound_fraction,
+    page_stats,
+    reuse_distance_histogram,
+)
+from repro.program.layout import Layout
+from repro.program.program import Program
+from tests.conftest import full_trace
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"a": 1000, "b": 2000, "c": 3000})
+
+
+class TestReuseDistances:
+    def test_first_references_bucketed_separately(self, program):
+        trace = full_trace(program, ["a", "b", "c"])
+        histogram = reuse_distance_histogram(trace)
+        assert histogram[-1] == 3
+        assert sum(histogram.values()) == 3
+
+    def test_distance_counts_distinct_bytes(self, program):
+        trace = full_trace(program, ["a", "b", "c", "a"])
+        histogram = reuse_distance_histogram(trace, bucket=1000)
+        # a's re-reference has distance size(b) + size(c) = 5000.
+        assert histogram[5] == 1
+
+    def test_duplicates_between_counted_once(self, program):
+        trace = full_trace(program, ["a", "b", "b", "b", "a"])
+        histogram = reuse_distance_histogram(trace, bucket=1000)
+        assert histogram[2] == 1  # 2000 bytes, not 6000
+
+    def test_consecutive_same_procedure_ignored(self, program):
+        trace = full_trace(program, ["a", "a", "a"])
+        histogram = reuse_distance_histogram(trace)
+        assert histogram == {-1: 1}
+
+    def test_zero_distance(self, program):
+        trace = full_trace(program, ["a", "b", "a", "b"])
+        histogram = reuse_distance_histogram(trace, bucket=1000)
+        # a@2: distance size(b)=2000 -> bucket 2; b@3: size(a)=1000 -> 1
+        assert histogram[2] == 1
+        assert histogram[1] == 1
+
+    def test_invalid_bucket(self, program):
+        trace = full_trace(program, ["a"])
+        with pytest.raises(ConfigError):
+            reuse_distance_histogram(trace, bucket=0)
+
+
+class TestCapacityBoundFraction:
+    def test_all_near(self, program):
+        config = CacheConfig(size=8192, line_size=32)
+        trace = full_trace(program, ["a", "b", "a", "b", "a"])
+        # Distances (2000 or 1000) are well under 2 x 8192.
+        assert capacity_bound_fraction(trace, config) == 0.0
+
+    def test_far_references_counted(self):
+        program = Program.from_sizes({"p": 100, "huge": 60_000})
+        config = CacheConfig(size=8192, line_size=32)
+        trace = full_trace(program, ["p", "huge", "p"])
+        # p's re-reference crosses 60 KB > 16 KB: capacity-bound.
+        assert capacity_bound_fraction(trace, config) == 1.0
+
+    def test_no_rereferences(self, program):
+        config = CacheConfig(size=8192, line_size=32)
+        trace = full_trace(program, ["a", "b", "c"])
+        assert capacity_bound_fraction(trace, config) == 0.0
+
+
+class TestPageStats:
+    def test_single_page_program(self):
+        program = Program.from_sizes({"a": 100})
+        trace = full_trace(program, ["a", "a", "a"])
+        stats = page_stats(Layout.default(program), trace)
+        assert stats.pages_touched == 1
+        assert stats.page_faults == 1
+
+    def test_lru_thrash_with_tiny_residency(self):
+        program = Program.from_sizes({"a": 100, "b": 100})
+        # Place a and b on different pages.
+        layout = Layout(program, {"a": 0, "b": 4096})
+        trace = full_trace(program, ["a", "b"] * 10)
+        stats = page_stats(layout, trace, resident_pages=1)
+        assert stats.page_faults == 20
+
+    def test_residency_two_holds_both(self):
+        program = Program.from_sizes({"a": 100, "b": 100})
+        layout = Layout(program, {"a": 0, "b": 4096})
+        trace = full_trace(program, ["a", "b"] * 10)
+        stats = page_stats(layout, trace, resident_pages=2)
+        assert stats.page_faults == 2
+
+    def test_same_page_layout_never_faults_twice(self):
+        program = Program.from_sizes({"a": 100, "b": 100})
+        layout = Layout.default(program)  # both on page 0
+        trace = full_trace(program, ["a", "b"] * 10)
+        stats = page_stats(layout, trace, resident_pages=1)
+        assert stats.page_faults == 1
+
+    def test_empty_trace(self):
+        program = Program.from_sizes({"a": 100})
+        from repro.trace.trace import Trace
+
+        stats = page_stats(Layout.default(program), Trace(program, []))
+        assert stats.page_faults == 0
+        assert stats.fault_ratio == 0.0
+
+    def test_validation(self):
+        program = Program.from_sizes({"a": 100})
+        trace = full_trace(program, ["a"])
+        layout = Layout.default(program)
+        with pytest.raises(ConfigError):
+            page_stats(layout, trace, page_size=0)
+        with pytest.raises(ConfigError):
+            page_stats(layout, trace, resident_pages=0)
+
+    def test_compact_layout_pages_fewer_than_spread(self):
+        """A layout scattering procedures across pages touches more
+        pages and faults more under pressure — the paging concern of
+        Section 4.3."""
+        program = Program.from_sizes({f"p{i}": 200 for i in range(8)})
+        compact = Layout.default(program)  # all 8 procs on one page
+        spread = Layout(
+            program, {f"p{i}": i * 8192 for i in range(8)}
+        )
+        refs = [f"p{i % 8}" for i in range(80)]
+        trace = full_trace(program, refs)
+        compact_stats = page_stats(compact, trace, resident_pages=4)
+        spread_stats = page_stats(spread, trace, resident_pages=4)
+        assert compact_stats.pages_touched < spread_stats.pages_touched
+        assert compact_stats.page_faults < spread_stats.page_faults

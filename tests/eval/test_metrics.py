@@ -1,0 +1,143 @@
+"""Tests for conflict metrics and the Figure 6 machinery."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.eval.metrics import (
+    damage_layout,
+    pearson_r,
+    trg_conflict_metric,
+    wcg_conflict_metric,
+)
+from repro.profiles.graph import WeightedGraph
+from repro.program.layout import Layout
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)  # 8 lines
+
+
+class TestTRGMetric:
+    def test_non_overlapping_costs_zero(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64})
+        layout = Layout.default(program)  # a lines 0-1, b lines 2-3
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("a", 0), ChunkId("b", 0), 10.0)
+        assert trg_conflict_metric(layout, graph, config) == 0.0
+
+    def test_overlap_pays_weight_per_shared_line(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64})
+        layout = Layout(program, {"a": 0, "b": 256})  # full aliasing
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("a", 0), ChunkId("b", 0), 10.0)
+        assert trg_conflict_metric(layout, graph, config) == 20.0
+
+    def test_partial_overlap(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64})
+        layout = Layout(program, {"a": 0, "b": 256 + 32})  # one line
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("a", 0), ChunkId("b", 0), 10.0)
+        assert trg_conflict_metric(layout, graph, config) == 10.0
+
+    def test_empty_graph_zero(self, config):
+        program = Program.from_sizes({"a": 64})
+        assert (
+            trg_conflict_metric(
+                Layout.default(program), WeightedGraph(), config
+            )
+            == 0.0
+        )
+
+
+class TestWCGMetric:
+    def test_counts_procedure_overlap(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64})
+        aliased = Layout(program, {"a": 0, "b": 256})
+        separated = Layout.default(program)
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 5.0)
+        assert wcg_conflict_metric(aliased, wcg, config) == 10.0
+        assert wcg_conflict_metric(separated, wcg, config) == 0.0
+
+
+class TestDamageLayout:
+    @pytest.fixture
+    def layout(self):
+        program = Program.from_sizes({f"p{i}": 64 for i in range(10)})
+        return Layout.default(program)
+
+    def test_produces_valid_layout(self, layout, config):
+        for seed in range(10):
+            damaged = damage_layout(
+                layout, layout.program.names, seed=seed, config=config
+            )
+            assert sorted(damaged.order_by_address()) == sorted(
+                layout.program.names
+            )
+
+    def test_deterministic(self, layout, config):
+        a = damage_layout(layout, layout.program.names, 3, config=config)
+        b = damage_layout(layout, layout.program.names, 3, config=config)
+        assert a == b
+
+    def test_varies_with_seed(self, layout, config):
+        layouts = {
+            tuple(
+                damage_layout(
+                    layout, layout.program.names, seed, config=config
+                ).order_by_address()
+            )
+            for seed in range(20)
+        }
+        assert len(layouts) > 1
+
+    def test_max_moves_zero_is_identity(self, layout, config):
+        damaged = damage_layout(
+            layout, layout.program.names, 1, max_moves=0, config=config
+        )
+        assert damaged == layout
+
+    def test_requires_config(self, layout):
+        with pytest.raises(ConfigError):
+            damage_layout(layout, layout.program.names, 1)
+
+    def test_negative_moves_rejected(self, layout, config):
+        with pytest.raises(ConfigError):
+            damage_layout(
+                layout,
+                layout.program.names,
+                1,
+                max_moves=-1,
+                config=config,
+            )
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_r([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_constant(self):
+        assert pearson_r([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        xs = [1.0, 4.0, 2.0, 8.0, 5.0]
+        ys = [2.0, 3.0, 9.0, 1.0, 4.0]
+        expected = float(np.corrcoef(xs, ys)[0, 1])
+        assert pearson_r(xs, ys) == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            pearson_r([1], [1, 2])
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigError):
+            pearson_r([1], [2])

@@ -1,0 +1,121 @@
+"""Tests for the Figure 5 perturbation-sweep machinery."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.eval.experiment import build_context
+from repro.eval.randomization import (
+    SweepResult,
+    dominates,
+    overlap_fraction,
+    perturbation_sweep,
+    summarize,
+)
+from repro.placement.identity import DefaultPlacement
+from repro.placement.ph import PettisHansenPlacement
+from repro.program.program import Program
+from tests.conftest import full_trace
+
+
+@pytest.fixture
+def context_and_trace():
+    program = Program.from_sizes(
+        {"a": 96, "b": 96, "c": 96, "d": 96}
+    )
+    refs = ["a", "b", "a", "c", "a", "d", "b", "c"] * 20
+    trace = full_trace(program, refs)
+    config = CacheConfig(size=256, line_size=32)
+    return build_context(trace, config), trace
+
+
+class TestSweepResult:
+    def test_statistics(self):
+        result = SweepResult(
+            algorithm="X",
+            miss_rates=(0.01, 0.02, 0.03, 0.04),
+            unperturbed=0.02,
+        )
+        assert result.best == 0.01
+        assert result.worst == 0.04
+        assert result.median == pytest.approx(0.025)
+        assert result.mean == pytest.approx(0.025)
+
+    def test_median_odd(self):
+        result = SweepResult("X", (0.01, 0.05, 0.09), 0.05)
+        assert result.median == 0.05
+
+    def test_cdf_points(self):
+        result = SweepResult("X", (0.01, 0.02), 0.01)
+        assert result.cdf_points() == [(0.01, 0.5), (0.02, 1.0)]
+
+
+class TestSweep:
+    def test_shapes(self, context_and_trace):
+        context, trace = context_and_trace
+        results = perturbation_sweep(
+            context,
+            trace,
+            [DefaultPlacement(), PettisHansenPlacement()],
+            runs=4,
+        )
+        assert [r.algorithm for r in results] == ["default", "PH"]
+        for result in results:
+            assert len(result.miss_rates) == 4
+            assert list(result.miss_rates) == sorted(result.miss_rates)
+
+    def test_deterministic(self, context_and_trace):
+        context, trace = context_and_trace
+        kwargs = dict(runs=3, base_seed=11)
+        a = perturbation_sweep(
+            context, trace, [PettisHansenPlacement()], **kwargs
+        )
+        b = perturbation_sweep(
+            context, trace, [PettisHansenPlacement()], **kwargs
+        )
+        assert a == b
+
+    def test_default_placement_immune_to_perturbation(
+        self, context_and_trace
+    ):
+        """The default layout ignores profiles entirely, so all its
+        perturbed runs give the identical miss rate."""
+        context, trace = context_and_trace
+        (result,) = perturbation_sweep(
+            context, trace, [DefaultPlacement()], runs=5
+        )
+        assert len(set(result.miss_rates)) == 1
+        assert result.unperturbed == result.miss_rates[0]
+
+
+class TestComparisons:
+    def test_dominates(self):
+        better = SweepResult("A", (0.01, 0.02, 0.03), 0.02)
+        worse = SweepResult("B", (0.03, 0.04, 0.05), 0.04)
+        assert dominates(better, worse)
+        assert not dominates(worse, better)
+
+    def test_overlap_fraction(self):
+        left = SweepResult("A", (0.01, 0.03, 0.05, 0.07), 0.0)
+        right = SweepResult("B", (0.04, 0.04, 0.04, 0.04), 0.0)
+        # Two of left's four runs exceed right's median (0.04).
+        assert overlap_fraction(left, right) == 0.5
+
+    def test_summarize_contains_all_algorithms(self):
+        results = [
+            SweepResult("A", (0.01,), 0.01),
+            SweepResult("B", (0.02,), 0.02),
+        ]
+        text = summarize(results)
+        assert "A" in text and "B" in text
+        assert "median" in text
+
+
+class TestValidation:
+    def test_zero_runs_rejected(self, context_and_trace):
+        from repro.errors import ConfigError
+
+        context, trace = context_and_trace
+        with pytest.raises(ConfigError):
+            perturbation_sweep(
+                context, trace, [DefaultPlacement()], runs=0
+            )

@@ -1,0 +1,62 @@
+"""Tests for text reporting."""
+
+from repro.eval.randomization import SweepResult
+from repro.eval.reporting import (
+    Table1Row,
+    format_figure5_panel,
+    format_scatter,
+    format_table1,
+    format_table1_row,
+)
+
+
+def make_row(name="gcc") -> Table1Row:
+    return Table1Row(
+        name=name,
+        total_size=2277_000,
+        total_count=2005,
+        popular_size=351_000,
+        popular_count=136,
+        train_events=33_000_000,
+        test_events=45_000_000,
+        default_miss_rate=0.0486,
+        avg_q_size=11.8,
+    )
+
+
+class TestTable1:
+    def test_row_contains_fields(self):
+        text = format_table1_row(make_row())
+        assert "gcc" in text
+        assert "2005" in text
+        assert "4.86%" in text
+        assert "11.8" in text
+
+    def test_table_has_header_and_rows(self):
+        text = format_table1([make_row("gcc"), make_row("go")])
+        lines = text.splitlines()
+        assert "program" in lines[0]
+        assert len(lines) == 3
+
+
+class TestFigure5Panel:
+    def test_panel_structure(self):
+        results = [
+            SweepResult("PH", (0.03, 0.04), 0.035),
+            SweepResult("GBSC", (0.02, 0.025), 0.022),
+        ]
+        text = format_figure5_panel("perl", results)
+        assert "== perl ==" in text
+        assert "PH" in text
+        assert "GBSC" in text
+        assert "unperturbed" in text
+        assert "2.2000%" in text
+
+
+class TestScatter:
+    def test_scatter_format(self):
+        text = format_scatter("TRG metric", [(0.03, 123.0)], 0.98)
+        assert "TRG metric" in text
+        assert "+0.980" in text
+        assert "3.0000%" in text
+        assert "123.0" in text

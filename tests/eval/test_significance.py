@@ -1,0 +1,124 @@
+"""Tests for the statistical comparison tools (validated vs scipy)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.randomization import SweepResult
+from repro.eval.significance import (
+    bootstrap_median_difference,
+    compare_sweeps,
+    mann_whitney_less,
+)
+
+
+class TestMannWhitney:
+    def test_clear_separation_significant(self):
+        a = [0.01, 0.011, 0.012, 0.013, 0.014, 0.015, 0.016, 0.017]
+        b = [0.03, 0.031, 0.032, 0.033, 0.034, 0.035, 0.036, 0.037]
+        result = mann_whitney_less(a, b)
+        assert result.p_value < 0.01
+        assert result.effect_size == 1.0
+        assert result.significant
+
+    def test_reverse_direction_not_significant(self):
+        a = [0.03, 0.031, 0.032, 0.033, 0.034, 0.035, 0.036, 0.037]
+        b = [0.01, 0.011, 0.012, 0.013, 0.014, 0.015, 0.016, 0.017]
+        result = mann_whitney_less(a, b)
+        assert result.p_value > 0.95
+        assert result.effect_size == 0.0
+
+    def test_identical_samples_inconclusive(self):
+        a = [0.02] * 8
+        result = mann_whitney_less(a, list(a))
+        assert result.p_value == 1.0
+        assert result.effect_size == 0.5
+
+    def test_interleaved_samples_inconclusive(self):
+        rng = random.Random(0)
+        a = [rng.random() for _ in range(20)]
+        b = [rng.random() for _ in range(20)]
+        result = mann_whitney_less(a, b)
+        assert result.p_value > 0.05
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(7)
+        a = [rng.gauss(0.02, 0.004) for _ in range(15)]
+        b = [rng.gauss(0.025, 0.004) for _ in range(12)]
+        ours = mann_whitney_less(a, b)
+        theirs = scipy_stats.mannwhitneyu(
+            a, b, alternative="less", method="asymptotic"
+        )
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+    def test_ties_handled_like_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a = [1.0, 2.0, 2.0, 3.0, 4.0]
+        b = [2.0, 3.0, 3.0, 5.0, 5.0]
+        ours = mann_whitney_less(a, b)
+        theirs = scipy_stats.mannwhitneyu(
+            a, b, alternative="less", method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            mann_whitney_less([1.0], [1.0, 2.0])
+
+
+class TestBootstrap:
+    def test_clear_difference_excludes_zero(self):
+        a = [0.01 + i * 0.001 for i in range(10)]
+        b = [0.03 + i * 0.001 for i in range(10)]
+        interval = bootstrap_median_difference(a, b, seed=1)
+        assert interval.excludes_zero
+        assert interval.low > 0
+
+    def test_identical_distributions_include_zero(self):
+        rng = random.Random(3)
+        values = [rng.gauss(0.02, 0.005) for _ in range(20)]
+        interval = bootstrap_median_difference(
+            values, list(values), seed=2
+        )
+        assert not interval.excludes_zero
+
+    def test_deterministic(self):
+        a = [0.01, 0.02, 0.03]
+        b = [0.02, 0.03, 0.04]
+        first = bootstrap_median_difference(a, b, seed=9)
+        second = bootstrap_median_difference(a, b, seed=9)
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bootstrap_median_difference([1.0], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            bootstrap_median_difference(
+                [1.0, 2.0], [1.0, 2.0], confidence=1.5
+            )
+
+
+class TestCompareSweeps:
+    def test_summary_line(self):
+        better = SweepResult(
+            "GBSC", tuple(0.01 + i * 0.001 for i in range(10)), 0.01
+        )
+        worse = SweepResult(
+            "PH", tuple(0.03 + i * 0.001 for i in range(10)), 0.03
+        )
+        line = compare_sweeps(better, worse)
+        assert "GBSC vs PH" in line
+        assert "significantly better" in line
+
+    def test_overlapping_not_separable(self):
+        rng = random.Random(5)
+        values_a = tuple(sorted(rng.gauss(0.02, 0.005) for _ in range(10)))
+        values_b = tuple(sorted(rng.gauss(0.02, 0.005) for _ in range(10)))
+        line = compare_sweeps(
+            SweepResult("A", values_a, 0.02),
+            SweepResult("B", values_b, 0.02),
+        )
+        assert "not separable" in line

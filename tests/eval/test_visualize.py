@@ -1,0 +1,75 @@
+"""Tests for the text visualisation helpers."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.eval.visualize import (
+    cache_occupancy_map,
+    conflict_histogram,
+    layout_table,
+)
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)  # 8 lines
+
+
+@pytest.fixture
+def layout() -> Layout:
+    program = Program.from_sizes({"a": 64, "b": 64})
+    # a on lines 0-1; b aliases onto lines 0-1 too (address 256).
+    return Layout(program, {"a": 0, "b": 256})
+
+
+class TestOccupancyMap:
+    def test_overlap_shows_two(self, layout, config):
+        grid = cache_occupancy_map(layout, config, width=8)
+        assert grid == "22......"
+
+    def test_subset_of_procedures(self, layout, config):
+        grid = cache_occupancy_map(layout, config, ["a"], width=8)
+        assert grid == "11......"
+
+    def test_rows_wrap_at_width(self, layout, config):
+        grid = cache_occupancy_map(layout, config, width=4)
+        assert grid.splitlines() == ["22..", "...."]
+
+    def test_saturates_at_hash(self, config):
+        program = Program.from_sizes({f"p{i}": 32 for i in range(12)})
+        layout = Layout(
+            program, {f"p{i}": i * 256 for i in range(12)}
+        )  # all alias line 0
+        grid = cache_occupancy_map(layout, config, width=8)
+        assert grid[0] == "#"
+
+    def test_invalid_width(self, layout, config):
+        with pytest.raises(ConfigError):
+            cache_occupancy_map(layout, config, width=0)
+
+
+class TestLayoutTable:
+    def test_contains_addresses_and_sets(self, layout, config):
+        text = layout_table(layout, config)
+        assert "a" in text and "b" in text
+        assert "256" in text
+        assert "0..1" in text
+
+    def test_limit(self, config):
+        program = Program.from_sizes({f"p{i}": 32 for i in range(30)})
+        layout = Layout.default(program)
+        text = layout_table(layout, config, limit=5)
+        assert len(text.splitlines()) == 6  # header + 5
+
+
+class TestConflictHistogram:
+    def test_histogram(self, layout, config):
+        histogram = conflict_histogram(layout, config)
+        assert histogram == {0: 6, 2: 2}
+
+    def test_empty_selection(self, layout, config):
+        histogram = conflict_histogram(layout, config, [])
+        assert histogram == {0: 8}

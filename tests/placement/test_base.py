@@ -1,0 +1,96 @@
+"""Tests for the PlacementContext and protocol."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.errors import PlacementError
+from repro.placement.base import PlacementAlgorithm, PlacementContext
+from repro.placement.identity import DefaultPlacement
+from repro.profiles.graph import WeightedGraph
+from repro.profiles.trg import TRGBuildStats, TRGPair
+from repro.program.program import Program
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"a": 100, "b": 100, "c": 100})
+
+
+def make_context(program, popular=("a", "b"), trgs=True) -> PlacementContext:
+    wcg = WeightedGraph()
+    wcg.add_edge("a", "b", 10.0)
+    trg_pair = None
+    if trgs:
+        select = WeightedGraph()
+        select.add_edge("a", "b", 5.0)
+        place = WeightedGraph()
+        stats = TRGBuildStats(refs_processed=2, avg_q_entries=1.0)
+        trg_pair = TRGPair(
+            select=select,
+            place=place,
+            select_stats=stats,
+            place_stats=stats,
+            chunk_size=256,
+        )
+    return PlacementContext(
+        program=program,
+        config=CacheConfig(size=256, line_size=32),
+        wcg=wcg,
+        trgs=trg_pair,
+        popular=popular,
+    )
+
+
+class TestContext:
+    def test_unknown_popular_rejected(self, program):
+        with pytest.raises(PlacementError):
+            make_context(program, popular=("ghost",))
+
+    def test_popular_set(self, program):
+        context = make_context(program)
+        assert context.popular_set == {"a", "b"}
+
+    def test_unpopular_in_program_order(self, program):
+        context = make_context(program)
+        assert context.unpopular() == ["c"]
+
+    def test_require_trgs(self, program):
+        context = make_context(program, trgs=False)
+        with pytest.raises(PlacementError):
+            context.require_trgs()
+
+    def test_require_pair_db(self, program):
+        context = make_context(program)
+        with pytest.raises(PlacementError):
+            context.require_pair_db()
+
+    def test_perturbed_changes_all_graphs(self, program):
+        context = make_context(program)
+        noisy = context.perturbed(0.5, seed=3)
+        assert noisy.wcg != context.wcg
+        assert noisy.trgs.select != context.trgs.select
+        assert noisy.program is context.program
+        assert noisy.popular == context.popular
+
+    def test_perturbed_zero_scale_identity(self, program):
+        context = make_context(program)
+        noisy = context.perturbed(0.0, seed=3)
+        assert noisy.wcg == context.wcg
+        assert noisy.trgs.select == context.trgs.select
+
+    def test_perturbed_deterministic(self, program):
+        context = make_context(program)
+        assert (
+            context.perturbed(0.1, seed=3).wcg
+            == context.perturbed(0.1, seed=3).wcg
+        )
+
+    def test_perturbed_without_trgs(self, program):
+        context = make_context(program, trgs=False)
+        noisy = context.perturbed(0.1, seed=1)
+        assert noisy.trgs is None
+
+
+class TestProtocol:
+    def test_default_placement_satisfies_protocol(self):
+        assert isinstance(DefaultPlacement(), PlacementAlgorithm)

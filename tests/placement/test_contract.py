@@ -1,0 +1,86 @@
+"""Contract tests: every placement algorithm honours the same rules.
+
+Any object implementing :class:`~repro.placement.base
+.PlacementAlgorithm` must (a) produce a valid layout covering every
+procedure, (b) be deterministic for identical inputs, (c) not mutate
+the context it was given, and (d) expose a stable ``name``.  Running
+the whole roster through one parametrized file keeps future algorithms
+honest.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.gbsc import GBSCPlacement
+from repro.core.setassoc import GBSCSetAssociativePlacement
+from repro.eval.experiment import build_context
+from repro.placement.hkc import HashemiKaeliCalderPlacement
+from repro.placement.identity import DefaultPlacement, RandomPlacement
+from repro.placement.localsearch import TRGOptimizerPlacement
+from repro.placement.logical import LogicalCachePlacement
+from repro.placement.ph import PettisHansenPlacement
+from repro.trace.patterns import full_body_trace, round_robin
+from repro.program.program import Program
+
+ALGORITHMS = [
+    DefaultPlacement(),
+    RandomPlacement(seed=3),
+    PettisHansenPlacement(),
+    HashemiKaeliCalderPlacement(),
+    GBSCPlacement(),
+    GBSCPlacement(page_affinity=True),
+    GBSCSetAssociativePlacement(),
+    TRGOptimizerPlacement(seed=1),
+    LogicalCachePlacement(),
+]
+
+
+@pytest.fixture(scope="module")
+def context():
+    program = Program.from_sizes(
+        {f"p{i}": 48 + 16 * (i % 5) for i in range(12)}
+    )
+    refs = round_robin([f"p{i}" for i in range(6)], 30) + round_robin(
+        [f"p{i}" for i in range(6, 12)], 5
+    )
+    trace = full_body_trace(program, refs)
+    return build_context(
+        trace,
+        CacheConfig(size=256, line_size=32),
+        with_pair_db=True,
+        coverage=1.0,
+    )
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ALGORITHMS,
+    ids=[f"{i}-{a.name}" for i, a in enumerate(ALGORITHMS)],
+)
+class TestPlacementContract:
+    def test_layout_covers_program(self, algorithm, context):
+        layout = algorithm.place(context)
+        assert sorted(layout.order_by_address()) == sorted(
+            context.program.names
+        )
+
+    def test_deterministic(self, algorithm, context):
+        assert algorithm.place(context) == algorithm.place(context)
+
+    def test_name_is_stable_string(self, algorithm, context):
+        assert isinstance(algorithm.name, str)
+        assert algorithm.name
+
+    def test_context_not_mutated(self, algorithm, context):
+        wcg_before = context.wcg.copy()
+        select_before = context.trgs.select.copy()
+        algorithm.place(context)
+        assert context.wcg == wcg_before
+        assert context.trgs.select == select_before
+
+
+def test_algorithm_names_unique():
+    names = [a.name for a in ALGORITHMS]
+    # Two GBSC configurations intentionally share a name; the rest
+    # must be unique.
+    assert len(set(names)) == len(names) - 1

@@ -1,0 +1,122 @@
+"""Tests for the HKC cache-line-colouring implementation."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.placement.base import PlacementContext
+from repro.placement.hkc import HashemiKaeliCalderPlacement, hkc_order
+from repro.profiles.graph import WeightedGraph
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)  # 8 lines
+
+
+def make_context(program, wcg, config, popular=()) -> PlacementContext:
+    return PlacementContext(
+        program=program,
+        config=config,
+        wcg=wcg,
+        popular=popular,
+    )
+
+
+class TestColouring:
+    def test_heaviest_pair_does_not_overlap(self, config):
+        """The defining property: the heaviest caller/callee pair get
+        disjoint cache lines (both fit in the cache)."""
+        program = Program.from_sizes({"a": 100, "b": 100, "c": 100})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 100.0)
+        order, gaps = hkc_order(program, wcg, config)
+        layout = Layout.from_order(program, order, gaps_before=gaps)
+        assert not (
+            layout.cache_sets_of("a", config)
+            & layout.cache_sets_of("b", config)
+        )
+
+    def test_all_neighbours_avoided_when_possible(self, config):
+        """p calls q and r; q and r each fit beside p without
+        overlapping p or each other (total fits in the cache)."""
+        program = Program.from_sizes({"p": 64, "q": 64, "r": 64})
+        wcg = WeightedGraph()
+        wcg.add_edge("p", "q", 100.0)
+        wcg.add_edge("p", "r", 90.0)
+        order, gaps = hkc_order(program, wcg, config)
+        layout = Layout.from_order(program, order, gaps_before=gaps)
+        sets_p = layout.cache_sets_of("p", config)
+        sets_q = layout.cache_sets_of("q", config)
+        sets_r = layout.cache_sets_of("r", config)
+        assert not (sets_p & sets_q)
+        assert not (sets_p & sets_r)
+        assert not (sets_q & sets_r)
+
+    def test_overlap_unavoidable_when_oversized(self, config):
+        """A procedure larger than the cache must overlap something;
+        the algorithm still terminates and produces a valid layout."""
+        program = Program.from_sizes({"big": 512, "b": 64})
+        wcg = WeightedGraph()
+        wcg.add_edge("big", "b", 10.0)
+        order, gaps = hkc_order(program, wcg, config)
+        layout = Layout.from_order(program, order, gaps_before=gaps)
+        assert sorted(layout.order_by_address()) == ["b", "big"]
+
+
+class TestStructure:
+    def test_all_procedures_placed(self, config):
+        program = Program.from_sizes({f"p{i}": 50 for i in range(12)})
+        wcg = WeightedGraph()
+        wcg.add_edge("p0", "p1", 10.0)
+        wcg.add_edge("p1", "p2", 8.0)
+        wcg.add_edge("p5", "p6", 20.0)
+        order, gaps = hkc_order(program, wcg, config)
+        assert sorted(order) == sorted(program.names)
+
+    def test_unpopular_trail(self, config):
+        program = Program.from_sizes({"hot1": 64, "hot2": 64, "cold": 64})
+        wcg = WeightedGraph()
+        wcg.add_edge("hot1", "hot2", 10.0)
+        wcg.add_edge("hot1", "cold", 5.0)
+        order, _ = hkc_order(
+            program, wcg, config, popular={"hot1", "hot2"}
+        )
+        assert order[-1] == "cold"
+
+    def test_isolated_popular_still_placed(self, config):
+        program = Program.from_sizes({"a": 64, "b": 64, "lone": 64})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 10.0)
+        wcg.add_node("lone")
+        order, _ = hkc_order(
+            program, wcg, config, popular={"a", "b", "lone"}
+        )
+        assert "lone" in order
+
+    def test_deterministic(self, config):
+        import random
+
+        program = Program.from_sizes({f"p{i}": 70 for i in range(15)})
+        wcg = WeightedGraph()
+        rng = random.Random(1)
+        for _ in range(30):
+            a, b = rng.sample(program.names, 2)
+            wcg.add_edge(a, b, rng.randint(1, 50))
+        assert hkc_order(program, wcg, config) == hkc_order(
+            program, wcg, config
+        )
+
+    def test_placement_produces_valid_layout(self, config):
+        program = Program.from_sizes({f"p{i}": 90 for i in range(8)})
+        wcg = WeightedGraph()
+        wcg.add_edge("p0", "p1", 9.0)
+        wcg.add_edge("p2", "p0", 4.0)
+        layout = HashemiKaeliCalderPlacement().place(
+            make_context(program, wcg, config)
+        )
+        assert sorted(layout.order_by_address()) == sorted(program.names)
+
+    def test_name(self):
+        assert HashemiKaeliCalderPlacement().name == "HKC"

@@ -1,0 +1,97 @@
+"""Focused tests for HKC's compound-merging and fallback paths."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.placement.hkc import hkc_order
+from repro.profiles.graph import WeightedGraph
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)  # 8 lines
+
+
+def build_layout(program, wcg, config, popular=None):
+    order, gaps = hkc_order(program, wcg, config, popular)
+    return Layout.from_order(program, order, gaps_before=gaps)
+
+
+class TestCompoundMerging:
+    def test_merge_two_compounds_avoids_edge_overlap(self, config):
+        """Four procedures pair up into two compounds first; the edge
+        that finally joins the compounds must not overlap its
+        endpoints."""
+        program = Program.from_sizes(
+            {"a": 64, "b": 64, "c": 64, "d": 64}
+        )
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 100.0)  # compound 1
+        wcg.add_edge("c", "d", 90.0)  # compound 2
+        wcg.add_edge("b", "c", 50.0)  # merge step
+        layout = build_layout(program, wcg, config)
+        assert not (
+            layout.cache_sets_of("b", config)
+            & layout.cache_sets_of("c", config)
+        )
+
+    def test_same_compound_edge_is_noop(self, config):
+        """An edge inside an existing compound must not corrupt it."""
+        program = Program.from_sizes({"a": 64, "b": 64, "c": 64})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 100.0)
+        wcg.add_edge("b", "c", 90.0)
+        wcg.add_edge("a", "c", 80.0)  # all three already together
+        layout = build_layout(program, wcg, config)
+        assert sorted(layout.order_by_address()) == ["a", "b", "c"]
+
+    def test_second_endpoint_placed_first(self, config):
+        """Edge whose q is placed but p is not exercises the mirrored
+        append path."""
+        program = Program.from_sizes({"a": 64, "b": 64, "c": 64})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 100.0)
+        wcg.add_edge("c", "b", 90.0)  # c unplaced, b placed
+        layout = build_layout(program, wcg, config)
+        assert not (
+            layout.cache_sets_of("c", config)
+            & layout.cache_sets_of("b", config)
+        )
+
+    def test_oversized_cache_pressure_falls_back(self, config):
+        """When no conflict-free offset exists, the least-overlap
+        fallback must still terminate with a valid layout."""
+        program = Program.from_sizes(
+            {f"p{i}": 256 for i in range(4)}  # each fills the cache
+        )
+        wcg = WeightedGraph()
+        wcg.add_edge("p0", "p1", 10.0)
+        wcg.add_edge("p1", "p2", 9.0)
+        wcg.add_edge("p2", "p3", 8.0)
+        layout = build_layout(program, wcg, config)
+        assert sorted(layout.order_by_address()) == sorted(program.names)
+
+
+class TestCompoundOrdering:
+    def test_heavier_compound_leads(self, config):
+        program = Program.from_sizes(
+            {"hot1": 32, "hot2": 32, "mild1": 32, "mild2": 32}
+        )
+        wcg = WeightedGraph()
+        wcg.add_edge("hot1", "hot2", 1000.0)
+        wcg.add_edge("mild1", "mild2", 1.0)
+        layout = build_layout(program, wcg, config)
+        assert layout.address_of("hot1") < layout.address_of("mild1")
+
+    def test_compound_base_is_cache_aligned(self, config):
+        program = Program.from_sizes({"a": 100, "b": 100, "c": 100})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 10.0)
+        wcg.add_edge("c", "a", 1.0)
+        layout = build_layout(program, wcg, config)
+        # The first compound's first procedure starts at offset 0 of a
+        # cache frame, so its colours are realised exactly.
+        first = layout.order_by_address()[0]
+        assert layout.address_of(first) % config.size == 0

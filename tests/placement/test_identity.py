@@ -1,0 +1,43 @@
+"""Tests for the trivial baselines."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.placement.base import PlacementContext
+from repro.placement.identity import DefaultPlacement, RandomPlacement
+from repro.profiles.graph import WeightedGraph
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+
+@pytest.fixture
+def context() -> PlacementContext:
+    program = Program.from_sizes({"a": 10, "b": 20, "c": 30})
+    return PlacementContext(
+        program=program,
+        config=CacheConfig(size=64, line_size=32),
+        wcg=WeightedGraph(),
+    )
+
+
+def test_default_matches_source_order(context):
+    layout = DefaultPlacement().place(context)
+    assert layout == Layout.default(context.program)
+
+
+def test_default_name(context):
+    assert DefaultPlacement().name == "default"
+
+
+def test_random_deterministic_per_seed(context):
+    a = RandomPlacement(seed=4).place(context)
+    b = RandomPlacement(seed=4).place(context)
+    assert a == b
+
+
+def test_random_varies_with_seed(context):
+    orders = {
+        tuple(RandomPlacement(seed=s).place(context).order_by_address())
+        for s in range(10)
+    }
+    assert len(orders) > 1

@@ -1,0 +1,106 @@
+"""Tests for the logical-cache (Torrellas-style) baseline."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.eval.experiment import build_context
+from repro.placement.logical import LogicalCachePlacement, logical_cache_order
+from repro.program.layout import Layout
+from repro.program.program import Program
+from repro.trace.patterns import full_body_trace, round_robin
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)
+
+
+class TestFramePacking:
+    def test_frame_members_never_conflict(self, config):
+        """The defining guarantee: procedures sharing a frame occupy
+        disjoint cache sets."""
+        program = Program.from_sizes(
+            {"hot1": 100, "hot2": 100, "hot3": 100}
+        )
+        order, gaps = logical_cache_order(
+            program, config, ["hot1", "hot2", "hot3"]
+        )
+        layout = Layout.from_order(program, order, gaps_before=gaps)
+        # hot1 + hot2 fit one 256-byte frame; hot3 opens a new frame.
+        assert not (
+            layout.cache_sets_of("hot1", config)
+            & layout.cache_sets_of("hot2", config)
+        )
+        assert layout.address_of("hot3") % config.size == 0
+
+    def test_frames_are_cache_aligned(self, config):
+        program = Program.from_sizes({"a": 200, "b": 200})
+        order, gaps = logical_cache_order(program, config, ["a", "b"])
+        layout = Layout.from_order(program, order, gaps_before=gaps)
+        assert layout.address_of("a") % config.size == 0
+        assert layout.address_of("b") % config.size == 0
+
+    def test_first_fit_reuses_earlier_frames(self, config):
+        """A small procedure ranked later still fills an earlier
+        frame's leftover space."""
+        program = Program.from_sizes(
+            {"big1": 200, "big2": 200, "small": 32}
+        )
+        order, gaps = logical_cache_order(
+            program, config, ["big1", "big2", "small"]
+        )
+        layout = Layout.from_order(program, order, gaps_before=gaps)
+        # 'small' lands in big1's frame (first 256 bytes).
+        assert layout.address_of("small") < config.size
+
+    def test_oversized_procedures_trail(self, config):
+        program = Program.from_sizes({"giant": 1000, "hot": 64})
+        order, _ = logical_cache_order(
+            program, config, ["giant", "hot"]
+        )
+        assert order.index("hot") < order.index("giant")
+
+    def test_unranked_procedures_appended(self, config):
+        program = Program.from_sizes({"hot": 64, "cold": 64})
+        order, _ = logical_cache_order(program, config, ["hot"])
+        assert order == ["hot", "cold"]
+
+
+class TestPlacement:
+    def test_valid_layout_end_to_end(self, config):
+        program = Program.from_sizes(
+            {f"p{i}": 80 for i in range(10)}
+        )
+        trace = full_body_trace(
+            program, round_robin([f"p{i}" for i in range(6)], 20)
+        )
+        context = build_context(trace, config, coverage=1.0)
+        layout = LogicalCachePlacement().place(context)
+        assert sorted(layout.order_by_address()) == sorted(program.names)
+
+    def test_deterministic(self, config):
+        program = Program.from_sizes({f"p{i}": 90 for i in range(8)})
+        trace = full_body_trace(
+            program, round_robin([f"p{i}" for i in range(8)], 15)
+        )
+        context = build_context(trace, config, coverage=1.0)
+        algo = LogicalCachePlacement()
+        assert algo.place(context) == algo.place(context)
+
+    def test_hot_pair_protected(self, config):
+        """The two hottest procedures never conflict (they share the
+        first frame when they fit)."""
+        program = Program.from_sizes(
+            {"a": 100, "b": 100, "c": 100, "d": 100}
+        )
+        refs = round_robin(["a", "b"], 50) + round_robin(["c", "d"], 5)
+        trace = full_body_trace(program, refs)
+        context = build_context(trace, config, coverage=1.0)
+        layout = LogicalCachePlacement().place(context)
+        assert not (
+            layout.cache_sets_of("a", config)
+            & layout.cache_sets_of("b", config)
+        )
+
+    def test_name(self):
+        assert LogicalCachePlacement().name == "TXD"

@@ -1,0 +1,116 @@
+"""Tests for the Pettis & Hansen implementation."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.placement.base import PlacementContext
+from repro.placement.ph import PettisHansenPlacement, ph_order
+from repro.profiles.graph import WeightedGraph
+from repro.program.program import Program
+
+
+def make_context(program, wcg) -> PlacementContext:
+    return PlacementContext(
+        program=program,
+        config=CacheConfig(size=256, line_size=32),
+        wcg=wcg,
+    )
+
+
+class TestChainMerging:
+    def test_heaviest_pair_adjacent(self):
+        """The heaviest caller/callee pair must end up adjacent."""
+        program = Program.from_sizes({"a": 100, "b": 100, "c": 100})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 100.0)
+        wcg.add_edge("b", "c", 1.0)
+        order = ph_order(program, wcg)
+        positions = {name: i for i, name in enumerate(order)}
+        assert abs(positions["a"] - positions["b"]) == 1
+
+    def test_all_procedures_placed_exactly_once(self):
+        program = Program.from_sizes(
+            {f"p{i}": 50 for i in range(10)}
+        )
+        wcg = WeightedGraph()
+        wcg.add_edge("p0", "p1", 5.0)
+        wcg.add_edge("p2", "p3", 7.0)
+        order = ph_order(program, wcg)
+        assert sorted(order) == sorted(program.names)
+
+    def test_unexecuted_procedures_trail(self):
+        program = Program.from_sizes({"hot1": 10, "hot2": 10, "cold": 10})
+        wcg = WeightedGraph()
+        wcg.add_edge("hot1", "hot2", 3.0)
+        order = ph_order(program, wcg)
+        assert order[-1] == "cold"
+
+    def test_chain_combination_minimizes_pq_distance(self):
+        """After merging two chains, the heaviest original cross edge's
+        endpoints should be as close as the four orders allow."""
+        program = Program.from_sizes(
+            {"a": 100, "b": 100, "c": 100, "d": 100}
+        )
+        wcg = WeightedGraph()
+        # Build chains (a, b) and (c, d) first, then join with the
+        # heaviest cross edge between b and c.
+        wcg.add_edge("a", "b", 100.0)
+        wcg.add_edge("c", "d", 90.0)
+        wcg.add_edge("b", "c", 50.0)
+        order = ph_order(program, wcg)
+        positions = {name: i for i, name in enumerate(order)}
+        assert abs(positions["b"] - positions["c"]) == 1
+
+    def test_reversal_used_when_better(self):
+        """Cross edge touches the *head* of each chain, so one chain
+        must be reversed to bring the endpoints together."""
+        program = Program.from_sizes(
+            {"a": 100, "b": 100, "c": 100, "d": 100}
+        )
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 100.0)  # chain A = (a, b)
+        wcg.add_edge("c", "d", 90.0)  # chain B = (c, d)
+        wcg.add_edge("a", "c", 50.0)  # joins the two heads
+        order = ph_order(program, wcg)
+        positions = {name: i for i, name in enumerate(order)}
+        assert abs(positions["a"] - positions["c"]) == 1
+
+    def test_deterministic(self):
+        program = Program.from_sizes({f"p{i}": 60 for i in range(12)})
+        wcg = WeightedGraph()
+        import random
+
+        rng = random.Random(0)
+        for _ in range(25):
+            a, b = rng.sample(program.names, 2)
+            wcg.add_edge(a, b, rng.randint(1, 100))
+        assert ph_order(program, wcg) == ph_order(program, wcg)
+
+    def test_tie_break_is_stable(self):
+        program = Program.from_sizes({"a": 10, "b": 10, "c": 10, "d": 10})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "b", 5.0)
+        wcg.add_edge("c", "d", 5.0)
+        first = ph_order(program, wcg)
+        for _ in range(5):
+            assert ph_order(program, wcg) == first
+
+
+class TestPlacement:
+    def test_layout_is_contiguous(self):
+        program = Program.from_sizes({"a": 100, "b": 60, "c": 40})
+        wcg = WeightedGraph()
+        wcg.add_edge("a", "c", 10.0)
+        layout = PettisHansenPlacement().place(make_context(program, wcg))
+        assert layout.gap_total() == 0
+        assert layout.text_size == program.total_size
+
+    def test_empty_wcg_keeps_program_order(self):
+        program = Program.from_sizes({"a": 10, "b": 10})
+        layout = PettisHansenPlacement().place(
+            make_context(program, WeightedGraph())
+        )
+        assert layout.order_by_address() == ["a", "b"]
+
+    def test_name(self):
+        assert PettisHansenPlacement().name == "PH"

@@ -1,0 +1,86 @@
+"""Tests for the Section 6 pair database D(p, {r, s})."""
+
+import pytest
+
+from repro.profiles.pairdb import PairDatabase, build_pair_database
+
+
+def unit_size(_block) -> int:
+    return 1
+
+
+class TestPairDatabase:
+    def test_record_pairs(self):
+        db = PairDatabase()
+        db.record("p", ["r", "s", "t"])
+        assert db.count("p", "r", "s") == 1
+        assert db.count("p", "r", "t") == 1
+        assert db.count("p", "s", "t") == 1
+
+    def test_pair_is_unordered(self):
+        db = PairDatabase()
+        db.record("p", ["r", "s"])
+        assert db.count("p", "r", "s") == db.count("p", "s", "r") == 1
+
+    def test_single_block_between_records_nothing(self):
+        db = PairDatabase()
+        db.record("p", ["r"])
+        assert db.count("p", "r", "r") == 0
+        assert sum(db.pairs_for("p").values()) == 0
+
+    def test_counts_accumulate(self):
+        db = PairDatabase()
+        db.record("p", ["r", "s"])
+        db.record("p", ["r", "s", "t"])
+        assert db.count("p", "r", "s") == 2
+
+    def test_unknown_block_counts_zero(self):
+        db = PairDatabase()
+        assert db.count("nope", "a", "b") == 0
+
+    def test_blocks_tracked(self):
+        db = PairDatabase()
+        db.add_block("lonely")
+        db.record("p", ["r", "s"])
+        assert {"lonely", "p"} <= db.blocks
+
+    def test_total_records(self):
+        db = PairDatabase()
+        db.record("p", ["r", "s", "t"])  # 3 pairs
+        db.record("q", ["r", "s"])  # 1 pair
+        assert db.total_records() == 4
+
+
+class TestBuildPairDatabase:
+    def test_two_distinct_interveners(self):
+        """p r s p: the pair {r, s} displaces p in a 2-way cache."""
+        db, _ = build_pair_database(
+            ["p", "r", "s", "p"], unit_size, capacity=10
+        )
+        assert db.count("p", "r", "s") == 1
+
+    def test_one_intervener_is_not_enough(self):
+        db, _ = build_pair_database(["p", "r", "p"], unit_size, capacity=10)
+        assert sum(db.pairs_for("p").values()) == 0
+
+    def test_capacity_eviction(self):
+        db, _ = build_pair_database(
+            ["p", "a", "b", "c", "p"], unit_size, capacity=2
+        )
+        # p evicted before its re-reference: nothing recorded.
+        assert sum(db.pairs_for("p").values()) == 0
+
+    def test_stats(self):
+        _, stats = build_pair_database(
+            ["p", "r", "s", "p"], unit_size, capacity=10
+        )
+        assert stats.refs_processed == 4
+        assert stats.avg_q_entries > 0
+
+    def test_longer_history_all_pairs(self):
+        db, _ = build_pair_database(
+            ["p", "a", "b", "c", "p"], unit_size, capacity=100
+        )
+        assert db.count("p", "a", "b") == 1
+        assert db.count("p", "a", "c") == 1
+        assert db.count("p", "b", "c") == 1

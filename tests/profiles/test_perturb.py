@@ -1,0 +1,80 @@
+"""Tests for multiplicative profile perturbation (Section 5.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.profiles.graph import WeightedGraph
+from repro.profiles.perturb import PAPER_SCALE, perturbed
+
+
+@pytest.fixture
+def graph() -> WeightedGraph:
+    g = WeightedGraph()
+    g.add_edge("a", "b", 100.0)
+    g.add_edge("b", "c", 200.0)
+    g.add_node("isolated")
+    return g
+
+
+class TestPerturbation:
+    def test_paper_scale(self):
+        assert PAPER_SCALE == 0.1
+
+    def test_zero_scale_is_identity(self, graph):
+        assert perturbed(graph, 0.0, seed=1) == graph
+
+    def test_deterministic(self, graph):
+        assert perturbed(graph, 0.1, seed=5) == perturbed(graph, 0.1, seed=5)
+
+    def test_different_seeds_differ(self, graph):
+        a = perturbed(graph, 0.1, seed=1)
+        b = perturbed(graph, 0.1, seed=2)
+        assert a != b
+
+    def test_structure_preserved(self, graph):
+        noisy = perturbed(graph, 0.5, seed=3)
+        assert set(noisy.nodes) == set(graph.nodes)
+        assert noisy.num_edges() == graph.num_edges()
+        assert noisy.has_edge("a", "b")
+
+    def test_weights_stay_positive(self, graph):
+        """Multiplicative noise cannot create negative weights — the
+        paper's stated reason for choosing it over additive noise."""
+        for seed in range(50):
+            noisy = perturbed(graph, 2.0, seed=seed)
+            for _, _, weight in noisy.edges():
+                assert weight > 0
+
+    def test_negative_scale_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            perturbed(graph, -0.1, seed=0)
+
+    def test_insertion_order_does_not_matter(self):
+        """Canonical edge ordering: the same logical graph perturbs
+        identically regardless of how it was built."""
+        g1 = WeightedGraph()
+        g1.add_edge("a", "b", 10.0)
+        g1.add_edge("c", "d", 20.0)
+        g2 = WeightedGraph()
+        g2.add_edge("c", "d", 20.0)
+        g2.add_edge("b", "a", 10.0)
+        assert perturbed(g1, 0.3, seed=7) == perturbed(g2, 0.3, seed=7)
+
+    @given(scale=st.floats(0.001, 1.0), seed=st.integers(0, 100))
+    def test_self_scaling(self, scale, seed):
+        """Perturbation ratios are independent of weight magnitude —
+        the 'inherently self-scaling' property claimed in Section 5.1."""
+        small = WeightedGraph()
+        small.add_edge("a", "b", 1.0)
+        big = WeightedGraph()
+        big.add_edge("a", "b", 1e9)
+        ratio_small = perturbed(small, scale, seed).weight("a", "b") / 1.0
+        ratio_big = perturbed(big, scale, seed).weight("a", "b") / 1e9
+        assert ratio_small == pytest.approx(ratio_big, rel=1e-9)
+
+    def test_small_scale_small_changes(self, graph):
+        noisy = perturbed(graph, 0.01, seed=9)
+        for a, b, weight in graph.edges():
+            assert noisy.weight(a, b) == pytest.approx(weight, rel=0.1)

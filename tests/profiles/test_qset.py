@@ -1,0 +1,188 @@
+"""Tests for the Section 3 working set Q."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.profiles.qset import WorkingSet
+
+
+def unit_sizes(_block) -> int:
+    return 1
+
+
+def make_ws(capacity=100, size_of=unit_sizes) -> WorkingSet:
+    return WorkingSet(capacity, size_of)
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            WorkingSet(0, unit_sizes)
+
+    def test_first_reference_returns_none(self):
+        ws = make_ws()
+        assert ws.reference("a") is None
+
+    def test_re_reference_returns_between(self):
+        ws = make_ws()
+        ws.reference("a")
+        ws.reference("b")
+        ws.reference("c")
+        assert ws.reference("a") == ["b", "c"]
+
+    def test_adjacent_re_reference_returns_empty(self):
+        ws = make_ws()
+        ws.reference("a")
+        assert ws.reference("a") == []
+
+    def test_single_occurrence_kept(self):
+        ws = make_ws()
+        ws.reference("a")
+        ws.reference("b")
+        ws.reference("a")
+        assert list(ws.blocks()) == ["b", "a"]
+        assert len(ws) == 2
+
+    def test_between_excludes_endpoints(self):
+        ws = make_ws()
+        for block in ["p", "x", "y", "z"]:
+            ws.reference(block)
+        between = ws.reference("p")
+        assert between == ["x", "y", "z"]
+        assert "p" not in between
+
+    def test_order_oldest_first(self):
+        ws = make_ws()
+        for block in ["a", "b", "c"]:
+            ws.reference(block)
+        assert list(ws.blocks()) == ["a", "b", "c"]
+
+    def test_nonpositive_block_size_rejected(self):
+        ws = WorkingSet(10, lambda _b: 0)
+        with pytest.raises(ConfigError):
+            ws.reference("a")
+
+
+class TestEviction:
+    def test_eviction_keeps_at_least_capacity(self):
+        """Entries are evicted only while the remainder still totals at
+        least the capacity (Section 3's exact rule)."""
+        ws = WorkingSet(3, unit_sizes)
+        for block in ["a", "b", "c", "d"]:
+            ws.reference(block)
+        # After d: removing 'a' leaves b,c,d = 3 >= 3, so 'a' goes.
+        assert list(ws.blocks()) == ["b", "c", "d"]
+        assert ws.total_size == 3
+
+    def test_no_eviction_below_capacity(self):
+        ws = WorkingSet(10, unit_sizes)
+        for block in "abcde":
+            ws.reference(block)
+        assert len(ws) == 5
+
+    def test_eviction_with_byte_sizes(self):
+        sizes = {"big": 8, "s1": 1, "s2": 1, "s3": 1}
+        ws = WorkingSet(4, sizes.__getitem__)
+        ws.reference("big")
+        ws.reference("s1")
+        # Removing 'big' would leave 1 < 4, so it stays.
+        assert list(ws.blocks()) == ["big", "s1"]
+        ws.reference("s2")
+        ws.reference("s3")
+        # 8+1+1+1 = 11; removing big leaves 3 < 4 -> big still stays.
+        assert "big" in ws
+
+    def test_oversized_new_block_is_kept(self):
+        sizes = {"huge": 100, "a": 1}
+        ws = WorkingSet(10, sizes.__getitem__)
+        ws.reference("a")
+        ws.reference("huge")
+        # 'a' is evicted (huge alone is 100 >= 10); huge itself stays.
+        assert list(ws.blocks()) == ["huge"]
+
+    def test_re_reference_does_not_grow_size(self):
+        ws = WorkingSet(5, unit_sizes)
+        for block in "abc":
+            ws.reference(block)
+        before = ws.total_size
+        ws.reference("a")
+        assert ws.total_size == before
+
+    def test_evicted_block_forgotten(self):
+        ws = WorkingSet(2, unit_sizes)
+        for block in ["a", "b", "c"]:
+            ws.reference(block)
+        # 'a' was evicted; a re-reference is treated as new.
+        assert ws.reference("a") is None
+
+
+class TestPaperFigure3:
+    """The Q-processing walkthrough of Figure 3 (trace #2 prefix).
+
+    Sizes: each of M, X, Z fits such that their total is below twice
+    the cache size, so nothing is evicted during the walkthrough.
+    """
+
+    def test_walkthrough(self):
+        sizes = {"M": 32, "X": 32, "Z": 32}
+        ws = WorkingSet(192, sizes.__getitem__)  # 2 x 96-byte cache
+        # Trace: ... M X M Z (processing each in turn)
+        assert ws.reference("M") is None
+        assert ws.reference("X") is None
+        # (a) second M: X lies between -> edge (M, X) credited.
+        assert ws.reference("M") == ["X"]
+        # (b) first Z: no previous occurrence -> no edges.
+        assert ws.reference("Z") is None
+        assert list(ws.blocks()) == ["X", "M", "Z"]
+        # (c) next M: Z between the two M references.
+        assert ws.reference("M") == ["Z"]
+        # (d) next X: Z and M both lie between the X references
+        # (in Q order: Z was referenced before the final M).
+        assert ws.reference("X") == ["Z", "M"]
+
+
+class TestProperties:
+    @given(
+        refs=st.lists(st.sampled_from("abcdefgh"), max_size=200),
+        capacity=st.integers(1, 10),
+    )
+    def test_no_duplicates_ever(self, refs, capacity):
+        ws = WorkingSet(capacity, unit_sizes)
+        for ref in refs:
+            ws.reference(ref)
+            blocks = list(ws.blocks())
+            assert len(blocks) == len(set(blocks))
+            assert len(blocks) == len(ws)
+
+    @given(
+        refs=st.lists(st.sampled_from("abcdefgh"), max_size=200),
+        capacity=st.integers(1, 10),
+    )
+    def test_total_size_matches_contents(self, refs, capacity):
+        ws = WorkingSet(capacity, unit_sizes)
+        for ref in refs:
+            ws.reference(ref)
+            assert ws.total_size == len(list(ws.blocks()))
+
+    @given(refs=st.lists(st.sampled_from("abcd"), max_size=100))
+    def test_between_is_contiguous_recent_suffix(self, refs):
+        """The 'between' list is exactly the blocks referenced after
+        the previous occurrence, with duplicates collapsed to their
+        most recent position."""
+        ws = WorkingSet(1000, unit_sizes)
+        last_seen: dict[str, int] = {}
+        for step, ref in enumerate(refs):
+            between = ws.reference(ref)
+            if between is not None:
+                expected = sorted(
+                    (
+                        block
+                        for block, when in last_seen.items()
+                        if when > last_seen[ref] and block != ref
+                    ),
+                    key=lambda b: last_seen[b],
+                )
+                assert between == expected
+            last_seen[ref] = step

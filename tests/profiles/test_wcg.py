@@ -1,0 +1,114 @@
+"""Tests for WCG construction."""
+
+import pytest
+
+from repro.profiles.wcg import (
+    build_wcg,
+    build_wcg_from_refs,
+    collapse_consecutive,
+)
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+import numpy as np
+
+
+class TestCollapse:
+    def test_collapses_runs(self):
+        values = np.asarray([1, 1, 2, 2, 2, 1, 3, 3])
+        assert list(collapse_consecutive(values)) == [1, 2, 1, 3]
+
+    def test_empty(self):
+        assert len(collapse_consecutive(np.asarray([], dtype=int))) == 0
+
+    def test_no_duplicates_unchanged(self):
+        values = np.asarray([1, 2, 3])
+        assert list(collapse_consecutive(values)) == [1, 2, 3]
+
+
+class TestFromRefs:
+    def test_counts_transitions(self):
+        g = build_wcg_from_refs(["a", "b", "a", "b", "c"])
+        assert g.weight("a", "b") == 3
+        assert g.weight("b", "c") == 1
+        assert g.weight("a", "c") == 0
+
+    def test_consecutive_duplicates_ignored(self):
+        g = build_wcg_from_refs(["a", "a", "b", "b", "a"])
+        assert g.weight("a", "b") == 2
+
+    def test_isolated_nodes_present(self):
+        g = build_wcg_from_refs(["a"])
+        assert "a" in g
+        assert g.num_edges() == 0
+
+    def test_empty_refs(self):
+        g = build_wcg_from_refs([])
+        assert len(g) == 0
+
+
+class TestFromTrace:
+    @pytest.fixture
+    def program(self):
+        return Program.from_sizes({"a": 64, "b": 64, "c": 64, "d": 64})
+
+    def test_matches_refs_builder(self, program):
+        names = ["a", "b", "a", "c", "a", "b", "d", "b"]
+        trace = Trace(
+            program, [TraceEvent.full(n, 64) for n in names]
+        )
+        from_trace = build_wcg(trace)
+        from_refs = build_wcg_from_refs(names)
+        assert from_trace == from_refs
+
+    def test_split_extents_do_not_inflate_weights(self, program):
+        """An extent split across two events (e.g. wrap) is one visit."""
+        trace = Trace(
+            program,
+            [
+                TraceEvent("a", 0, 32),
+                TraceEvent("a", 32, 32),
+                TraceEvent.full("b", 64),
+                TraceEvent.full("a", 64),
+            ],
+        )
+        g = build_wcg(trace)
+        assert g.weight("a", "b") == 2
+
+    def test_untouched_procedures_absent(self, program):
+        trace = Trace(program, [TraceEvent.full("a", 64)])
+        g = build_wcg(trace)
+        assert "a" in g
+        assert "d" not in g
+
+    def test_empty_trace(self, program):
+        g = build_wcg(Trace(program, []))
+        assert len(g) == 0
+
+
+class TestPaperFigure1:
+    """Both Figure 1 traces must yield the *same* WCG — the paper's
+    motivating observation that the WCG cannot distinguish them."""
+
+    def test_wcg_identical_for_both_traces(self):
+        from tests.conftest import figure1_trace1_refs, figure1_trace2_refs
+
+        g1 = build_wcg_from_refs(figure1_trace1_refs())
+        g2 = build_wcg_from_refs(figure1_trace2_refs())
+        assert g1 == g2
+
+    def test_wcg_weights_are_transition_counts(self):
+        from tests.conftest import figure1_trace2_refs
+
+        g = build_wcg_from_refs(figure1_trace2_refs(iterations=40))
+        # 40 iterations each of M->X->M->Z: every M-X call+return is 2
+        # transitions; our weights are transition counts (2x a classic
+        # WCG call count), minus boundary effects between iterations.
+        assert g.weight("M", "X") == 80
+        assert g.weight("M", "Y") == 80
+        # M-Z transitions: Z->M at each loop back-edge too.
+        assert g.weight("M", "Z") == 159
+        # Sibling leaves never transition directly.
+        assert g.weight("X", "Y") == 0
+        assert g.weight("X", "Z") == 0

@@ -1,0 +1,194 @@
+"""Tests for layouts: construction, validation, cache mapping, padding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.errors import LayoutError
+from repro.program.layout import Layout, layouts_equal_mod_cache
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"a": 100, "b": 60, "c": 200})
+
+
+@pytest.fixture
+def config() -> CacheConfig:
+    return CacheConfig(size=256, line_size=32)
+
+
+class TestConstruction:
+    def test_default_is_contiguous_source_order(self, program):
+        layout = Layout.default(program)
+        assert layout.address_of("a") == 0
+        assert layout.address_of("b") == 100
+        assert layout.address_of("c") == 160
+
+    def test_default_with_base(self, program):
+        layout = Layout.default(program, base=1000)
+        assert layout.address_of("a") == 1000
+
+    def test_from_order(self, program):
+        layout = Layout.from_order(program, ["c", "a", "b"])
+        assert layout.address_of("c") == 0
+        assert layout.address_of("a") == 200
+        assert layout.address_of("b") == 300
+
+    def test_from_order_with_gaps(self, program):
+        layout = Layout.from_order(
+            program, ["a", "b", "c"], gaps_before={"b": 28}
+        )
+        assert layout.address_of("b") == 128
+        assert layout.address_of("c") == 188
+
+    def test_from_order_rejects_non_permutation(self, program):
+        with pytest.raises(LayoutError):
+            Layout.from_order(program, ["a", "b"])
+        with pytest.raises(LayoutError):
+            Layout.from_order(program, ["a", "b", "b"])
+
+    def test_negative_gap_rejected(self, program):
+        with pytest.raises(LayoutError):
+            Layout.from_order(program, ["a", "b", "c"], gaps_before={"b": -1})
+
+    def test_negative_base_rejected(self, program):
+        with pytest.raises(LayoutError):
+            Layout.default(program, base=-4)
+
+    def test_random_is_deterministic(self, program):
+        assert Layout.random(program, seed=7) == Layout.random(program, seed=7)
+
+    def test_random_seeds_differ(self, program):
+        layouts = {
+            tuple(Layout.random(program, seed=s).order_by_address())
+            for s in range(20)
+        }
+        assert len(layouts) > 1
+
+
+class TestValidation:
+    def test_missing_address_rejected(self, program):
+        with pytest.raises(LayoutError):
+            Layout(program, {"a": 0, "b": 100})
+
+    def test_unknown_procedure_rejected(self, program):
+        with pytest.raises(LayoutError):
+            Layout(program, {"a": 0, "b": 100, "c": 160, "d": 400})
+
+    def test_overlap_rejected(self, program):
+        with pytest.raises(LayoutError):
+            Layout(program, {"a": 0, "b": 50, "c": 400})
+
+    def test_negative_address_rejected(self, program):
+        with pytest.raises(LayoutError):
+            Layout(program, {"a": -4, "b": 100, "c": 300})
+
+    def test_gaps_allowed(self, program):
+        layout = Layout(program, {"a": 0, "b": 500, "c": 1000})
+        assert layout.gap_total() == 1200 - 360
+
+
+class TestQueries:
+    def test_text_bounds(self, program):
+        layout = Layout(program, {"a": 100, "b": 300, "c": 500})
+        assert layout.text_start == 100
+        assert layout.text_end == 700
+        assert layout.text_size == 600
+
+    def test_order_by_address(self, program):
+        layout = Layout(program, {"a": 500, "b": 0, "c": 100})
+        assert layout.order_by_address() == ["b", "c", "a"]
+
+    def test_items_in_address_order(self, program):
+        layout = Layout(program, {"a": 500, "b": 0, "c": 100})
+        assert list(layout.items()) == [("b", 0), ("c", 100), ("a", 500)]
+
+    def test_end_address(self, program):
+        layout = Layout.default(program)
+        assert layout.end_address_of("a") == 100
+
+
+class TestCacheMapping:
+    def test_lines_of(self, program, config):
+        layout = Layout.default(program)
+        # 'a' is bytes [0, 100) -> memory lines 0..3
+        assert list(layout.lines_of("a", config)) == [0, 1, 2, 3]
+
+    def test_cache_sets_wrap(self, program, config):
+        # 'c' is 200 bytes at 160: lines 5..11, sets wrap mod 8.
+        layout = Layout.default(program)
+        assert layout.cache_sets_of("c", config) == {5, 6, 7, 0, 1, 2, 3}
+
+    def test_start_set(self, program, config):
+        layout = Layout.default(program)
+        assert layout.start_set_of("c", config) == 5
+
+    def test_chunk_address(self, program):
+        layout = Layout.default(program)
+        assert layout.address_of_chunk(ChunkId("c", 1), chunk_size=64) == 224
+
+    def test_chunk_lines(self, program, config):
+        layout = Layout.default(program)
+        lines = layout.chunk_lines(ChunkId("a", 0), config, chunk_size=256)
+        assert list(lines) == [0, 1, 2, 3]
+
+
+class TestDerivedLayouts:
+    def test_padded_shifts_later_procedures(self, program):
+        layout = Layout.default(program).padded(32)
+        assert layout.address_of("a") == 0
+        assert layout.address_of("b") == 132
+        assert layout.address_of("c") == 224
+
+    def test_padded_preserves_existing_gaps(self, program):
+        base = Layout(program, {"a": 0, "b": 200, "c": 300})
+        padded = base.padded(10)
+        assert padded.address_of("b") == 210
+        assert padded.address_of("c") == 320
+
+    def test_padded_zero_is_identity(self, program):
+        layout = Layout.default(program)
+        assert layout.padded(0) == layout
+
+    def test_padded_negative_rejected(self, program):
+        with pytest.raises(LayoutError):
+            Layout.default(program).padded(-1)
+
+    def test_shifted(self, program):
+        layout = Layout.default(program).shifted(64)
+        assert layout.address_of("a") == 64
+
+    def test_equal_mod_cache(self, program, config):
+        base = Layout.default(program)
+        shifted = base.shifted(config.size)
+        assert layouts_equal_mod_cache(base, shifted, config)
+        assert not layouts_equal_mod_cache(
+            base, base.shifted(32), config
+        )
+
+
+@given(seed=st.integers(0, 1000))
+def test_random_layout_is_always_valid(seed):
+    program = Program.from_sizes({f"p{i}": 10 * (i + 1) for i in range(8)})
+    layout = Layout.random(program, seed=seed)
+    # Validation happens in the constructor; additionally the layout
+    # must be gap-free and cover exactly the program size.
+    assert layout.text_size == program.total_size
+    assert sorted(layout.order_by_address()) == sorted(program.names)
+
+
+@given(
+    pad=st.integers(0, 100),
+    sizes=st.lists(st.integers(1, 500), min_size=1, max_size=10),
+)
+def test_padded_increases_text_size_linearly(pad, sizes):
+    program = Program.from_sizes(
+        {f"p{i}": size for i, size in enumerate(sizes)}
+    )
+    base = Layout.default(program)
+    padded = base.padded(pad)
+    assert padded.text_size == base.text_size + pad * (len(sizes) - 1)

@@ -1,0 +1,130 @@
+"""Tests for procedures and chunking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProgramError
+from repro.program.procedure import ChunkId, Procedure
+
+
+class TestProcedureValidation:
+    def test_valid_procedure(self):
+        proc = Procedure("f", 100)
+        assert proc.name == "f"
+        assert proc.size == 100
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProgramError):
+            Procedure("", 100)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ProgramError):
+            Procedure("f", 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ProgramError):
+            Procedure("f", -1)
+
+
+class TestChunking:
+    def test_exact_multiple(self):
+        proc = Procedure("f", 512)
+        assert proc.num_chunks(256) == 2
+
+    def test_rounds_up(self):
+        proc = Procedure("f", 513)
+        assert proc.num_chunks(256) == 3
+
+    def test_small_procedure_one_chunk(self):
+        proc = Procedure("f", 10)
+        assert proc.num_chunks(256) == 1
+
+    def test_chunks_enumeration(self):
+        proc = Procedure("f", 600)
+        chunks = list(proc.chunks(256))
+        assert chunks == [ChunkId("f", 0), ChunkId("f", 1), ChunkId("f", 2)]
+
+    def test_last_chunk_partial_size(self):
+        proc = Procedure("f", 600)
+        assert proc.chunk_size_of(0, 256) == 256
+        assert proc.chunk_size_of(1, 256) == 256
+        assert proc.chunk_size_of(2, 256) == 88
+
+    def test_full_last_chunk(self):
+        proc = Procedure("f", 512)
+        assert proc.chunk_size_of(1, 256) == 256
+
+    def test_chunk_index_out_of_range(self):
+        proc = Procedure("f", 100)
+        with pytest.raises(ProgramError):
+            proc.chunk_size_of(1, 256)
+
+    def test_invalid_chunk_size(self):
+        proc = Procedure("f", 100)
+        with pytest.raises(ProgramError):
+            proc.num_chunks(0)
+
+    def test_chunk_of_offset(self):
+        proc = Procedure("f", 600)
+        assert proc.chunk_of_offset(0, 256) == ChunkId("f", 0)
+        assert proc.chunk_of_offset(255, 256) == ChunkId("f", 0)
+        assert proc.chunk_of_offset(256, 256) == ChunkId("f", 1)
+        assert proc.chunk_of_offset(599, 256) == ChunkId("f", 2)
+
+    def test_chunk_of_offset_out_of_bounds(self):
+        proc = Procedure("f", 100)
+        with pytest.raises(ProgramError):
+            proc.chunk_of_offset(100, 256)
+
+    def test_chunks_of_extent(self):
+        proc = Procedure("f", 1000)
+        chunks = list(proc.chunks_of_extent(200, 200, 256))
+        assert chunks == [ChunkId("f", 0), ChunkId("f", 1)]
+
+    def test_chunks_of_extent_single(self):
+        proc = Procedure("f", 1000)
+        assert list(proc.chunks_of_extent(0, 1, 256)) == [ChunkId("f", 0)]
+
+    def test_chunks_of_empty_extent(self):
+        proc = Procedure("f", 1000)
+        assert list(proc.chunks_of_extent(0, 0, 256)) == []
+
+    def test_chunks_of_extent_out_of_bounds(self):
+        proc = Procedure("f", 100)
+        with pytest.raises(ProgramError):
+            list(proc.chunks_of_extent(50, 100, 256))
+
+    @given(size=st.integers(1, 10_000), chunk_size=st.integers(1, 512))
+    def test_chunk_sizes_sum_to_procedure_size(self, size, chunk_size):
+        proc = Procedure("f", size)
+        total = sum(
+            proc.chunk_size_of(i, chunk_size)
+            for i in range(proc.num_chunks(chunk_size))
+        )
+        assert total == size
+
+    @given(
+        size=st.integers(1, 10_000),
+        chunk_size=st.integers(1, 512),
+        data=st.data(),
+    )
+    def test_extent_chunks_are_contiguous(self, size, chunk_size, data):
+        proc = Procedure("f", size)
+        start = data.draw(st.integers(0, size - 1))
+        length = data.draw(st.integers(1, size - start))
+        chunks = list(proc.chunks_of_extent(start, length, chunk_size))
+        indices = [c.index for c in chunks]
+        assert indices == list(range(indices[0], indices[-1] + 1))
+        assert indices[0] == start // chunk_size
+        assert indices[-1] == (start + length - 1) // chunk_size
+
+
+class TestChunkId:
+    def test_str(self):
+        assert str(ChunkId("f", 3)) == "f#3"
+
+    def test_equality_and_hash(self):
+        assert ChunkId("f", 1) == ChunkId("f", 1)
+        assert ChunkId("f", 1) != ChunkId("f", 2)
+        assert len({ChunkId("f", 1), ChunkId("f", 1)}) == 1

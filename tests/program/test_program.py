@@ -1,0 +1,82 @@
+"""Tests for the Program container."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program.procedure import ChunkId, Procedure
+from repro.program.program import Program
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"a": 100, "b": 200, "c": 300})
+
+
+class TestConstruction:
+    def test_from_sizes_preserves_order(self, program):
+        assert program.names == ("a", "b", "c")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([Procedure("a", 10), Procedure("a", 20)])
+
+    def test_from_procedures(self):
+        program = Program([Procedure("x", 5), Procedure("y", 6)])
+        assert program.names == ("x", "y")
+
+
+class TestQueries:
+    def test_len(self, program):
+        assert len(program) == 3
+
+    def test_contains(self, program):
+        assert "a" in program
+        assert "nope" not in program
+
+    def test_getitem(self, program):
+        assert program["b"].size == 200
+
+    def test_getitem_unknown_raises(self, program):
+        with pytest.raises(ProgramError):
+            program["nope"]
+
+    def test_total_size(self, program):
+        assert program.total_size == 600
+
+    def test_size_of(self, program):
+        assert program.size_of("c") == 300
+
+    def test_subset_size(self, program):
+        assert program.subset_size(["a", "c"]) == 400
+
+    def test_iteration_yields_procedures(self, program):
+        assert [p.name for p in program] == ["a", "b", "c"]
+
+    def test_equality(self, program):
+        same = Program.from_sizes({"a": 100, "b": 200, "c": 300})
+        different = Program.from_sizes({"a": 100, "b": 200, "c": 301})
+        assert program == same
+        assert program != different
+
+    def test_hashable(self, program):
+        same = Program.from_sizes({"a": 100, "b": 200, "c": 300})
+        assert len({program, same}) == 1
+
+
+class TestChunks:
+    def test_all_chunks_in_order(self):
+        program = Program.from_sizes({"a": 300, "b": 100})
+        chunks = list(program.all_chunks(256))
+        assert chunks == [
+            ChunkId("a", 0),
+            ChunkId("a", 1),
+            ChunkId("b", 0),
+        ]
+
+    def test_num_chunks(self):
+        program = Program.from_sizes({"a": 300, "b": 100})
+        assert program.num_chunks(256) == 3

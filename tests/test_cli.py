@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "perl"])
+        assert args.workload == "perl"
+        assert args.runs == 0
+        assert args.cache_size == 8192
+
+    def test_cache_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "compare",
+                "go",
+                "--cache-size",
+                "4096",
+                "--line-size",
+                "64",
+                "--associativity",
+                "2",
+            ]
+        )
+        assert args.cache_size == 4096
+        assert args.line_size == 64
+        assert args.associativity == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gcc", "go", "ghostscript", "m88ksim", "perl", "vortex"):
+            assert name in out
+
+    def test_compare_runs(self, capsys, monkeypatch):
+        """Run the compare command on a heavily scaled workload."""
+        from repro.workloads import suite as suite_module
+        from repro import cli
+
+        tiny = suite_module.by_name("m88ksim").scaled(0.02)
+        monkeypatch.setattr(cli, "by_name", lambda _n: tiny)
+        assert main(["compare", "m88ksim"]) == 0
+        out = capsys.readouterr().out
+        assert "GBSC" in out
+        assert "miss rate" in out
+
+    def test_correlate_runs(self, capsys, monkeypatch):
+        from repro.workloads import suite as suite_module
+        from repro import cli
+
+        tiny = suite_module.by_name("m88ksim").scaled(0.02)
+        monkeypatch.setattr(cli, "by_name", lambda _n: tiny)
+        assert main(["correlate", "m88ksim", "--layouts", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "TRG metric" in out
+        assert "WCG metric" in out
+        assert "pearson" in out

@@ -1,0 +1,70 @@
+"""Error-path tests for the CLI: bad inputs must fail loudly."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import SerializationError
+
+
+class TestBadInputs:
+    def test_unknown_workload_raises_key_error(self):
+        with pytest.raises(KeyError):
+            main(["compare", "not-a-benchmark"])
+
+    def test_place_missing_trace_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            main(
+                [
+                    "place",
+                    str(tmp_path / "absent.npz"),
+                    "-o",
+                    str(tmp_path / "out.json"),
+                ]
+            )
+
+    def test_simulate_missing_layout(self, tmp_path):
+        trace = tmp_path / "absent.npz"
+        layout = tmp_path / "absent.json"
+        with pytest.raises(SerializationError):
+            main(["simulate", str(layout), str(trace)])
+
+    def test_simulate_garbage_layout(self, tmp_path):
+        layout = tmp_path / "garbage.json"
+        layout.write_text('{"format": "something-else"}')
+        with pytest.raises(SerializationError):
+            main(["simulate", str(layout), str(tmp_path / "t.npz")])
+
+    def test_visualize_garbage_layout(self, tmp_path):
+        layout = tmp_path / "garbage.json"
+        layout.write_text("[]")
+        with pytest.raises(SerializationError):
+            main(["visualize", str(layout)])
+
+    def test_invalid_cache_geometry(self, tmp_path, monkeypatch):
+        """A cache size not divisible by the line size is a ConfigError
+        raised before any heavy work."""
+        from repro import cli
+        from repro.errors import ConfigError
+        from repro.workloads import suite as suite_module
+
+        tiny = suite_module.by_name("m88ksim").scaled(0.02)
+        monkeypatch.setattr(cli, "by_name", lambda _n: tiny)
+        with pytest.raises(ConfigError):
+            main(["compare", "m88ksim", "--cache-size", "1000"])
+
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_place_unknown_algorithm_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "place",
+                    "t.npz",
+                    "--algorithm",
+                    "magic",
+                    "-o",
+                    "out.json",
+                ]
+            )

@@ -1,0 +1,130 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the full chain — synthetic program, trace
+generation, profiling, placement, simulation — on small inputs and
+assert the paper's qualitative claims hold on them.
+"""
+
+import pytest
+
+from repro import (
+    PAPER_CACHE,
+    DefaultPlacement,
+    GBSCPlacement,
+    HashemiKaeliCalderPlacement,
+    PettisHansenPlacement,
+    build_context,
+    run_experiment,
+    simulate,
+)
+from repro.cache.config import CacheConfig
+from repro.eval.randomization import perturbation_sweep
+from repro.trace import (
+    CallGraphParams,
+    TraceInput,
+    generate_trace,
+    random_call_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    graph = random_call_graph(
+        CallGraphParams(
+            n_procedures=120,
+            hot_procedures=25,
+            seed=314,
+            mean_size=700,
+            hot_mean_size=900,
+        )
+    )
+    train = generate_trace(
+        graph, TraceInput("train", seed=10, target_events=25_000)
+    )
+    test = generate_trace(
+        graph, TraceInput("test", seed=20, target_events=25_000)
+    )
+    context = build_context(train, PAPER_CACHE)
+    return graph, train, test, context
+
+
+class TestHeadlineClaim:
+    def test_gbsc_beats_default(self, pipeline):
+        _, _, test, context = pipeline
+        result = run_experiment(
+            context, test, [DefaultPlacement(), GBSCPlacement()]
+        )
+        assert (
+            result["GBSC"].miss_rate < result["default"].miss_rate
+        )
+
+    def test_gbsc_competitive_with_baselines(self, pipeline):
+        """GBSC's clean-profile run is at worst marginally behind the
+        better of PH and HKC on a generic workload (and ahead of both
+        across the suite; see the Figure 5 bench)."""
+        _, _, test, context = pipeline
+        result = run_experiment(
+            context,
+            test,
+            [
+                PettisHansenPlacement(),
+                HashemiKaeliCalderPlacement(),
+                GBSCPlacement(),
+            ],
+        )
+        best_baseline = min(
+            result["PH"].miss_rate, result["HKC"].miss_rate
+        )
+        assert result["GBSC"].miss_rate <= best_baseline * 1.10
+
+    def test_all_layouts_cover_all_procedures(self, pipeline):
+        graph, _, _, context = pipeline
+        for algorithm in (
+            DefaultPlacement(),
+            PettisHansenPlacement(),
+            HashemiKaeliCalderPlacement(),
+            GBSCPlacement(),
+        ):
+            layout = algorithm.place(context)
+            assert sorted(layout.order_by_address()) == sorted(
+                graph.program.names
+            )
+
+
+class TestTrainTestTransfer:
+    def test_training_performance_better_than_test(self, pipeline):
+        """A layout tuned on the training input is (weakly) better on
+        that input than on a different one — the generalization gap
+        the paper discusses for m88ksim."""
+        _, train, test, context = pipeline
+        layout = GBSCPlacement().place(context)
+        on_train = simulate(layout, train, PAPER_CACHE).miss_ratio
+        on_test = simulate(layout, test, PAPER_CACHE).miss_ratio
+        assert on_train <= on_test * 1.25
+
+
+class TestPerturbationStability:
+    def test_perturbed_gbsc_stays_reasonable(self, pipeline):
+        """Perturbed profiles must produce different but sane layouts:
+        the worst perturbed run stays within 2x of the best."""
+        _, _, test, context = pipeline
+        (result,) = perturbation_sweep(
+            context, test, [GBSCPlacement()], runs=5
+        )
+        assert result.worst <= result.best * 2.0
+
+    def test_perturbation_changes_layouts(self, pipeline):
+        _, _, _, context = pipeline
+        clean = GBSCPlacement().place(context)
+        noisy = GBSCPlacement().place(context.perturbed(0.1, seed=9))
+        assert clean != noisy
+
+
+class TestSmallCache:
+    def test_placement_still_valid_at_1kb(self, pipeline):
+        graph, train, test, _ = pipeline
+        config = CacheConfig(size=1024, line_size=32)
+        context = build_context(train, config)
+        layout = GBSCPlacement().place(context)
+        stats = simulate(layout, test, config)
+        assert 0 < stats.miss_rate < 1

@@ -1,0 +1,210 @@
+"""Tests for artifact serialisation."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    SerializationError,
+    graph_from_dict,
+    graph_to_dict,
+    layout_from_dict,
+    layout_to_dict,
+    load_graph,
+    load_layout,
+    load_program,
+    load_trace,
+    program_from_dict,
+    program_to_dict,
+    save_graph,
+    save_layout,
+    save_program,
+    save_trace,
+)
+from repro.profiles.graph import WeightedGraph
+from repro.program.layout import Layout
+from repro.program.procedure import ChunkId
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"a": 100, "b": 250})
+
+
+class TestProgramRoundtrip:
+    def test_roundtrip(self, program, tmp_path):
+        path = tmp_path / "program.json"
+        save_program(program, path)
+        assert load_program(path) == program
+
+    def test_preserves_order(self, tmp_path):
+        program = Program.from_sizes({"z": 1, "a": 2, "m": 3})
+        path = tmp_path / "program.json"
+        save_program(program, path)
+        assert load_program(path).names == ("z", "a", "m")
+
+    def test_deterministic_output(self, program, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        save_program(program, p1)
+        save_program(program, p2)
+        assert p1.read_text() == p2.read_text()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            program_from_dict({"format": "repro/layout", "version": 1})
+
+    def test_wrong_version_rejected(self, program):
+        data = program_to_dict(program)
+        data["version"] = 99
+        with pytest.raises(SerializationError):
+            program_from_dict(data)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            program_from_dict(
+                {
+                    "format": "repro/program",
+                    "version": 1,
+                    "procedures": [{"nom": "a"}],
+                }
+            )
+
+
+class TestLayoutRoundtrip:
+    def test_roundtrip(self, program, tmp_path):
+        layout = Layout(program, {"a": 64, "b": 1000})
+        path = tmp_path / "layout.json"
+        save_layout(layout, path)
+        assert load_layout(path) == layout
+
+    def test_invalid_layout_file_rejected(self, program, tmp_path):
+        data = layout_to_dict(Layout.default(program))
+        data["addresses"]["b"] = 10  # overlaps a
+        with pytest.raises(Exception):
+            layout_from_dict(data)
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(SerializationError):
+            load_layout(path)
+
+    def test_garbage_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_layout(path)
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip(self, program, tmp_path):
+        trace = Trace(
+            program,
+            [
+                TraceEvent.full("a", 100),
+                TraceEvent("b", 50, 100),
+                TraceEvent.full("a", 100),
+            ],
+        )
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)
+        assert loaded.program == program
+
+    def test_empty_trace(self, program, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(Trace(program, []), path)
+        assert len(load_trace(path)) == 0
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(SerializationError):
+            load_trace(path)
+
+
+class TestGraphRoundtrip:
+    def test_string_nodes(self, tmp_path):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 3.5)
+        graph.add_node("isolated")
+        path = tmp_path / "graph.json"
+        save_graph(graph, path)
+        assert load_graph(path) == graph
+
+    def test_chunk_nodes(self, tmp_path):
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("f", 0), ChunkId("g", 2), 7.0)
+        path = tmp_path / "trg.json"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.weight(ChunkId("f", 0), ChunkId("g", 2)) == 7.0
+
+    def test_deterministic_regardless_of_insertion(self, tmp_path):
+        g1 = WeightedGraph()
+        g1.add_edge("a", "b", 1.0)
+        g1.add_edge("c", "d", 2.0)
+        g2 = WeightedGraph()
+        g2.add_edge("d", "c", 2.0)
+        g2.add_edge("b", "a", 1.0)
+        assert json.dumps(graph_to_dict(g1)) == json.dumps(
+            graph_to_dict(g2)
+        )
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict(
+                {
+                    "format": "repro/graph",
+                    "version": 1,
+                    "nodes": [123],
+                    "edges": [],
+                }
+            )
+
+    def test_malformed_chunk_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict(
+                {
+                    "format": "repro/graph",
+                    "version": 1,
+                    "nodes": [{"proc": "x"}],
+                    "edges": [],
+                }
+            )
+
+
+class TestPipelineThroughFiles:
+    def test_place_from_saved_artifacts(self, tmp_path):
+        """Profile in one 'process', place in another, simulate in a
+        third — communicating only through files."""
+        from repro.cache.config import PAPER_CACHE
+        from repro.cache.simulator import simulate
+        from repro.core.gbsc import GBSCPlacement
+        from repro.eval.experiment import build_context
+        from repro.trace.callgraph import CallGraphParams, random_call_graph
+        from repro.trace.generator import TraceInput, generate_trace
+
+        graph = random_call_graph(
+            CallGraphParams(n_procedures=40, hot_procedures=8, seed=5)
+        )
+        trace = generate_trace(
+            graph, TraceInput("t", seed=1, target_events=4000)
+        )
+        trace_path = tmp_path / "trace.npz"
+        save_trace(trace, trace_path)
+
+        # "Second process": load, profile, place, save layout.
+        loaded_trace = load_trace(trace_path)
+        context = build_context(loaded_trace, PAPER_CACHE)
+        layout = GBSCPlacement().place(context)
+        layout_path = tmp_path / "layout.json"
+        save_layout(layout, layout_path)
+
+        # "Third process": load layout, simulate.
+        loaded_layout = load_layout(layout_path)
+        stats = simulate(loaded_layout, loaded_trace, PAPER_CACHE)
+        assert stats == simulate(layout, trace, PAPER_CACHE)

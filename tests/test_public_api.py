@@ -1,0 +1,68 @@
+"""The documented public API must be importable and coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.cache",
+        "repro.core",
+        "repro.eval",
+        "repro.placement",
+        "repro.profiles",
+        "repro.program",
+        "repro.trace",
+        "repro.workloads",
+    ],
+)
+def test_subpackage_all_resolves(module):
+    mod = importlib.import_module(module)
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_quickstart_docstring_flow():
+    """The flow shown in the package docstring actually runs."""
+    from repro import PAPER_CACHE, GBSCPlacement, build_context, simulate
+    from repro.workloads import PERL
+
+    workload = PERL.scaled(0.02)
+    train = workload.trace("train")
+    context = build_context(train, PAPER_CACHE)
+    layout = GBSCPlacement().place(context)
+    stats = simulate(layout, workload.trace("test"), PAPER_CACHE)
+    assert 0.0 <= stats.miss_rate < 1.0
+
+
+def test_errors_hierarchy():
+    from repro import (
+        ConfigError,
+        LayoutError,
+        PlacementError,
+        ProgramError,
+        ReproError,
+        TraceError,
+    )
+
+    for error in (
+        ConfigError,
+        LayoutError,
+        PlacementError,
+        ProgramError,
+        TraceError,
+    ):
+        assert issubclass(error, ReproError)

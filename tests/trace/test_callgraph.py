@@ -1,0 +1,139 @@
+"""Tests for synthetic call-graph models and their random generator."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program.procedure import Procedure
+from repro.trace.callgraph import (
+    CallGraphModel,
+    CallGraphParams,
+    CallSite,
+    ProcedureModel,
+    random_call_graph,
+)
+
+
+def _leaf(name: str, size: int = 64) -> ProcedureModel:
+    return ProcedureModel(procedure=Procedure(name, size))
+
+
+class TestModelValidation:
+    def test_root_must_exist(self):
+        with pytest.raises(ProgramError):
+            CallGraphModel("nope", {"a": _leaf("a")})
+
+    def test_unknown_callee_rejected(self):
+        bad = ProcedureModel(
+            procedure=Procedure("a", 64),
+            call_sites=(CallSite("ghost", 1.0),),
+            mean_invocations=1.0,
+        )
+        with pytest.raises(ProgramError):
+            CallGraphModel("a", {"a": bad})
+
+    def test_call_site_weight_positive(self):
+        with pytest.raises(ProgramError):
+            CallSite("x", 0.0)
+
+    def test_body_fraction_bounds(self):
+        with pytest.raises(ProgramError):
+            ProcedureModel(procedure=Procedure("a", 10), body_fraction=0.0)
+        with pytest.raises(ProgramError):
+            ProcedureModel(procedure=Procedure("a", 10), body_fraction=1.5)
+
+    def test_reachable(self):
+        models = {
+            "root": ProcedureModel(
+                procedure=Procedure("root", 64),
+                call_sites=(CallSite("a", 1.0),),
+                mean_invocations=1.0,
+            ),
+            "a": _leaf("a"),
+            "orphan": _leaf("orphan"),
+        }
+        graph = CallGraphModel("root", models)
+        assert graph.reachable() == {"root", "a"}
+
+    def test_program_derivation(self):
+        graph = CallGraphModel("a", {"a": _leaf("a", 128)})
+        assert graph.program.size_of("a") == 128
+
+
+class TestParamsValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_procedures": 1},
+            {"hot_procedures": 0},
+            {"n_procedures": 10, "hot_procedures": 11},
+            {"depth": 0},
+            {"min_size": 0},
+            {"min_size": 100, "max_size": 50},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ProgramError):
+            CallGraphParams(**kwargs)
+
+
+class TestRandomGeneration:
+    def test_deterministic(self):
+        params = CallGraphParams(n_procedures=50, hot_procedures=10, seed=3)
+        a = random_call_graph(params)
+        b = random_call_graph(params)
+        assert a.program == b.program
+        for name in a.program.names:
+            assert a.model_of(name).call_sites == b.model_of(name).call_sites
+
+    def test_different_seeds_differ(self):
+        a = random_call_graph(
+            CallGraphParams(n_procedures=50, hot_procedures=10, seed=1)
+        )
+        b = random_call_graph(
+            CallGraphParams(n_procedures=50, hot_procedures=10, seed=2)
+        )
+        assert a.program != b.program
+
+    def test_procedure_count(self):
+        graph = random_call_graph(
+            CallGraphParams(n_procedures=77, hot_procedures=5, seed=0)
+        )
+        assert len(graph.program) == 77
+
+    def test_size_bounds_respected(self):
+        params = CallGraphParams(
+            n_procedures=100,
+            hot_procedures=10,
+            seed=0,
+            min_size=64,
+            max_size=1024,
+        )
+        graph = random_call_graph(params)
+        for proc in graph.program:
+            assert 64 <= proc.size <= 1024
+
+    def test_root_is_first_procedure(self):
+        graph = random_call_graph(
+            CallGraphParams(n_procedures=20, hot_procedures=3, seed=0)
+        )
+        assert graph.root == "f0000"
+
+    def test_hot_procedures_reachable(self):
+        """The dynamic working set must actually be executable."""
+        params = CallGraphParams(
+            n_procedures=200, hot_procedures=40, seed=11
+        )
+        graph = random_call_graph(params)
+        reachable = graph.reachable()
+        # All call sites with the hot-bias multiplier must be reachable;
+        # we can't recover the hot set directly, but the root's extra
+        # sites guarantee at least hot_procedures reachable procedures.
+        assert len(reachable) >= params.hot_procedures
+
+    def test_no_self_calls(self):
+        graph = random_call_graph(
+            CallGraphParams(n_procedures=100, hot_procedures=10, seed=4)
+        )
+        for name in graph.program.names:
+            for site in graph.model_of(name).call_sites:
+                assert site.callee != name

@@ -1,0 +1,37 @@
+"""Tests for trace events."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.program.program import Program
+from repro.trace.events import TraceEvent
+
+
+@pytest.fixture
+def program() -> Program:
+    return Program.from_sizes({"a": 100})
+
+
+class TestTraceEvent:
+    def test_full(self):
+        event = TraceEvent.full("a", 100)
+        assert event == TraceEvent("a", 0, 100)
+
+    def test_validate_ok(self, program):
+        TraceEvent("a", 10, 90).validate(program)
+
+    def test_unknown_procedure(self, program):
+        with pytest.raises(TraceError):
+            TraceEvent("zz", 0, 1).validate(program)
+
+    def test_zero_length_rejected(self, program):
+        with pytest.raises(TraceError):
+            TraceEvent("a", 0, 0).validate(program)
+
+    def test_extent_past_end_rejected(self, program):
+        with pytest.raises(TraceError):
+            TraceEvent("a", 50, 51).validate(program)
+
+    def test_negative_start_rejected(self, program):
+        with pytest.raises(TraceError):
+            TraceEvent("a", -1, 10).validate(program)

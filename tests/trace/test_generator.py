@@ -1,0 +1,116 @@
+"""Tests for the stochastic trace generator."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.callgraph import CallGraphParams, random_call_graph
+from repro.trace.generator import TraceInput, generate_trace
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_call_graph(
+        CallGraphParams(n_procedures=60, hot_procedures=12, seed=9)
+    )
+
+
+class TestInputValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_events": 0},
+            {"target_events": 100, "phases": 0},
+            {"target_events": 100, "phase_skew": -1.0},
+            {"target_events": 100, "body_scale": 0.0},
+            {"target_events": 100, "body_scale": 3.0},
+            {"target_events": 100, "max_depth": 0},
+        ],
+    )
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(TraceError):
+            TraceInput(name="x", seed=0, **kwargs)
+
+
+class TestGeneration:
+    def test_reaches_target_length(self, graph):
+        trace = generate_trace(
+            graph, TraceInput("t", seed=1, target_events=5000)
+        )
+        assert len(trace) >= 5000
+        # Never wildly overshoots (at most a couple extra events).
+        assert len(trace) <= 5010
+
+    def test_deterministic(self, graph):
+        inp = TraceInput("t", seed=42, target_events=2000)
+        a = generate_trace(graph, inp)
+        b = generate_trace(graph, inp)
+        assert list(a.proc_indices) == list(b.proc_indices)
+        assert list(a.extent_starts) == list(b.extent_starts)
+
+    def test_different_seeds_differ(self, graph):
+        a = generate_trace(graph, TraceInput("t", seed=1, target_events=2000))
+        b = generate_trace(graph, TraceInput("t", seed=2, target_events=2000))
+        assert list(a.proc_indices) != list(b.proc_indices)
+
+    def test_extents_valid(self, graph):
+        """Trace.from_arrays validates extents; a successful build is
+        the assertion, but double-check a sample explicitly."""
+        trace = generate_trace(
+            graph, TraceInput("t", seed=3, target_events=3000)
+        )
+        for event in list(trace)[:200]:
+            event.validate(graph.program)
+
+    def test_starts_with_root(self, graph):
+        trace = generate_trace(
+            graph, TraceInput("t", seed=4, target_events=100)
+        )
+        assert trace[0].procedure == graph.root
+
+    def test_only_reachable_procedures_appear(self, graph):
+        trace = generate_trace(
+            graph, TraceInput("t", seed=5, target_events=5000)
+        )
+        assert trace.touched_procedures() <= graph.reachable()
+
+    def test_phases_change_behaviour(self, graph):
+        """With strong phase skew, the first and last quarters of the
+        trace should reference measurably different procedure mixes."""
+        trace = generate_trace(
+            graph,
+            TraceInput(
+                "t", seed=6, target_events=20000, phases=4, phase_skew=2.0
+            ),
+        )
+        quarter = len(trace) // 4
+        head = set(trace.proc_indices[:quarter].tolist())
+        tail = set(trace.proc_indices[-quarter:].tolist())
+        assert head != tail
+
+    def test_zero_skew_single_phase(self, graph):
+        trace = generate_trace(
+            graph,
+            TraceInput(
+                "t", seed=7, target_events=1000, phases=1, phase_skew=0.0
+            ),
+        )
+        assert len(trace) >= 1000
+
+    def test_max_depth_limits_stack(self, graph):
+        """A depth-1 run can only ever execute the root procedure."""
+        trace = generate_trace(
+            graph,
+            TraceInput("t", seed=8, target_events=500, max_depth=1),
+        )
+        assert trace.touched_procedures() == {graph.root}
+
+    def test_body_scale_changes_extents(self, graph):
+        small = generate_trace(
+            graph,
+            TraceInput("t", seed=9, target_events=3000, body_scale=0.5),
+        )
+        large = generate_trace(
+            graph,
+            TraceInput("t", seed=9, target_events=3000, body_scale=1.0),
+        )
+        assert small.total_bytes < large.total_bytes

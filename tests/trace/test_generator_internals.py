@@ -1,0 +1,105 @@
+"""Tests for generator internals: phase tables, sampling, bisect."""
+
+import random
+
+import pytest
+
+from repro.program.procedure import Procedure
+from repro.trace.callgraph import CallGraphModel, CallSite, ProcedureModel
+from repro.trace.generator import (
+    TraceInput,
+    _bisect,
+    _PhaseTables,
+    generate_trace,
+)
+
+
+def two_leaf_graph() -> CallGraphModel:
+    models = {
+        "root": ProcedureModel(
+            procedure=Procedure("root", 64),
+            call_sites=(CallSite("x", 1.0), CallSite("y", 1.0)),
+            mean_invocations=8.0,
+        ),
+        "x": ProcedureModel(procedure=Procedure("x", 64)),
+        "y": ProcedureModel(procedure=Procedure("y", 64)),
+    }
+    return CallGraphModel("root", models)
+
+
+class TestBisect:
+    def test_finds_first_exceeding(self):
+        cumulative = [1.0, 3.0, 6.0]
+        assert _bisect(cumulative, 0.5) == 0
+        assert _bisect(cumulative, 1.0) == 1
+        assert _bisect(cumulative, 2.9) == 1
+        assert _bisect(cumulative, 5.9) == 2
+
+    def test_single_entry(self):
+        assert _bisect([2.0], 1.5) == 0
+
+
+class TestPhaseTables:
+    def test_cached_per_phase(self):
+        graph = two_leaf_graph()
+        inp = TraceInput("t", seed=1, target_events=100, phases=2)
+        tables = _PhaseTables(graph, inp)
+        first = tables.sites_for(graph.model_of("root"), 0)
+        again = tables.sites_for(graph.model_of("root"), 0)
+        assert first is again
+
+    def test_phases_reweight_sites(self):
+        graph = two_leaf_graph()
+        inp = TraceInput(
+            "t", seed=1, target_events=100, phases=2, phase_skew=1.5
+        )
+        tables = _PhaseTables(graph, inp)
+        phase0, _ = tables.sites_for(graph.model_of("root"), 0)
+        phase1, _ = tables.sites_for(graph.model_of("root"), 1)
+        assert phase0 != phase1
+
+    def test_zero_skew_keeps_base_weights(self):
+        graph = two_leaf_graph()
+        inp = TraceInput(
+            "t", seed=1, target_events=100, phases=3, phase_skew=0.0
+        )
+        tables = _PhaseTables(graph, inp)
+        cumulative, callees = tables.sites_for(graph.model_of("root"), 2)
+        assert cumulative == [1.0, 2.0]
+        assert callees == ["x", "y"]
+
+    def test_leaf_has_no_sites(self):
+        graph = two_leaf_graph()
+        inp = TraceInput("t", seed=1, target_events=100)
+        tables = _PhaseTables(graph, inp)
+        cumulative, callees = tables.sites_for(graph.model_of("x"), 0)
+        assert cumulative == []
+        assert callees == []
+
+
+class TestLeafOnlyRoot:
+    def test_root_without_sites_still_generates(self):
+        graph = CallGraphModel(
+            "solo",
+            {"solo": ProcedureModel(procedure=Procedure("solo", 128))},
+        )
+        trace = generate_trace(
+            graph, TraceInput("t", seed=0, target_events=50)
+        )
+        assert len(trace) >= 50
+        assert trace.touched_procedures() == {"solo"}
+
+
+class TestExtentWrap:
+    def test_cursor_wraps_emit_two_events(self):
+        """A large body fraction forces cursor wraps, which must split
+        into two in-bounds extents rather than run off the end."""
+        graph = two_leaf_graph()
+        trace = generate_trace(
+            graph,
+            TraceInput("t", seed=3, target_events=500, body_scale=2.0),
+        )
+        for event in trace:
+            size = graph.program.size_of(event.procedure)
+            assert 0 <= event.start < size
+            assert event.start + event.length <= size

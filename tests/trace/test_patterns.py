@@ -1,0 +1,96 @@
+"""Tests for the canonical reference patterns."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.patterns import (
+    alternation,
+    caller_callee_loop,
+    figure1_program,
+    figure1_trace,
+    full_body_trace,
+    phased,
+    round_robin,
+)
+
+
+class TestBuilders:
+    def test_alternation(self):
+        assert alternation("a", "b", 2) == ["a", "b", "a", "b"]
+
+    def test_phased(self):
+        assert phased([["x"], ["y"]], 2) == ["x", "x", "y", "y"]
+
+    def test_phased_multi_member_groups(self):
+        assert phased([["a", "b"]], 2) == ["a", "b", "a", "b"]
+
+    def test_round_robin(self):
+        assert round_robin(["a", "b", "c"], 2) == [
+            "a", "b", "c", "a", "b", "c",
+        ]
+
+    def test_caller_callee_loop(self):
+        assert caller_callee_loop("M", ["x", "y"], 3) == [
+            "M", "x", "M", "y", "M", "x",
+        ]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: alternation("a", "b", 0),
+            lambda: phased([], 1),
+            lambda: phased([[]], 1),
+            lambda: phased([["a"]], 0),
+            lambda: round_robin([], 1),
+            lambda: round_robin(["a"], 0),
+            lambda: caller_callee_loop("M", [], 1),
+            lambda: caller_callee_loop("M", ["x"], 0),
+            lambda: figure1_trace(True, 0),
+        ],
+    )
+    def test_validation(self, call):
+        with pytest.raises(TraceError):
+            call()
+
+
+class TestFigure1:
+    def test_program_shape(self):
+        program = figure1_program()
+        assert program.names == ("M", "X", "Y", "Z")
+        assert program.total_size == 128
+
+    def test_trace2_structure(self):
+        refs = figure1_trace(alternating=False, iterations=2)
+        assert refs == [
+            "M", "X", "M", "Z",
+            "M", "X", "M", "Z",
+            "M", "Y", "M", "Z",
+            "M", "Y", "M", "Z",
+        ]
+
+    def test_trace1_alternates(self):
+        refs = figure1_trace(alternating=True, iterations=1)
+        assert refs == ["M", "X", "M", "Z", "M", "Y", "M", "Z"]
+
+    def test_both_traces_same_wcg(self):
+        """The package-level restatement of the Figure 1 claim."""
+        from repro.profiles.wcg import build_wcg_from_refs
+
+        wcg1 = build_wcg_from_refs(figure1_trace(True))
+        wcg2 = build_wcg_from_refs(figure1_trace(False))
+        assert wcg1 == wcg2
+
+
+class TestFullBodyTrace:
+    def test_builds_trace(self):
+        program = figure1_program()
+        trace = full_body_trace(program, ["M", "X"])
+        assert len(trace) == 2
+        assert trace[0].length == 32
+
+    def test_unknown_name_rejected(self):
+        from repro.errors import ProgramError
+
+        program = figure1_program()
+        with pytest.raises(ProgramError):
+            full_body_trace(program, ["nope"])

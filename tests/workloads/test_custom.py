@@ -1,0 +1,101 @@
+"""Tests for JSON workload specifications."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.custom import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.suite import M88KSIM
+
+
+def minimal_spec() -> dict:
+    return {
+        "format": "repro/workload",
+        "version": 1,
+        "name": "custom",
+        "graph": {"n_procedures": 30, "hot_procedures": 6, "seed": 3},
+        "train": {"seed": 1, "target_events": 2000},
+        "test": {"seed": 2, "target_events": 2500},
+    }
+
+
+class TestFromDict:
+    def test_minimal_spec_builds(self):
+        workload = workload_from_dict(minimal_spec())
+        assert workload.name == "custom"
+        assert len(workload.program) == 30
+        assert workload.train.target_events == 2000
+
+    def test_defaults_applied(self):
+        workload = workload_from_dict(minimal_spec())
+        assert workload.graph_params.depth == 6  # library default
+        assert workload.train.phases == 4
+
+    def test_generates_traces(self):
+        workload = workload_from_dict(minimal_spec())
+        assert len(workload.trace("train")) >= 2000
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda spec: spec.pop("format"),
+            lambda spec: spec.update(version=2),
+            lambda spec: spec.update(name=""),
+            lambda spec: spec.pop("graph"),
+            lambda spec: spec.update(surprise=1),
+            lambda spec: spec["graph"].update(typo_key=5),
+            lambda spec: spec["train"].update(name="x"),
+            lambda spec: spec["graph"].update(n_procedures="many"),
+        ],
+    )
+    def test_malformed_specs_rejected(self, mutate):
+        spec = minimal_spec()
+        mutate(spec)
+        with pytest.raises(ConfigError):
+            workload_from_dict(spec)
+
+    def test_invalid_values_propagate_as_errors(self):
+        spec = minimal_spec()
+        spec["graph"]["hot_procedures"] = 0
+        with pytest.raises(Exception):
+            workload_from_dict(spec)
+
+
+class TestFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(minimal_spec()))
+        workload = load_workload(path)
+        assert workload.name == "custom"
+
+    def test_save_then_load(self, tmp_path):
+        path = tmp_path / "m88ksim.json"
+        save_workload(M88KSIM, path)
+        loaded = load_workload(path)
+        assert loaded.name == M88KSIM.name
+        assert loaded.graph_params == M88KSIM.graph_params
+        assert loaded.train == M88KSIM.train
+        assert loaded.test == M88KSIM.test
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_workload(tmp_path / "absent.json")
+
+    def test_garbage_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(ConfigError):
+            load_workload(path)
+
+    def test_to_dict_matches_format(self):
+        data = workload_to_dict(M88KSIM)
+        assert data["format"] == "repro/workload"
+        assert workload_from_dict(data).graph_params == (
+            M88KSIM.graph_params
+        )

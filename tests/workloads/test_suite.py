@@ -1,0 +1,105 @@
+"""Tests for the Table 1 benchmark analogs.
+
+The static statistics of each analog must track its Table 1 row; the
+dynamic statistics (trace generation) are exercised on scaled-down
+versions to keep the suite fast.
+"""
+
+import pytest
+
+from repro.workloads.suite import SUITE, by_name
+
+# (name, total_size, total_count, popular_size, popular_count) from
+# Table 1 of the paper, sizes in bytes.
+TABLE1 = {
+    "gcc": (2_277_000, 2005, 351_000, 136),
+    "go": (590_000, 3221, 134_000, 112),
+    "ghostscript": (1_817_000, 372, 104_000, 216),
+    "m88ksim": (549_000, 460, 21_000, 31),
+    "perl": (664_000, 271, 83_000, 36),
+    "vortex": (1_073_000, 923, 117_000, 156),
+}
+
+
+class TestSuiteStructure:
+    def test_six_workloads_in_order(self):
+        assert [w.name for w in SUITE] == [
+            "gcc",
+            "go",
+            "ghostscript",
+            "m88ksim",
+            "perl",
+            "vortex",
+        ]
+
+    def test_by_name(self):
+        assert by_name("perl").name == "perl"
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("compress")  # excluded by the paper as uninteresting
+
+    def test_unique_seeds(self):
+        seeds = [w.graph_params.seed for w in SUITE]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestTable1Statistics:
+    @pytest.mark.parametrize("workload", SUITE, ids=lambda w: w.name)
+    def test_procedure_count_matches_table1(self, workload):
+        expected_count = TABLE1[workload.name][1]
+        assert len(workload.program) == expected_count
+
+    @pytest.mark.parametrize("workload", SUITE, ids=lambda w: w.name)
+    def test_total_size_tracks_table1(self, workload):
+        """Within a factor of 2 of the Table 1 text-segment size —
+        sizes are drawn from a lognormal, so only the scale matters."""
+        expected_size = TABLE1[workload.name][0]
+        actual = workload.program.total_size
+        assert expected_size / 2 <= actual <= expected_size * 2
+
+    @pytest.mark.parametrize("workload", SUITE, ids=lambda w: w.name)
+    def test_hot_count_matches_table1(self, workload):
+        assert workload.graph_params.hot_procedures == (
+            TABLE1[workload.name][3]
+        )
+
+    @pytest.mark.parametrize("workload", SUITE, ids=lambda w: w.name)
+    def test_train_test_inputs_differ(self, workload):
+        assert workload.train.seed != workload.test.seed
+
+    def test_trace_length_ratios_preserved(self):
+        """perl's test trace is ~2x its train trace, as in Table 1
+        (146M vs 77M basic blocks)."""
+        perl = by_name("perl")
+        ratio = perl.test.target_events / perl.train.target_events
+        assert 1.5 < ratio < 2.5
+
+
+class TestDynamicBehaviour:
+    def test_scaled_workload_generates(self):
+        workload = by_name("m88ksim").scaled(0.02)
+        trace = workload.trace("train")
+        assert len(trace) >= 1000
+        # The dynamic working set concentrates on few procedures.
+        counts = trace.reference_counts()
+        assert len(counts) < len(workload.program) / 2
+
+    def test_mismatched_m88ksim_inputs(self):
+        """The m88ksim analog deliberately has a poor train/test match
+        (Section 5.3's dcrand-vs-dhry observation): the test input's
+        hot mix differs measurably from the train input's."""
+        workload = by_name("m88ksim").scaled(0.05)
+        train_hot = {
+            name
+            for name, _ in workload.trace("train")
+            .reference_counts()
+            .most_common(10)
+        }
+        test_hot = {
+            name
+            for name, _ in workload.trace("test")
+            .reference_counts()
+            .most_common(10)
+        }
+        assert train_hot != test_hot

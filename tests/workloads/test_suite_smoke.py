@@ -1,0 +1,62 @@
+"""End-to-end smoke over every suite analog at tiny scale.
+
+Each of the six Table 1 analogs must survive the complete pipeline —
+trace generation, profiling, every placement algorithm, simulation —
+with no workload-specific assumptions breaking.  Traces are 1%-scale
+to keep this fast.
+"""
+
+import pytest
+
+from repro.cache.config import PAPER_CACHE
+from repro.cache.simulator import simulate
+from repro.core.gbsc import GBSCPlacement
+from repro.eval.experiment import build_context
+from repro.placement.hkc import HashemiKaeliCalderPlacement
+from repro.placement.identity import DefaultPlacement
+from repro.placement.ph import PettisHansenPlacement
+from repro.workloads.suite import SUITE
+
+
+@pytest.fixture(scope="module", params=SUITE, ids=lambda w: w.name)
+def pipeline(request):
+    workload = request.param.scaled(0.01)
+    train = workload.trace("train")
+    test = workload.trace("test")
+    context = build_context(train, PAPER_CACHE)
+    return workload, context, test
+
+
+def test_context_is_populated(pipeline):
+    _, context, _ = pipeline
+    assert len(context.popular) > 0
+    assert context.trgs.select.num_edges() > 0
+    assert context.wcg.num_edges() > 0
+
+
+@pytest.mark.parametrize(
+    "algorithm_factory",
+    [
+        DefaultPlacement,
+        PettisHansenPlacement,
+        HashemiKaeliCalderPlacement,
+        GBSCPlacement,
+    ],
+    ids=lambda f: f.__name__,
+)
+def test_every_algorithm_places_every_analog(pipeline, algorithm_factory):
+    workload, context, test = pipeline
+    layout = algorithm_factory().place(context)
+    assert sorted(layout.order_by_address()) == sorted(
+        workload.program.names
+    )
+    stats = simulate(layout, test, PAPER_CACHE)
+    assert 0.0 < stats.miss_rate < 0.5
+
+
+def test_popular_procedures_are_hot(pipeline):
+    """Every selected popular procedure actually appears in the
+    training trace."""
+    workload, context, _ = pipeline
+    touched = workload.trace("train").touched_procedures()
+    assert set(context.popular) <= touched
