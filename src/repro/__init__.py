@@ -37,7 +37,17 @@ from repro.core import (
     GBSCSetAssociativePlacement,
     select_popular,
 )
+from repro.analysis import (
+    Finding,
+    Severity,
+    audit_layout,
+    audit_placement,
+    audit_profiles,
+    run_linter,
+)
 from repro.errors import (
+    AnalysisError,
+    AuditFailure,
     ConfigError,
     LayoutError,
     PlacementError,
@@ -65,10 +75,14 @@ from repro.trace import Trace, TraceEvent, TraceInput, generate_trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
+    "AuditFailure",
     "CacheConfig",
     "ChunkId",
     "ConfigError",
     "DefaultPlacement",
+    "Finding",
+    "Severity",
     "GBSCPlacement",
     "GBSCSetAssociativePlacement",
     "HashemiKaeliCalderPlacement",
@@ -90,12 +104,16 @@ __all__ = [
     "TraceEvent",
     "TraceInput",
     "WeightedGraph",
+    "audit_layout",
+    "audit_placement",
+    "audit_profiles",
     "build_context",
     "build_trgs",
     "build_wcg",
     "generate_trace",
     "perturbation_sweep",
     "run_experiment",
+    "run_linter",
     "run_workload_experiment",
     "select_popular",
     "simulate",

@@ -1,0 +1,78 @@
+"""Static verification of pipeline artifacts and source determinism.
+
+Two independent halves:
+
+* **Artifact auditors** — pure, non-executing validators that take
+  finished artifacts (layouts, TRGs, the working set, merge nodes, a
+  whole GBSC run) and return structured :class:`Finding` lists instead
+  of trusting the optimizer that produced them:
+  :func:`audit_layout`, :func:`audit_profiles`, :func:`audit_graph`,
+  :func:`audit_working_set`, :func:`audit_pair_db`,
+  :func:`audit_placement`, :func:`audit_nodes`,
+  :func:`audit_offset_costs`.
+* **A determinism linter** — an AST walk over ``src/repro`` and
+  ``benchmarks/`` enforcing the project's reproducibility contract
+  (:func:`run_linter`, rules in :mod:`repro.analysis.rules`).
+
+Both are wired into the CLI (``repro-layout check`` / ``repro-layout
+lint``) and into CI via ``tests/analysis``.
+"""
+
+from repro.analysis.findings import (
+    Finding,
+    Location,
+    Severity,
+    format_findings,
+    require_clean,
+    sort_findings,
+)
+from repro.analysis.layout_audit import audit_layout, audit_layout_payload
+from repro.analysis.linter import (
+    LintRule,
+    all_rules,
+    lint_file,
+    lint_source,
+    register_rule,
+    run_linter,
+)
+from repro.analysis.placement_audit import (
+    audit_nodes,
+    audit_offset_costs,
+    audit_offset_realisation,
+    audit_partition,
+    audit_placement,
+)
+from repro.analysis.profile_audit import (
+    audit_graph,
+    audit_pair_db,
+    audit_profiles,
+    audit_trgs,
+    audit_working_set,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "Location",
+    "Severity",
+    "all_rules",
+    "audit_graph",
+    "audit_layout",
+    "audit_layout_payload",
+    "audit_nodes",
+    "audit_offset_costs",
+    "audit_offset_realisation",
+    "audit_pair_db",
+    "audit_partition",
+    "audit_placement",
+    "audit_profiles",
+    "audit_trgs",
+    "audit_working_set",
+    "format_findings",
+    "lint_file",
+    "lint_source",
+    "register_rule",
+    "require_clean",
+    "run_linter",
+    "sort_findings",
+]

@@ -1,0 +1,121 @@
+"""Structured findings shared by every auditor and the linter.
+
+All of :mod:`repro.analysis` reports problems the same way: a flat list
+of :class:`Finding` objects, each carrying a stable rule identifier
+(``"layout/overlap"``, ``"det/unseeded-random"``, ...), a severity, an
+optional source/artifact location and a human-readable message.  The
+validators never raise on a *bad artifact* — they return findings — so
+a single audit pass can report every problem at once; they raise
+:class:`~repro.errors.AnalysisError` only when they cannot audit at
+all (wrong types, missing program model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import AuditFailure
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordered for sorting (ERROR first)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """Where a finding points: a source line and/or an artifact object.
+
+    ``file``/``line`` locate lint findings in source code; ``obj``
+    names the offending artifact coordinate (a procedure, an edge, a
+    chunk) for audit findings.  All fields are optional — an audit of
+    an in-memory artifact has no file.
+    """
+
+    file: str | None = None
+    line: int | None = None
+    obj: str | None = None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.file is not None:
+            parts.append(
+                self.file if self.line is None else f"{self.file}:{self.line}"
+            )
+        if self.obj is not None:
+            parts.append(self.obj)
+        return " ".join(parts) if parts else "<artifact>"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One problem detected by an auditor or lint rule."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+
+    def format(self) -> str:
+        """One-line rendering: ``location: severity [rule] message``."""
+        return (
+            f"{self.location}: {self.severity.value} "
+            f"[{self.rule}] {self.message}"
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic presentation order: severity, file, line, rule."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            f.severity.rank,
+            f.location.file or "",
+            f.location.line or 0,
+            f.rule,
+            f.message,
+        ),
+    )
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Render findings one per line, sorted, with a trailing summary."""
+    ordered = sort_findings(findings)
+    lines = [finding.format() for finding in ordered]
+    errors = sum(1 for f in ordered if f.severity is Severity.ERROR)
+    lines.append(
+        f"{len(ordered)} finding(s), {errors} error(s)"
+        if ordered
+        else "no findings"
+    )
+    return "\n".join(lines)
+
+
+def require_clean(
+    findings: Sequence[Finding], context: str = "audit"
+) -> None:
+    """Raise :class:`AuditFailure` when any error-severity finding exists.
+
+    The failure message names the first few violated rules so logs stay
+    one line; the full list is available from the findings themselves.
+    """
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if not errors:
+        return
+    shown = ", ".join(f.rule for f in errors[:5])
+    suffix = ", ..." if len(errors) > 5 else ""
+    raise AuditFailure(
+        f"{context}: {len(errors)} error finding(s) ({shown}{suffix})"
+    )

@@ -1,0 +1,228 @@
+"""Independent re-validation of finished layouts.
+
+:class:`~repro.program.layout.Layout` already validates on
+construction, but that is the *optimizer's own* check: an artifact
+written by a buggy writer, an older format, or a by-hand edit never
+went through it, and a regression in ``Layout._validate`` itself would
+go unnoticed.  This auditor re-derives every structural invariant from
+scratch — raw ``(program, addresses)`` data, never trusting the Layout
+class — and adds the GBSC-shape invariants the constructor cannot
+know: popular procedures land cache-line aligned, gaps are filled only
+with unpopular procedures, and the linearizer's gap accounting matches
+the bytes actually left empty (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.cache.config import CacheConfig
+from repro.errors import AnalysisError
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.linearize import LinearizationResult
+
+
+def _finding(rule: str, message: str, obj: str | None = None) -> Finding:
+    return Finding(rule, Severity.ERROR, message, Location(obj=obj))
+
+
+def audit_layout(
+    layout: Layout | Mapping[str, int],
+    config: CacheConfig,
+    *,
+    program: Program | None = None,
+    popular: Iterable[str] | None = None,
+    linearization: "LinearizationResult | None" = None,
+) -> list[Finding]:
+    """Audit a layout (or a raw address mapping) against *config*.
+
+    Parameters
+    ----------
+    layout:
+        A :class:`Layout`, or a raw ``{name: address}`` mapping — the
+        latter lets corrupted artifacts that the ``Layout`` constructor
+        would reject be audited and *reported* instead of raised on.
+    program:
+        Required when *layout* is a raw mapping.
+    popular:
+        When given, the GBSC alignment invariant is checked: every
+        popular procedure must start on a cache-line boundary.
+    linearization:
+        When given (a :class:`LinearizationResult` or anything with
+        ``gap_fillers`` and ``gap_bytes``), gap-filler popularity and
+        gap-byte accounting are verified.
+
+    Rule ids
+    --------
+    ``layout/missing-address``, ``layout/unknown-procedure``,
+    ``layout/bad-address``, ``layout/negative-address``,
+    ``layout/overlap``, ``layout/chunk-coverage``,
+    ``layout/unaligned-popular``, ``layout/popular-gap-filler``,
+    ``layout/gap-accounting``.
+    """
+    if isinstance(layout, Layout):
+        program = layout.program
+        addresses: dict[str, Any] = {n: a for n, a in layout.items()}
+    else:
+        if program is None:
+            raise AnalysisError(
+                "auditing a raw address mapping requires the program model"
+            )
+        addresses = dict(layout)
+
+    findings: list[Finding] = []
+
+    for name in program.names:
+        if name not in addresses:
+            findings.append(
+                _finding(
+                    "layout/missing-address",
+                    "procedure has no address in the layout",
+                    obj=name,
+                )
+            )
+    for name in addresses:
+        if name not in program:
+            findings.append(
+                _finding(
+                    "layout/unknown-procedure",
+                    "layout addresses a procedure the program does not have",
+                    obj=str(name),
+                )
+            )
+
+    # From here on, work only with addressable, known procedures whose
+    # address is a usable integer.
+    spans: list[tuple[int, int, str]] = []
+    for name, address in addresses.items():
+        if name not in program:
+            continue
+        if isinstance(address, bool) or not isinstance(address, int):
+            findings.append(
+                _finding(
+                    "layout/bad-address",
+                    f"address {address!r} is not an integer",
+                    obj=name,
+                )
+            )
+            continue
+        if address < 0:
+            findings.append(
+                _finding(
+                    "layout/negative-address",
+                    f"address {address} is negative",
+                    obj=name,
+                )
+            )
+            continue
+        spans.append((address, address + program.size_of(name), name))
+
+    spans.sort()
+    for (_, prev_end, prev_name), (start, _, name) in zip(spans, spans[1:]):
+        if start < prev_end:
+            findings.append(
+                _finding(
+                    "layout/overlap",
+                    f"overlaps {prev_name!r} by {prev_end - start} bytes "
+                    f"at address {start}",
+                    obj=name,
+                )
+            )
+
+    # Procedures at least one cache in size necessarily wrap the whole
+    # cache; fewer occupied sets means the address/size arithmetic (or
+    # the audited config) is inconsistent with the artifact.
+    by_name = {name: start for start, _, name in spans}
+    for name, start in by_name.items():
+        size = program.size_of(name)
+        if size < config.size:
+            continue
+        occupied = {
+            config.set_of_line(line)
+            for line in config.lines_spanned(start, size)
+        }
+        if len(occupied) != config.num_sets:
+            findings.append(
+                _finding(
+                    "layout/chunk-coverage",
+                    f"procedure of {size} bytes (>= cache size "
+                    f"{config.size}) covers only {len(occupied)} of "
+                    f"{config.num_sets} cache sets",
+                    obj=name,
+                )
+            )
+
+    popular_set = set(popular) if popular is not None else None
+    if popular_set is not None:
+        for name in sorted(popular_set):
+            start = by_name.get(name)
+            if start is None:
+                continue
+            if start % config.line_size != 0:
+                findings.append(
+                    _finding(
+                        "layout/unaligned-popular",
+                        f"popular procedure starts at {start}, not on a "
+                        f"{config.line_size}-byte cache-line boundary",
+                        obj=name,
+                    )
+                )
+
+    if linearization is not None:
+        if popular_set is not None:
+            for name in linearization.gap_fillers:
+                if name in popular_set:
+                    findings.append(
+                        _finding(
+                            "layout/popular-gap-filler",
+                            "popular procedure was used as a gap filler; "
+                            "gaps may only hold unpopular procedures "
+                            "(Section 4.3)",
+                            obj=name,
+                        )
+                    )
+        if spans:
+            text_start = min(start for start, _, _ in spans)
+            text_end = max(end for _, end, _ in spans)
+            actual_gap = (text_end - text_start) - sum(
+                program.size_of(name) for _, _, name in spans
+            )
+            if actual_gap != linearization.gap_bytes:
+                findings.append(
+                    _finding(
+                        "layout/gap-accounting",
+                        f"layout leaves {actual_gap} empty bytes but the "
+                        f"linearizer accounted {linearization.gap_bytes}",
+                    )
+                )
+
+    return findings
+
+
+def audit_layout_payload(
+    data: Mapping[str, Any], config: CacheConfig
+) -> list[Finding]:
+    """Audit a serialised ``repro/layout`` payload without constructing
+    a :class:`Layout` (whose constructor would raise on the very
+    corruption this audit exists to report)."""
+    from repro.io import program_from_dict
+
+    if not isinstance(data, Mapping) or data.get("format") != "repro/layout":
+        raise AnalysisError(
+            "payload is not a repro/layout artifact "
+            f"(found format={data.get('format')!r})"
+            if isinstance(data, Mapping)
+            else "payload is not a repro/layout artifact"
+        )
+    try:
+        program = program_from_dict(dict(data["program"]))
+        addresses = dict(data["addresses"])
+    except (KeyError, TypeError) as error:
+        raise AnalysisError(
+            f"malformed layout payload: {error}"
+        ) from error
+    return audit_layout(addresses, config, program=program)

@@ -1,0 +1,179 @@
+"""A small AST linter enforcing reproduction-specific determinism rules.
+
+General-purpose linters cannot know this project's contract: every
+experiment must be bit-reproducible from its seeds.  The rules in
+:mod:`repro.analysis.rules` encode the ways that contract has been (or
+could be) silently broken — module-level RNG draws, mutable default
+arguments, float equality in metric code, iteration over unordered
+sets, container mutation during iteration — and this module provides
+the machinery to run them over source trees: a rule registry, per-file
+AST walking, and line-comment suppression.
+
+Suppressing a finding is explicit and local::
+
+    value = random.random()  # lint: disable=det/unseeded-random
+
+which is the "designated seeding site" escape hatch: the marker names
+the rule it silences and survives reformatting.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.errors import AnalysisError
+
+#: Marker that suppresses a finding on its own line.
+DISABLE_MARKER = "lint: disable="
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` / ``description`` and implement
+    :meth:`check_module`; :meth:`applies_to` restricts a rule to a
+    subset of files (e.g. float-equality only in metric code).
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, node: ast.AST, path: str, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+            location=Location(
+                file=path, line=getattr(node, "lineno", None)
+            ),
+        )
+
+
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the default registry."""
+    if not cls.rule_id:
+        raise AnalysisError(f"lint rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise AnalysisError(f"duplicate lint rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule, in id order."""
+    # Importing the rules module populates the registry on first use.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def select_rules(select: Iterable[str] | None = None) -> list[LintRule]:
+    """Rules restricted to *select* ids (all rules when ``None``)."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = set(select)
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise AnalysisError(
+            f"unknown lint rule id(s): {', '.join(sorted(unknown))}"
+        )
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[LintRule] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="lint/syntax-error",
+                severity=Severity.ERROR,
+                message=f"cannot parse: {error.msg}",
+                location=Location(file=path, line=error.lineno),
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in active:
+        if rule.applies_to(path):
+            findings.extend(rule.check_module(tree, path))
+    lines = source.splitlines()
+
+    def suppressed(finding: Finding) -> bool:
+        line_no = finding.location.line
+        if line_no is None or not 1 <= line_no <= len(lines):
+            return False
+        text = lines[line_no - 1]
+        marker = text.rfind(DISABLE_MARKER)
+        if marker < 0:
+            return False
+        listed = text[marker + len(DISABLE_MARKER):]
+        return finding.rule in {
+            item.strip() for item in listed.split(",")
+        }
+
+    return [f for f in findings if not suppressed(f)]
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[LintRule] | None = None
+) -> list[Finding]:
+    """Lint one Python file."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise AnalysisError(f"cannot read {file_path}: {error}") from error
+    return lint_source(source, str(file_path), rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield Python files under *paths* in deterministic order."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise AnalysisError(f"lint path does not exist: {path}")
+
+
+def run_linter(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under *paths* with the selected rules."""
+    rules = select_rules(select)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules))
+    return findings

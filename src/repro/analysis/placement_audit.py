@@ -1,0 +1,251 @@
+"""Auditors for the GBSC merge phase and its popular/unpopular split.
+
+The merge step's contract (Figure 4 / Section 4.2) is easy to state
+and easy to silently violate: every node offset lies inside the cache,
+no procedure belongs to two nodes, the offset evaluation scores *all*
+``num_lines`` relative alignments and picks the first minimum, and the
+final layout realises exactly the cache-relative offsets the merge
+chose.  The popular/unpopular partition (Section 4) must likewise be a
+true partition.  These auditors take the finished products — merge
+nodes, cost vectors, a :class:`~repro.core.gbsc.GBSCResult` — and
+re-check all of it without re-running the optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.cache.config import CacheConfig
+from repro.core.gbsc import GBSCResult
+from repro.core.merge import MergeNode, best_offset
+from repro.errors import LayoutError
+from repro.placement.base import PlacementContext
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+
+def _finding(rule: str, message: str, obj: str | None = None) -> Finding:
+    return Finding(rule, Severity.ERROR, message, Location(obj=obj))
+
+
+def audit_nodes(
+    nodes: Sequence[MergeNode],
+    program: Program,
+    config: CacheConfig,
+    *,
+    popular: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Audit a set of merge nodes.
+
+    Rule ids: ``placement/offset-range``,
+    ``placement/duplicate-procedure``, ``placement/unknown-procedure``,
+    ``placement/not-popular``, ``placement/missing-popular``.
+    """
+    findings: list[Finding] = []
+    popular_set = set(popular) if popular is not None else None
+    seen: dict[str, int] = {}
+    for index, node in enumerate(nodes):
+        for placement in node.placements:
+            name = placement.name
+            if name in seen and seen[name] != index:
+                findings.append(
+                    _finding(
+                        "placement/duplicate-procedure",
+                        f"procedure appears in nodes {seen[name]} and "
+                        f"{index}",
+                        obj=name,
+                    )
+                )
+            seen.setdefault(name, index)
+            if not 0 <= placement.offset < config.num_lines:
+                findings.append(
+                    _finding(
+                        "placement/offset-range",
+                        f"cache-line offset {placement.offset} outside "
+                        f"[0, {config.num_lines})",
+                        obj=name,
+                    )
+                )
+            if name not in program:
+                findings.append(
+                    _finding(
+                        "placement/unknown-procedure",
+                        "node places a procedure the program does not "
+                        "have",
+                        obj=name,
+                    )
+                )
+            if popular_set is not None and name not in popular_set:
+                findings.append(
+                    _finding(
+                        "placement/not-popular",
+                        "node places an unpopular procedure; the merge "
+                        "phase only handles popular ones (Section 4)",
+                        obj=name,
+                    )
+                )
+    if popular_set is not None:
+        for name in sorted(popular_set - set(seen)):
+            findings.append(
+                _finding(
+                    "placement/missing-popular",
+                    "popular procedure was never absorbed by any node",
+                    obj=name,
+                )
+            )
+    return findings
+
+
+def audit_partition(
+    program: Program,
+    popular: Iterable[str],
+    unpopular: Iterable[str],
+) -> list[Finding]:
+    """Check that popular/unpopular is a true partition of the program.
+
+    Rule ids: ``placement/partition-overlap``,
+    ``placement/partition-coverage``.
+    """
+    findings: list[Finding] = []
+    popular_set = set(popular)
+    unpopular_set = set(unpopular)
+    for name in sorted(popular_set & unpopular_set):
+        findings.append(
+            _finding(
+                "placement/partition-overlap",
+                "procedure is listed both popular and unpopular",
+                obj=name,
+            )
+        )
+    names = set(program.names)
+    for name in sorted(names - popular_set - unpopular_set):
+        findings.append(
+            _finding(
+                "placement/partition-coverage",
+                "procedure is in neither partition",
+                obj=name,
+            )
+        )
+    for name in sorted((popular_set | unpopular_set) - names):
+        findings.append(
+            _finding(
+                "placement/partition-coverage",
+                "partitioned procedure is not in the program",
+                obj=name,
+            )
+        )
+    return findings
+
+
+def audit_offset_costs(
+    costs: Sequence[float] | np.ndarray,
+    config: CacheConfig,
+    chosen: int | None = None,
+) -> list[Finding]:
+    """Audit one merge-step cost vector for evaluation completeness.
+
+    Rule ids: ``placement/cost-length`` (not one cost per cache line —
+    the Figure 4 search must evaluate *every* relative offset),
+    ``placement/cost-nonfinite``, ``placement/cost-negative``, and
+    ``placement/cost-choice`` (*chosen* is not the first minimum).
+    """
+    findings: list[Finding] = []
+    values = np.asarray(costs, dtype=float)
+    if values.ndim != 1 or values.shape[0] != config.num_lines:
+        findings.append(
+            _finding(
+                "placement/cost-length",
+                f"cost vector has shape {values.shape}, expected one "
+                f"cost per cache line ({config.num_lines},)",
+            )
+        )
+        return findings
+    for index, value in enumerate(values.tolist()):
+        if not math.isfinite(value):
+            findings.append(
+                _finding(
+                    "placement/cost-nonfinite",
+                    f"cost at offset {index} is {value}",
+                )
+            )
+        elif value < 0:
+            findings.append(
+                _finding(
+                    "placement/cost-negative",
+                    f"cost at offset {index} is {value}; TRG weights "
+                    "sum to non-negative costs",
+                )
+            )
+    if chosen is not None and not findings:
+        expected = best_offset(values)
+        if chosen != expected:
+            findings.append(
+                _finding(
+                    "placement/cost-choice",
+                    f"offset {chosen} was chosen but the first minimum "
+                    f"is at {expected} (Section 4.2, note 3)",
+                )
+            )
+    return findings
+
+
+def audit_placement(
+    result: GBSCResult, context: PlacementContext
+) -> list[Finding]:
+    """Full audit of a GBSC run against its placement context.
+
+    Combines :func:`audit_nodes` and :func:`audit_partition` with the
+    realisation check: every placed procedure's final address must be
+    congruent to its chosen cache-line offset (Section 4.3) — rule id
+    ``placement/offset-mismatch``.
+    """
+    popular = context.popular if context.popular else None
+    findings = audit_nodes(
+        result.nodes, context.program, context.config, popular=popular
+    )
+    if popular is not None:
+        findings.extend(
+            audit_partition(context.program, popular, context.unpopular())
+        )
+    findings.extend(
+        audit_offset_realisation(
+            result.layout, result.nodes, context.config
+        )
+    )
+    return findings
+
+
+def audit_offset_realisation(
+    layout: Layout,
+    nodes: Sequence[MergeNode],
+    config: CacheConfig,
+) -> list[Finding]:
+    """Check the layout realises every node's cache-relative offset.
+
+    Rule id: ``placement/offset-mismatch``.
+    """
+    findings: list[Finding] = []
+    for node in nodes:
+        for placement in node.placements:
+            try:
+                address = layout.address_of(placement.name)
+            except LayoutError:
+                # Missing addresses are the layout auditor's finding.
+                continue
+            expected = (placement.offset * config.line_size) % config.size
+            if address % config.size != expected:
+                findings.append(
+                    _finding(
+                        "placement/offset-mismatch",
+                        f"address {address} is congruent to "
+                        f"{address % config.size} mod the cache size, "
+                        f"but the merge phase chose line offset "
+                        f"{placement.offset} (byte {expected})",
+                        obj=placement.name,
+                    )
+                )
+    return findings

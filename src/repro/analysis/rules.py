@@ -1,0 +1,414 @@
+"""The reproduction's determinism lint rules.
+
+Every rule here guards the project contract that experiments are
+bit-reproducible from their seeds and independent of hash ordering:
+
+* ``det/unseeded-random`` — no module-level RNG state.  All randomness
+  flows through explicitly seeded ``random.Random(seed)`` /
+  ``numpy.random.default_rng(seed)`` instances, so two runs with the
+  same seed agree and two experiments never share a hidden stream.
+* ``det/mutable-default`` — no mutable default arguments; they leak
+  state between calls and between tests.
+* ``det/float-equality`` — no ``==`` / ``!=`` against float literals
+  in metric code, where FFT round-off makes exact comparison wrong.
+* ``det/set-iteration`` — no iterating a bare ``set`` expression;
+  set order is unspecified and turns layout output nondeterministic.
+* ``det/dict-mutation`` — no mutating a dict (or any container) while
+  iterating over it; wrap the iterable in ``list(...)`` first.
+
+Rules only fire on *syntactically certain* violations — a name that
+merely happens to hold a set is never flagged — so the tree stays
+clean without per-file baselines.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.linter import LintRule, register_rule
+from repro.analysis.findings import Finding
+
+#: Module-level draw/state functions of :mod:`random` whose use implies
+#: the shared global RNG.
+_RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular",
+        "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` attributes that are legitimate even at module
+#: level: seedable constructors and types.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+     "PCG64", "Philox", "RandomState"}
+)
+
+#: Constructors that *are* the sanctioned API but only when given a
+#: seed argument.
+_SEEDED_CONSTRUCTORS = frozenset({"Random", "RandomState", "default_rng"})
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _ImportTracker:
+    """Resolve local aliases of ``random`` and ``numpy.random``."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.random_aliases: set[str] = set()
+        self.numpy_aliases: set[str] = set()
+        self.numpy_random_aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_aliases.add(bound)
+                    elif alias.name == "numpy":
+                        self.numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.numpy_random_aliases.add(alias.asname)
+                        else:
+                            self.numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random_aliases.add(
+                                alias.asname or alias.name
+                            )
+
+    def is_random_module(self, expr: ast.AST) -> bool:
+        return (
+            isinstance(expr, ast.Name) and expr.id in self.random_aliases
+        )
+
+    def is_numpy_random(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.numpy_random_aliases
+        if isinstance(expr, ast.Attribute) and expr.attr == "random":
+            return (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id in self.numpy_aliases
+            )
+        return False
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    if call.args:
+        return not (
+            isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is None
+        )
+    return any(kw.arg == "seed" and not (
+        isinstance(kw.value, ast.Constant) and kw.value.value is None
+    ) for kw in call.keywords)
+
+
+@register_rule
+class UnseededRandomRule(LintRule):
+    """Flag module-level RNG use and unseeded RNG construction."""
+
+    rule_id = "det/unseeded-random"
+    description = (
+        "randomness must come from an explicitly seeded "
+        "random.Random / numpy.random.default_rng instance"
+    )
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        imports = _ImportTracker(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "random",
+                "numpy.random",
+            ):
+                for alias in node.names:
+                    if alias.name in _NUMPY_RANDOM_ALLOWED:
+                        continue
+                    if alias.name == "random" and node.module == "numpy":
+                        continue
+                    yield self.finding(
+                        node,
+                        path,
+                        f"importing {alias.name!r} from {node.module} "
+                        "binds the module-level RNG; use a seeded "
+                        "instance instead",
+                    )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if imports.is_random_module(func.value):
+                if func.attr in _SEEDED_CONSTRUCTORS:
+                    if not _has_seed_argument(node):
+                        yield self.finding(
+                            node,
+                            path,
+                            f"random.{func.attr}() without a seed is "
+                            "nondeterministic",
+                        )
+                elif func.attr in _RANDOM_MODULE_FUNCS:
+                    yield self.finding(
+                        node,
+                        path,
+                        f"random.{func.attr}() draws from the shared "
+                        "module-level RNG; use random.Random(seed)",
+                    )
+            elif imports.is_numpy_random(func.value):
+                if func.attr in _SEEDED_CONSTRUCTORS:
+                    if not _has_seed_argument(node):
+                        yield self.finding(
+                            node,
+                            path,
+                            f"numpy.random.{func.attr}() without a seed "
+                            "is nondeterministic",
+                        )
+                elif func.attr not in _NUMPY_RANDOM_ALLOWED:
+                    yield self.finding(
+                        node,
+                        path,
+                        f"numpy.random.{func.attr}() uses numpy's "
+                        "global RNG; use numpy.random.default_rng(seed)",
+                    )
+
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter",
+     "deque", "OrderedDict"}
+)
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """Flag mutable default argument values."""
+
+    rule_id = "det/mutable-default"
+    description = "default argument values must be immutable"
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = (
+                        node.name
+                        if not isinstance(node, ast.Lambda)
+                        else "<lambda>"
+                    )
+                    yield self.finding(
+                        default,
+                        path,
+                        f"mutable default argument in {name}(); the "
+                        "object is shared across calls",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id in _MUTABLE_CALLS
+            if isinstance(func, ast.Attribute):
+                return func.attr in _MUTABLE_CALLS
+        return False
+
+
+#: Filename fragments identifying "metric code" — where exact float
+#: comparison is always a bug (costs and rates come out of FFTs and
+#: divisions).
+_METRIC_PATH_MARKERS = ("metric", "stats", "significance", "crossval")
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """Flag ``==`` / ``!=`` against float literals in metric code."""
+
+    rule_id = "det/float-equality"
+    description = (
+        "metric code must not compare floats with == / !=; use "
+        "math.isclose or an explicit tolerance"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        name = Path(path).name
+        return any(marker in name for marker in _METRIC_PATH_MARKERS)
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(self._is_float_literal(arg) for arg in operands):
+                yield self.finding(
+                    node,
+                    path,
+                    "exact equality against a float literal; use a "
+                    "tolerance",
+                )
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.UAdd, ast.USub)
+        ):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(
+            node.value, float
+        )
+
+
+@register_rule
+class SetIterationRule(LintRule):
+    """Flag iteration over bare set expressions."""
+
+    rule_id = "det/set-iteration"
+    description = (
+        "iterating a set has unspecified order; sort it first "
+        "(sorted(...)) before it can influence output"
+    )
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            iterables: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp,
+                 ast.GeneratorExp),
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if self._is_set_expression(iterable):
+                    yield self.finding(
+                        iterable,
+                        path,
+                        "iteration over a bare set; order is "
+                        "unspecified — use sorted(...)",
+                    )
+
+    @staticmethod
+    def _is_set_expression(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+
+_KEY_MUTATORS = frozenset(
+    {"pop", "popitem", "clear", "update", "setdefault", "add",
+     "remove", "discard", "append", "extend", "insert"}
+)
+
+
+@register_rule
+class DictMutationRule(LintRule):
+    """Flag mutation of a container inside a loop iterating over it."""
+
+    rule_id = "det/dict-mutation"
+    description = (
+        "containers must not be mutated while being iterated; "
+        "iterate over list(...) instead"
+    )
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            target = self._iterated_container(node.iter)
+            if target is None:
+                continue
+            for mutation in self._mutations_of(node.body, target):
+                yield self.finding(
+                    mutation,
+                    path,
+                    f"{target!r} is mutated while the loop iterates "
+                    "over it",
+                )
+
+    @staticmethod
+    def _iterated_container(iterable: ast.expr) -> str | None:
+        """Dotted name of the container the loop walks directly."""
+        if isinstance(iterable, (ast.Name, ast.Attribute)):
+            return _dotted_name(iterable)
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr in ("items", "keys", "values")
+            and not iterable.args
+        ):
+            return _dotted_name(iterable.func.value)
+        return None
+
+    @classmethod
+    def _mutations_of(
+        cls, body: list[ast.stmt], target: str
+    ) -> Iterator[ast.AST]:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Delete):
+                    for item in node.targets:
+                        if (
+                            isinstance(item, ast.Subscript)
+                            and _dotted_name(item.value) == target
+                        ):
+                            yield node
+                elif isinstance(node, ast.Assign):
+                    for item in node.targets:
+                        if (
+                            isinstance(item, ast.Subscript)
+                            and _dotted_name(item.value) == target
+                        ):
+                            yield node
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _KEY_MUTATORS
+                    and _dotted_name(node.func.value) == target
+                ):
+                    yield node

@@ -13,6 +13,15 @@ File-based workflow (profile once, place many times)::
     repro-layout gen-trace m88ksim --which test -o test.npz
     repro-layout place train.npz --algorithm gbsc -o layout.json
     repro-layout simulate layout.json test.npz
+
+Static verification (:mod:`repro.analysis`)::
+
+    repro-layout check layout.json      # audit saved artifacts
+    repro-layout lint                   # determinism-lint the sources
+
+Exit codes: 0 success / clean, 1 findings reported by ``check`` or
+``lint``, 2 a :class:`~repro.errors.ReproError` (bad input, unreadable
+artifact, invalid configuration).
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import Sequence
 from repro.cache.config import PAPER_CACHE, CacheConfig
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
+from repro.errors import ReproError
 from repro.eval.experiment import build_context
 from repro.eval.metrics import (
     damage_layout,
@@ -294,6 +304,78 @@ def cmd_memory(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default lint targets, resolved relative to the working directory.
+_DEFAULT_LINT_PATHS = ("src/repro", "benchmarks")
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import (
+        audit_graph,
+        audit_layout_payload,
+        format_findings,
+    )
+    from repro.errors import AnalysisError
+    from repro.io import SerializationError, graph_from_dict
+
+    config = _cache_from_args(args)
+    total = 0
+    for artifact in args.artifacts:
+        try:
+            data = json.loads(Path(artifact).read_text())
+        except (
+            OSError,
+            UnicodeDecodeError,
+            json.JSONDecodeError,
+        ) as error:
+            raise SerializationError(
+                f"cannot read {artifact}: {error}"
+            ) from error
+        if not isinstance(data, dict):
+            raise AnalysisError(
+                f"{artifact}: not a repro artifact (expected an object)"
+            )
+        kind = data.get("format")
+        if kind == "repro/layout":
+            findings = audit_layout_payload(data, config)
+        elif kind == "repro/graph":
+            findings = audit_graph(graph_from_dict(data))
+        else:
+            raise AnalysisError(
+                f"{artifact}: cannot audit artifacts of format {kind!r}"
+            )
+        if findings:
+            print(f"{artifact}:")
+            for line in format_findings(findings).splitlines():
+                print(f"  {line}")
+        else:
+            print(f"{artifact}: no findings")
+        total += len(findings)
+    return 1 if total else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import format_findings, run_linter
+    from repro.errors import AnalysisError
+
+    paths = args.paths
+    if not paths:
+        paths = [p for p in _DEFAULT_LINT_PATHS if Path(p).is_dir()]
+        if not paths:
+            raise AnalysisError(
+                "no lint paths given and none of the defaults "
+                f"({', '.join(_DEFAULT_LINT_PATHS)}) exist here"
+            )
+    select = args.select.split(",") if args.select else None
+    findings = run_linter(paths, select=select)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-layout",
@@ -415,13 +497,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(memory)
     memory.set_defaults(func=cmd_memory)
 
+    check = subparsers.add_parser(
+        "check",
+        help="audit saved artifacts (layout/graph JSON) for invariant "
+        "violations",
+    )
+    check.add_argument(
+        "artifacts", nargs="+", help="artifact .json paths to audit"
+    )
+    _add_cache_arguments(check)
+    check.set_defaults(func=cmd_check)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the determinism linter over Python sources",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint "
+        f"(default: {' '.join(_DEFAULT_LINT_PATHS)})",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse arguments and dispatch; library errors exit 2 in one line.
+
+    ``ReproError`` covers every failure the library raises on purpose
+    (bad inputs, unreadable artifacts, invalid geometry) — those are
+    user errors, reported without a traceback.  Genuine bugs still
+    raise.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -31,3 +31,16 @@ class TraceError(ReproError):
 
 class PlacementError(ReproError):
     """A placement algorithm was driven with inconsistent inputs."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis subsystem was driven with invalid inputs
+    (unauditable artifact, missing program model, unknown lint rule)."""
+
+
+class AuditFailure(AnalysisError):
+    """An artifact audit reported error-severity findings.
+
+    Raised by :func:`repro.analysis.require_clean` when callers want a
+    hard failure instead of a findings list.
+    """

@@ -109,6 +109,18 @@ class WorkingSet:
             yield node.block
             node = node.next
 
+    def entries(self) -> Iterator[tuple[Block, int]]:
+        """``(block, recorded size)`` pairs from oldest to most recent.
+
+        Exposes the per-entry byte sizes so external validators (the
+        :mod:`repro.analysis` auditors) can re-check the capacity
+        invariant without reaching into the linked list.
+        """
+        node = self._head
+        while node is not None:
+            yield node.block, node.size
+            node = node.next
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ that dcrand is a poor training set for dhry.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
 from repro.trace.callgraph import CallGraphParams
 from repro.trace.generator import TraceInput
 from repro.workloads.spec import Workload
@@ -194,9 +195,13 @@ SUITE: tuple[Workload, ...] = (
 
 
 def by_name(name: str) -> Workload:
-    """Look a suite workload up by its Table 1 name."""
+    """Look a suite workload up by its Table 1 name.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names so CLI
+    and library callers get a library-level error, not a ``KeyError``.
+    """
     for workload in SUITE:
         if workload.name == name:
             return workload
     known = ", ".join(w.name for w in SUITE)
-    raise KeyError(f"unknown workload {name!r} (known: {known})")
+    raise ConfigError(f"unknown workload {name!r} (known: {known})")

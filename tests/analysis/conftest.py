@@ -1,0 +1,52 @@
+"""Shared fixtures for the analysis test suite.
+
+Provides one real GBSC run on a down-scaled suite workload (the
+known-good artifact set every auditor must pass on) plus small
+hand-built programs/layouts for the known-bad corruption cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import PAPER_CACHE, CacheConfig
+from repro.core.gbsc import GBSCPlacement, GBSCResult
+from repro.eval.experiment import build_context
+from repro.placement.base import PlacementContext
+from repro.program.program import Program
+from repro.workloads.suite import by_name
+
+
+@pytest.fixture(scope="session")
+def gbsc_run() -> tuple[PlacementContext, GBSCResult]:
+    """One full profile→place run of GBSC on a scaled suite workload."""
+    workload = by_name("m88ksim").scaled(0.02)
+    train = workload.trace("train")
+    context = build_context(train, PAPER_CACHE, with_pair_db=True)
+    result = GBSCPlacement().place_detailed(context)
+    return context, result
+
+
+@pytest.fixture
+def tiny_cache() -> CacheConfig:
+    """A 4-line direct-mapped cache: small enough to reason by hand."""
+    return CacheConfig(size=128, line_size=32)
+
+
+@pytest.fixture
+def tiny_program() -> Program:
+    """Five procedures; ``big`` exceeds the tiny cache's 128 bytes."""
+    return Program.from_sizes(
+        {"a": 32, "b": 48, "c": 64, "big": 300, "tail": 16}
+    )
+
+
+@pytest.fixture
+def tiny_addresses(tiny_program: Program) -> dict[str, int]:
+    """A valid contiguous address assignment for ``tiny_program``."""
+    addresses: dict[str, int] = {}
+    cursor = 0
+    for name in tiny_program.names:
+        addresses[name] = cursor
+        cursor += tiny_program.size_of(name)
+    return addresses

@@ -1,0 +1,95 @@
+"""The ``check`` and ``lint`` subcommands: exit codes and output."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.io import graph_to_dict, layout_to_dict
+from repro.profiles.graph import WeightedGraph
+
+
+def write_layout(path, result) -> None:
+    path.write_text(json.dumps(layout_to_dict(result.layout)))
+
+
+class TestCheck:
+    def test_clean_layout_exits_0(self, capsys, tmp_path, gbsc_run):
+        _, result = gbsc_run
+        artifact = tmp_path / "layout.json"
+        write_layout(artifact, result)
+        assert main(["check", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_corrupted_layout_exits_1_with_rule_id(
+        self, capsys, tmp_path, gbsc_run
+    ):
+        _, result = gbsc_run
+        payload = layout_to_dict(result.layout)
+        names = sorted(payload["addresses"])
+        payload["addresses"][names[0]] = payload["addresses"][names[1]]
+        artifact = tmp_path / "layout.json"
+        artifact.write_text(json.dumps(payload))
+        assert main(["check", str(artifact)]) == 1
+        out = capsys.readouterr().out
+        assert "layout/overlap" in out
+
+    def test_graph_artifact_is_auditable(self, capsys, tmp_path):
+        graph = WeightedGraph()
+        graph.add_edge("p", "q", 3.0)
+        artifact = tmp_path / "graph.json"
+        artifact.write_text(json.dumps(graph_to_dict(graph)))
+        assert main(["check", str(artifact)]) == 0
+
+    def test_multiple_artifacts_aggregate(
+        self, capsys, tmp_path, gbsc_run
+    ):
+        _, result = gbsc_run
+        good = tmp_path / "good.json"
+        write_layout(good, result)
+        payload = layout_to_dict(result.layout)
+        names = sorted(payload["addresses"])
+        payload["addresses"][names[0]] = payload["addresses"][names[1]]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["check", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("no findings") == 1
+
+
+class TestLint:
+    def test_clean_directory_exits_0(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_violation_exits_1_with_rule_id(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\n\nx = random.random()\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "det/unseeded-random" in out
+
+    def test_select_narrows_rules(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\n\nx = random.random()\n"
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--select",
+                    "det/mutable-default",
+                ]
+            )
+            == 0
+        )
+
+    def test_repo_source_tree_lints_clean_via_cli(self, capsys):
+        import repro
+
+        src = str(__import__("pathlib").Path(repro.__file__).parent)
+        assert main(["lint", src]) == 0

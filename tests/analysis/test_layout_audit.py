@@ -1,0 +1,161 @@
+"""Layout auditor: clean on real GBSC output, loud on corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    audit_layout,
+    audit_layout_payload,
+    require_clean,
+)
+from repro.cache.config import PAPER_CACHE
+from repro.errors import AnalysisError, AuditFailure
+from repro.io import layout_to_dict
+
+
+def rules_of(findings) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+class TestKnownGood:
+    def test_gbsc_layout_is_clean(self, gbsc_run):
+        context, result = gbsc_run
+        findings = audit_layout(
+            result.layout,
+            PAPER_CACHE,
+            popular=context.popular,
+            linearization=result.linearization,
+        )
+        assert findings == []
+        require_clean(findings)  # must not raise
+
+    def test_gbsc_payload_roundtrip_is_clean(self, gbsc_run):
+        _, result = gbsc_run
+        payload = layout_to_dict(result.layout)
+        assert audit_layout_payload(payload, PAPER_CACHE) == []
+
+    def test_tiny_valid_mapping_is_clean(
+        self, tiny_program, tiny_addresses, tiny_cache
+    ):
+        findings = audit_layout(
+            tiny_addresses, tiny_cache, program=tiny_program
+        )
+        assert findings == []
+
+
+class TestCorruptions:
+    def test_overlap_reported(
+        self, tiny_program, tiny_addresses, tiny_cache
+    ):
+        tiny_addresses["b"] = tiny_addresses["a"] + 10  # a is 32 bytes
+        findings = audit_layout(
+            tiny_addresses, tiny_cache, program=tiny_program
+        )
+        assert rules_of(findings) == {"layout/overlap"}
+        assert findings[0].severity is Severity.ERROR
+        with pytest.raises(AuditFailure):
+            require_clean(findings)
+
+    def test_adjacent_spans_are_not_overlap(
+        self, tiny_program, tiny_addresses, tiny_cache
+    ):
+        # b ends exactly where c starts — adjacency is legal.
+        tiny_addresses["c"] = tiny_addresses["b"] + tiny_program.size_of(
+            "b"
+        )
+        assert (
+            audit_layout(tiny_addresses, tiny_cache, program=tiny_program)
+            == []
+        )
+
+    def test_missing_and_unknown_addresses(
+        self, tiny_program, tiny_addresses, tiny_cache
+    ):
+        del tiny_addresses["tail"]
+        tiny_addresses["ghost"] = 4096
+        rules = rules_of(
+            audit_layout(tiny_addresses, tiny_cache, program=tiny_program)
+        )
+        assert "layout/missing-address" in rules
+        assert "layout/unknown-procedure" in rules
+
+    def test_negative_and_non_integer_addresses(
+        self, tiny_program, tiny_addresses, tiny_cache
+    ):
+        tiny_addresses["a"] = -4
+        tiny_addresses["b"] = "0x40"
+        rules = rules_of(
+            audit_layout(tiny_addresses, tiny_cache, program=tiny_program)
+        )
+        assert "layout/negative-address" in rules
+        assert "layout/bad-address" in rules
+
+    def test_unaligned_popular_reported(
+        self, tiny_program, tiny_addresses, tiny_cache
+    ):
+        tiny_addresses["c"] = 200  # not a multiple of 32
+        # Re-pack the rest out of the way to keep spans disjoint.
+        tiny_addresses["big"] = 512
+        tiny_addresses["tail"] = 1024
+        findings = audit_layout(
+            tiny_addresses,
+            tiny_cache,
+            program=tiny_program,
+            popular=("a", "c"),
+        )
+        assert rules_of(findings) == {"layout/unaligned-popular"}
+        assert findings[0].location.obj == "c"
+
+    def test_popular_gap_filler_reported(self, gbsc_run):
+        context, result = gbsc_run
+
+        class FakeLinearization:
+            gap_fillers = (context.popular[0],)
+            gap_bytes = result.linearization.gap_bytes
+
+        findings = audit_layout(
+            result.layout,
+            PAPER_CACHE,
+            popular=context.popular,
+            linearization=FakeLinearization(),
+        )
+        assert rules_of(findings) == {"layout/popular-gap-filler"}
+
+    def test_gap_accounting_mismatch_reported(self, gbsc_run):
+        context, result = gbsc_run
+
+        class FakeLinearization:
+            gap_fillers = result.linearization.gap_fillers
+            gap_bytes = result.linearization.gap_bytes + 1
+
+        findings = audit_layout(
+            result.layout,
+            PAPER_CACHE,
+            popular=context.popular,
+            linearization=FakeLinearization(),
+        )
+        assert rules_of(findings) == {"layout/gap-accounting"}
+
+
+class TestInvocation:
+    def test_raw_mapping_requires_program(self, tiny_cache):
+        with pytest.raises(AnalysisError):
+            audit_layout({"a": 0}, tiny_cache)
+
+    def test_payload_with_wrong_format_rejected(self, tiny_cache):
+        with pytest.raises(AnalysisError):
+            audit_layout_payload({"format": "repro/trace"}, tiny_cache)
+
+    def test_payload_reports_overlap_instead_of_raising(
+        self, gbsc_run
+    ):
+        """The whole point of the payload path: corruption that the
+        Layout constructor would raise on becomes findings."""
+        _, result = gbsc_run
+        payload = layout_to_dict(result.layout)
+        names = sorted(payload["addresses"])
+        payload["addresses"][names[1]] = payload["addresses"][names[0]]
+        findings = audit_layout_payload(payload, PAPER_CACHE)
+        assert "layout/overlap" in rules_of(findings)

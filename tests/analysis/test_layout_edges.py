@@ -1,0 +1,121 @@
+"""Layout validation edge cases and linearization gap-filling.
+
+Satellite coverage for the model underneath the auditors: the cases a
+layout audit must agree with ``Layout._validate`` on, plus the Section
+4.3 gap-filling contract the ``layout/gap-accounting`` and
+``layout/popular-gap-filler`` rules rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linearize import linearize
+from repro.core.merge import MergeNode, PlacedProcedure
+from repro.errors import LayoutError, ProgramError
+from repro.program.layout import Layout
+from repro.program.procedure import Procedure
+from repro.program.program import Program
+
+
+class TestValidationEdges:
+    def test_zero_size_procedure_rejected_at_the_source(self):
+        """Zero-size procedures cannot exist, so no layout (and no
+        auditor) ever has to define the overlap semantics of an empty
+        span."""
+        with pytest.raises(ProgramError):
+            Procedure("empty", 0)
+        with pytest.raises(ProgramError):
+            Program.from_sizes({"a": 32, "empty": 0})
+
+    def test_adjacent_spans_are_valid(self, tiny_program):
+        addresses = {"a": 0, "b": 32, "c": 80, "big": 144, "tail": 444}
+        layout = Layout(tiny_program, addresses)
+        assert layout.gap_total() == 0
+        assert layout.text_size == sum(
+            tiny_program.size_of(n) for n in tiny_program.names
+        )
+
+    def test_one_byte_overlap_rejected(self, tiny_program):
+        addresses = {"a": 0, "b": 31, "c": 80, "big": 144, "tail": 444}
+        with pytest.raises(LayoutError):
+            Layout(tiny_program, addresses)
+
+    def test_address_at_cache_set_boundary(self, tiny_cache):
+        """A procedure starting exactly on a set boundary occupies that
+        set, and one ending exactly on a boundary does not spill into
+        the next."""
+        program = Program.from_sizes({"edge": 32, "before": 32})
+        layout = Layout(program, {"before": 0, "edge": 32})
+        assert layout.start_set_of("edge", tiny_cache) == 1
+        assert layout.cache_sets_of("edge", tiny_cache) == {1}
+        assert layout.cache_sets_of("before", tiny_cache) == {0}
+
+    def test_wraparound_set_coverage(self, tiny_cache):
+        """A procedure crossing the cache-size boundary wraps to set 0."""
+        program = Program.from_sizes({"wrap": 64})
+        layout = Layout(program, {"wrap": 96})  # sets 3 then 0
+        assert layout.cache_sets_of("wrap", tiny_cache) == {3, 0}
+
+
+class TestGapFilling:
+    def make_nodes(self):
+        # Two popular procedures forced one line apart: a at line 0,
+        # c at line 2.  With a only 32 bytes long the linearizer must
+        # leave a 32-byte gap before c.
+        return [
+            MergeNode((PlacedProcedure("a", 0),)),
+            MergeNode((PlacedProcedure("c", 2),)),
+        ]
+
+    def test_gap_filled_by_unpopular_best_fit(self, tiny_cache):
+        program = Program.from_sizes(
+            {"a": 32, "c": 32, "u_small": 16, "u_exact": 32}
+        )
+        result = linearize(
+            self.make_nodes(),
+            program,
+            tiny_cache,
+            unpopular=("u_small", "u_exact"),
+        )
+        # Best fit: the 32-byte filler exactly plugs the 32-byte gap.
+        assert "u_exact" in result.gap_fillers
+        assert set(result.gap_fillers) <= {"u_small", "u_exact"}
+        layout = result.layout
+        assert layout.address_of("u_exact") == 32
+        assert layout.address_of("c") == 64
+
+    def test_fillers_are_a_subset_of_unpopular(self, gbsc_run):
+        context, result = gbsc_run
+        unpopular = set(context.program.names) - set(context.popular)
+        assert set(result.linearization.gap_fillers) <= unpopular
+
+    def test_gap_bytes_matches_layout_accounting(self, gbsc_run):
+        _, result = gbsc_run
+        layout = result.layout
+        assert result.linearization.gap_bytes == layout.gap_total()
+
+    def test_unfillable_gap_is_counted(self, tiny_cache):
+        program = Program.from_sizes({"a": 32, "c": 32, "huge": 500})
+        result = linearize(
+            self.make_nodes(), program, tiny_cache, unpopular=("huge",)
+        )
+        # The 500-byte filler cannot fit a 32-byte gap: bytes stay empty
+        # inside the popular run (the trailing filler adds no gap).
+        assert result.gap_bytes == 32
+        assert result.layout.gap_total() == 32
+
+    def test_offsets_survive_gap_filling(self, tiny_cache):
+        program = Program.from_sizes(
+            {"a": 32, "c": 32, "u1": 16, "u2": 8}
+        )
+        result = linearize(
+            self.make_nodes(),
+            program,
+            tiny_cache,
+            unpopular=("u1", "u2"),
+        )
+        layout = result.layout
+        line = tiny_cache.line_size
+        assert layout.address_of("a") % tiny_cache.size == 0 * line
+        assert layout.address_of("c") % tiny_cache.size == 2 * line

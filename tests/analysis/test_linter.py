@@ -1,0 +1,208 @@
+"""Determinism linter: each rule fires on a fixture, stays quiet on
+idiomatic code, and honours suppression comments."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, lint_file, lint_source, run_linter
+from repro.analysis.linter import select_rules
+from repro.errors import AnalysisError
+
+
+def rules_of(findings) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+def lint(source: str, filename: str = "module.py") -> set[str]:
+    return rules_of(
+        lint_source(textwrap.dedent(source), Path(filename), all_rules())
+    )
+
+
+class TestUnseededRandom:
+    def test_module_level_draw_flagged(self):
+        assert lint(
+            """
+            import random
+
+            x = random.random()
+            """
+        ) == {"det/unseeded-random"}
+
+    def test_from_import_of_draw_flagged(self):
+        assert lint("from random import shuffle\n") == {
+            "det/unseeded-random"
+        }
+
+    def test_unseeded_generator_flagged(self):
+        assert lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """
+        ) == {"det/unseeded-random"}
+
+    def test_seeded_generator_allowed(self):
+        assert (
+            lint(
+                """
+                import numpy as np
+                import random
+
+                rng = np.random.default_rng(42)
+                state = random.Random(7)
+                """
+            )
+            == set()
+        )
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert lint("def f(xs=[]):\n    return xs\n") == {
+            "det/mutable-default"
+        }
+
+    def test_dict_and_set_defaults_flagged(self):
+        findings = lint(
+            """
+            def f(a={}, b=set(), c=dict()):
+                return a, b, c
+            """
+        )
+        assert findings == {"det/mutable-default"}
+
+    def test_none_and_tuple_defaults_allowed(self):
+        assert lint("def f(a=None, b=(), c=0):\n    return a\n") == set()
+
+
+class TestFloatEquality:
+    def test_flagged_in_metric_files(self):
+        source = "ok = value == 0.95\n"
+        assert lint(source, "metrics.py") == {"det/float-equality"}
+
+    def test_ignored_outside_metric_files(self):
+        source = "ok = value == 0.95\n"
+        assert lint(source, "cli.py") == set()
+
+    def test_integer_comparison_allowed_in_metric_files(self):
+        assert lint("ok = count == 3\n", "stats.py") == set()
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert lint(
+            """
+            for item in {"a", "b"}:
+                print(item)
+            """
+        ) == {"det/set-iteration"}
+
+    def test_comprehension_over_set_call_flagged(self):
+        assert lint("xs = [x for x in set(items)]\n") == {
+            "det/set-iteration"
+        }
+
+    def test_sorted_set_allowed(self):
+        assert lint(
+            """
+            for item in sorted({"a", "b"}):
+                print(item)
+            """
+        ) == set()
+
+
+class TestDictMutation:
+    def test_del_during_iteration_flagged(self):
+        assert lint(
+            """
+            for key in table:
+                del table[key]
+            """
+        ) == {"det/dict-mutation"}
+
+    def test_pop_during_items_iteration_flagged(self):
+        assert lint(
+            """
+            for key, value in table.items():
+                table.pop(key)
+            """
+        ) == {"det/dict-mutation"}
+
+    def test_iterating_a_sorted_copy_allowed(self):
+        assert lint(
+            """
+            for key in sorted(table):
+                del table[key]
+            """
+        ) == set()
+
+
+class TestSuppression:
+    def test_disable_comment_silences_rule(self):
+        source = (
+            "from random import shuffle"
+            "  # lint: disable=det/unseeded-random\n"
+        )
+        assert lint(source) == set()
+
+    def test_disable_for_other_rule_does_not_silence(self):
+        source = (
+            "from random import shuffle"
+            "  # lint: disable=det/mutable-default\n"
+        )
+        assert lint(source) == {"det/unseeded-random"}
+
+
+class TestHarness:
+    def test_syntax_error_becomes_finding(self):
+        assert lint("def broken(:\n") == {"lint/syntax-error"}
+
+    def test_select_rules_unknown_id_raises(self):
+        with pytest.raises(AnalysisError):
+            select_rules(["det/no-such-rule"])
+
+    def test_select_restricts_to_chosen_rules(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def f(xs=[]):
+                return random.random()
+            """
+        )
+        selected = select_rules(["det/mutable-default"])
+        findings = lint_source(source, Path("m.py"), selected)
+        assert rules_of(findings) == {"det/mutable-default"}
+
+    def test_run_linter_over_directory(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("from random import choice\n")
+        findings = run_linter([tmp_path])
+        assert rules_of(findings) == {"det/unseeded-random"}
+        assert findings[0].location.file == str(dirty)
+
+    def test_lint_file_on_single_module(self, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text("def f(xs=[]):\n    return xs\n")
+        findings = lint_file(module, all_rules())
+        assert rules_of(findings) == {"det/mutable-default"}
+
+    def test_every_registered_rule_has_fixture_coverage(self):
+        """The fixtures above must cover the whole registry, so a new
+        rule cannot land without a firing test."""
+        covered = {
+            "det/unseeded-random",
+            "det/mutable-default",
+            "det/float-equality",
+            "det/set-iteration",
+            "det/dict-mutation",
+        }
+        assert {rule.rule_id for rule in all_rules()} == covered

@@ -1,0 +1,137 @@
+"""Placement auditor: merge nodes, partitions, costs, realisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    audit_nodes,
+    audit_offset_costs,
+    audit_offset_realisation,
+    audit_partition,
+    audit_placement,
+)
+from repro.core.merge import MergeNode, PlacedProcedure
+from repro.program.layout import Layout
+from repro.program.program import Program
+
+
+def rules_of(findings) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+class TestKnownGood:
+    def test_gbsc_run_audits_clean(self, gbsc_run):
+        context, result = gbsc_run
+        assert audit_placement(result, context) == []
+
+    def test_valid_nodes_are_clean(self, tiny_program, tiny_cache):
+        nodes = [
+            MergeNode(
+                (PlacedProcedure("a", 0), PlacedProcedure("b", 1))
+            ),
+            MergeNode.single("c"),
+        ]
+        findings = audit_nodes(
+            nodes, tiny_program, tiny_cache, popular=("a", "b", "c")
+        )
+        assert findings == []
+
+
+class TestNodeCorruptions:
+    def test_offset_out_of_range(self, tiny_program, tiny_cache):
+        # tiny_cache has 4 lines; offset 7 cannot be cache-relative.
+        nodes = [MergeNode((PlacedProcedure("a", 7),))]
+        findings = audit_nodes(nodes, tiny_program, tiny_cache)
+        assert rules_of(findings) == {"placement/offset-range"}
+
+    def test_duplicate_across_nodes(self, tiny_program, tiny_cache):
+        nodes = [MergeNode.single("a"), MergeNode.single("a")]
+        findings = audit_nodes(nodes, tiny_program, tiny_cache)
+        assert rules_of(findings) == {"placement/duplicate-procedure"}
+
+    def test_unknown_procedure(self, tiny_program, tiny_cache):
+        nodes = [MergeNode.single("who")]
+        findings = audit_nodes(nodes, tiny_program, tiny_cache)
+        assert rules_of(findings) == {"placement/unknown-procedure"}
+
+    def test_popularity_mismatches(self, tiny_program, tiny_cache):
+        # "b" placed but not popular; popular "c" never placed.
+        nodes = [MergeNode.single("a"), MergeNode.single("b")]
+        findings = audit_nodes(
+            nodes, tiny_program, tiny_cache, popular=("a", "c")
+        )
+        assert rules_of(findings) == {
+            "placement/not-popular",
+            "placement/missing-popular",
+        }
+
+
+class TestPartition:
+    def test_true_partition_is_clean(self, tiny_program):
+        popular = ("a", "c")
+        unpopular = ("b", "big", "tail")
+        assert audit_partition(tiny_program, popular, unpopular) == []
+
+    def test_overlap_reported(self, tiny_program):
+        findings = audit_partition(
+            tiny_program, ("a", "b"), ("b", "c", "big", "tail")
+        )
+        assert "placement/partition-overlap" in rules_of(findings)
+
+    def test_coverage_gap_reported(self, tiny_program):
+        findings = audit_partition(
+            tiny_program, ("a",), ("b", "c", "big")
+        )  # "tail" is in neither side
+        assert "placement/partition-coverage" in rules_of(findings)
+
+
+class TestOffsetCosts:
+    def test_complete_vector_is_clean(self, tiny_cache):
+        costs = np.array([3.0, 1.0, 2.0, 1.0])
+        assert audit_offset_costs(costs, tiny_cache, chosen=1) == []
+
+    def test_incomplete_evaluation_reported(self, tiny_cache):
+        # Only 3 offsets evaluated for a 4-line cache: the Figure 4
+        # search must consider every relative offset.
+        costs = np.array([3.0, 1.0, 2.0])
+        findings = audit_offset_costs(costs, tiny_cache)
+        assert rules_of(findings) == {"placement/cost-length"}
+
+    def test_nonfinite_and_negative_costs(self, tiny_cache):
+        costs = np.array([np.inf, -1.0, 2.0, 1.0])
+        rules = rules_of(audit_offset_costs(costs, tiny_cache))
+        assert "placement/cost-nonfinite" in rules
+        assert "placement/cost-negative" in rules
+
+    def test_suboptimal_choice_reported(self, tiny_cache):
+        costs = np.array([3.0, 1.0, 2.0, 1.0])
+        findings = audit_offset_costs(costs, tiny_cache, chosen=3)
+        assert rules_of(findings) == {"placement/cost-choice"}
+
+
+class TestRealisation:
+    def test_mismatched_layout_reported(self, tiny_cache):
+        """Node says line 1, layout puts the procedure on line 2."""
+        program = Program.from_sizes({"a": 32, "b": 32})
+        nodes = [MergeNode((PlacedProcedure("a", 1),))]
+        layout = Layout(program, {"a": 64, "b": 0})  # 64 % 128 = line 2
+        findings = audit_offset_realisation(layout, nodes, tiny_cache)
+        assert rules_of(findings) == {"placement/offset-mismatch"}
+
+    def test_congruent_layout_is_clean(self, tiny_cache):
+        program = Program.from_sizes({"a": 32, "b": 32})
+        nodes = [MergeNode((PlacedProcedure("a", 1),))]
+        # 160 % 128 = 32 → line 1: congruence, not equality, is checked.
+        layout = Layout(program, {"a": 160, "b": 0})
+        assert audit_offset_realisation(layout, nodes, tiny_cache) == []
+
+    def test_missing_address_is_not_this_auditors_problem(
+        self, tiny_cache
+    ):
+        """Realisation skips procedures the layout lacks — the layout
+        auditor owns completeness."""
+        program = Program.from_sizes({"a": 32, "b": 32})
+        nodes = [MergeNode.single("whom")]
+        layout = Layout(program, {"a": 0, "b": 32})
+        assert audit_offset_realisation(layout, nodes, tiny_cache) == []

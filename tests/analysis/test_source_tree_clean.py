@@ -1,0 +1,29 @@
+"""Tier-1 gate: the repository's own code passes the determinism lint.
+
+This is the enforcement half of the linter — the rules in
+``repro.analysis.rules`` are only worth having if the tree they guard
+actually satisfies them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis import format_findings, run_linter
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC_ROOT.parent.parent
+
+
+def test_repro_package_is_lint_clean():
+    findings = run_linter([SRC_ROOT])
+    assert findings == [], "\n" + format_findings(findings)
+
+
+def test_benchmarks_are_lint_clean():
+    benchmarks = REPO_ROOT / "benchmarks"
+    if not benchmarks.is_dir():
+        return  # editable installs may not ship the benchmarks
+    findings = run_linter([benchmarks])
+    assert findings == [], "\n" + format_findings(findings)

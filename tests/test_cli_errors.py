@@ -1,56 +1,108 @@
-"""Error-path tests for the CLI: bad inputs must fail loudly."""
+"""Error-path tests for the CLI: bad inputs must fail loudly.
+
+``main`` catches :class:`~repro.errors.ReproError` at the top level
+and turns it into exit code 2 with a one-line ``error: ...`` message
+on stderr — no traceback.  Programming errors still propagate.
+"""
 
 import pytest
 
 from repro.cli import main
-from repro.io import SerializationError
+
+
+def _assert_error_exit(capsys, argv: list[str], fragment: str) -> None:
+    assert main(argv) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error: ")
+    assert fragment in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
 
 
 class TestBadInputs:
-    def test_unknown_workload_raises_key_error(self):
-        with pytest.raises(KeyError):
-            main(["compare", "not-a-benchmark"])
+    def test_unknown_workload_exits_2(self, capsys):
+        _assert_error_exit(
+            capsys, ["compare", "not-a-benchmark"], "unknown workload"
+        )
 
-    def test_place_missing_trace_file(self, tmp_path):
-        with pytest.raises(SerializationError):
-            main(
-                [
-                    "place",
-                    str(tmp_path / "absent.npz"),
-                    "-o",
-                    str(tmp_path / "out.json"),
-                ]
-            )
+    def test_place_missing_trace_file(self, capsys, tmp_path):
+        _assert_error_exit(
+            capsys,
+            [
+                "place",
+                str(tmp_path / "absent.npz"),
+                "-o",
+                str(tmp_path / "out.json"),
+            ],
+            "absent.npz",
+        )
 
-    def test_simulate_missing_layout(self, tmp_path):
+    def test_simulate_missing_layout(self, capsys, tmp_path):
         trace = tmp_path / "absent.npz"
         layout = tmp_path / "absent.json"
-        with pytest.raises(SerializationError):
-            main(["simulate", str(layout), str(trace)])
+        _assert_error_exit(
+            capsys, ["simulate", str(layout), str(trace)], "absent.json"
+        )
 
-    def test_simulate_garbage_layout(self, tmp_path):
+    def test_simulate_garbage_layout(self, capsys, tmp_path):
         layout = tmp_path / "garbage.json"
         layout.write_text('{"format": "something-else"}')
-        with pytest.raises(SerializationError):
-            main(["simulate", str(layout), str(tmp_path / "t.npz")])
+        _assert_error_exit(
+            capsys,
+            ["simulate", str(layout), str(tmp_path / "t.npz")],
+            "repro/layout",
+        )
 
-    def test_visualize_garbage_layout(self, tmp_path):
+    def test_visualize_garbage_layout(self, capsys, tmp_path):
         layout = tmp_path / "garbage.json"
         layout.write_text("[]")
-        with pytest.raises(SerializationError):
-            main(["visualize", str(layout)])
+        _assert_error_exit(capsys, ["visualize", str(layout)], "payload")
 
-    def test_invalid_cache_geometry(self, tmp_path, monkeypatch):
+    def test_invalid_cache_geometry(self, capsys, monkeypatch):
         """A cache size not divisible by the line size is a ConfigError
-        raised before any heavy work."""
+        caught before any heavy work."""
         from repro import cli
-        from repro.errors import ConfigError
         from repro.workloads import suite as suite_module
 
         tiny = suite_module.by_name("m88ksim").scaled(0.02)
         monkeypatch.setattr(cli, "by_name", lambda _n: tiny)
-        with pytest.raises(ConfigError):
-            main(["compare", "m88ksim", "--cache-size", "1000"])
+        _assert_error_exit(
+            capsys,
+            ["compare", "m88ksim", "--cache-size", "1000"],
+            "not a multiple",
+        )
+
+    def test_check_missing_artifact_exits_2(self, capsys, tmp_path):
+        _assert_error_exit(
+            capsys, ["check", str(tmp_path / "absent.json")], "absent.json"
+        )
+
+    def test_check_binary_artifact_exits_2(self, capsys, tmp_path):
+        artifact = tmp_path / "trace.npz"
+        artifact.write_bytes(b"PK\x03\x04\xff\xfe\x00binary")
+        _assert_error_exit(
+            capsys, ["check", str(artifact)], "cannot read"
+        )
+
+    def test_check_unsupported_format_exits_2(self, capsys, tmp_path):
+        artifact = tmp_path / "trace-like.json"
+        artifact.write_text('{"format": "repro/trace"}')
+        _assert_error_exit(
+            capsys, ["check", str(artifact)], "cannot audit"
+        )
+
+    def test_lint_missing_path_exits_2(self, capsys, tmp_path):
+        _assert_error_exit(
+            capsys, ["lint", str(tmp_path / "nowhere")], "does not exist"
+        )
+
+    def test_lint_unknown_rule_exits_2(self, capsys, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text("x = 1\n")
+        _assert_error_exit(
+            capsys,
+            ["lint", str(module), "--select", "det/no-such-rule"],
+            "unknown lint rule",
+        )
 
     def test_unknown_subcommand_exits(self):
         with pytest.raises(SystemExit):

@@ -36,7 +36,9 @@ class TestSuiteStructure:
         assert by_name("perl").name == "perl"
 
     def test_by_name_unknown(self):
-        with pytest.raises(KeyError):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown workload"):
             by_name("compress")  # excluded by the paper as uninteresting
 
     def test_unique_seeds(self):
