@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Iterator
 
 import pytest
 
 from repro.cache.config import PAPER_CACHE
 from repro.eval.experiment import build_context
+from repro.obs import RunSession
 from repro.placement.base import PlacementContext
 from repro.workloads.spec import Workload
 from repro.workloads.suite import SUITE
@@ -84,3 +86,18 @@ def fresh_results_dir() -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     for path in RESULTS_DIR.glob("*.txt"):
         path.unlink()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_manifest(fresh_results_dir: None) -> Iterator[RunSession]:
+    """Observe the whole bench session; the run file (span events plus
+    the final manifest) lands next to the textual reports."""
+    session = RunSession(
+        command="benchmarks",
+        config={"fast": FAST, "runs": RUNS, "scale": SCALE},
+        metrics_out=RESULTS_DIR / "bench_manifest.jsonl",
+    )
+    try:
+        yield session
+    finally:
+        session.finish()

@@ -50,6 +50,7 @@ from repro.errors import (
     AuditFailure,
     ConfigError,
     LayoutError,
+    ObservabilityError,
     PlacementError,
     ProgramError,
     ReproError,
@@ -89,6 +90,7 @@ __all__ = [
     "Layout",
     "LayoutError",
     "MissStats",
+    "ObservabilityError",
     "PAPER_CACHE",
     "PAPER_CACHE_2WAY",
     "PettisHansenPlacement",

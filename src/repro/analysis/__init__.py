@@ -9,7 +9,8 @@ Two independent halves:
   :func:`audit_layout`, :func:`audit_profiles`, :func:`audit_graph`,
   :func:`audit_working_set`, :func:`audit_pair_db`,
   :func:`audit_placement`, :func:`audit_nodes`,
-  :func:`audit_offset_costs`.
+  :func:`audit_offset_costs`, and — for the observability layer's
+  JSONL run files — :func:`audit_manifest` / :func:`audit_run_path`.
 * **A determinism linter** — an AST walk over ``src/repro`` and
   ``benchmarks/`` enforcing the project's reproducibility contract
   (:func:`run_linter`, rules in :mod:`repro.analysis.rules`).
@@ -27,6 +28,11 @@ from repro.analysis.findings import (
     sort_findings,
 )
 from repro.analysis.layout_audit import audit_layout, audit_layout_payload
+from repro.analysis.manifest_audit import (
+    audit_manifest,
+    audit_run_path,
+    load_run_manifest,
+)
 from repro.analysis.linter import (
     LintRule,
     all_rules,
@@ -59,6 +65,7 @@ __all__ = [
     "audit_graph",
     "audit_layout",
     "audit_layout_payload",
+    "audit_manifest",
     "audit_nodes",
     "audit_offset_costs",
     "audit_offset_realisation",
@@ -66,11 +73,13 @@ __all__ = [
     "audit_partition",
     "audit_placement",
     "audit_profiles",
+    "audit_run_path",
     "audit_trgs",
     "audit_working_set",
     "format_findings",
     "lint_file",
     "lint_source",
+    "load_run_manifest",
     "register_rule",
     "require_clean",
     "run_linter",

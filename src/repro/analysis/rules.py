@@ -15,6 +15,10 @@ bit-reproducible from their seeds and independent of hash ordering:
   set order is unspecified and turns layout output nondeterministic.
 * ``det/dict-mutation`` — no mutating a dict (or any container) while
   iterating over it; wrap the iterable in ``list(...)`` first.
+* ``det/wallclock`` — no raw wall-clock reads (``time.time()``,
+  ``time.perf_counter()``, ...) outside :mod:`repro.obs`; timing flows
+  through the observability layer so experiment code stays a pure
+  function of its inputs.
 
 Rules only fire on *syntactically certain* violations — a name that
 merely happens to hold a set is never flagged — so the tree stays
@@ -336,6 +340,66 @@ class SetIterationRule(LintRule):
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
             return node.func.id in ("set", "frozenset")
         return False
+
+
+#: Wall-clock reading functions of the :mod:`time` module.
+_WALLCLOCK_FUNCS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    }
+)
+
+
+@register_rule
+class WallclockRule(LintRule):
+    """Flag raw wall-clock reads outside the observability layer."""
+
+    rule_id = "det/wallclock"
+    description = (
+        "wall-clock reads must go through repro.obs.clock; experiment "
+        "code stays a pure function of its inputs"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # repro.obs *is* the sanctioned wall-clock site.
+        parts = Path(path).parts
+        return not ("repro" in parts and "obs" in parts)
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        time_aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALLCLOCK_FUNCS:
+                        yield self.finding(
+                            node,
+                            path,
+                            f"'from time import {alias.name}' binds a "
+                            "wall-clock reader; use repro.obs.clock",
+                        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+                and func.attr in _WALLCLOCK_FUNCS
+            ):
+                yield self.finding(
+                    node,
+                    path,
+                    f"time.{func.attr}() reads the wall clock; use "
+                    "repro.obs.clock (or a span) instead",
+                )
 
 
 _KEY_MUTATORS = frozenset(

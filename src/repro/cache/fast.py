@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.cache.stats import MissStats
 from repro.errors import ConfigError
@@ -51,6 +52,7 @@ def simulate_direct_mapped(
     lines: np.ndarray, fetches: int, config: CacheConfig
 ) -> MissStats:
     """Full statistics for a line stream through a direct-mapped cache."""
+    obs.inc("cache.sim.fast_calls")
     misses = count_direct_mapped_misses(lines, config)
     return MissStats(
         fetches=fetches, line_accesses=len(lines), misses=misses

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.cache.stats import MissStats
 
@@ -49,6 +50,7 @@ class SetAssociativeCache:
         self, lines: Iterable[int], fetches: int | None = None
     ) -> MissStats:
         """Replay a line stream; *fetches* defaults to one per touch."""
+        obs.inc("cache.sim.lru_runs")
         for line in lines:
             self.touch(int(line))
         return MissStats(

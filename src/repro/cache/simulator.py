@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Literal
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.cache.direct import DirectMappedCache
 from repro.cache.fast import simulate_direct_mapped
@@ -29,17 +30,27 @@ def simulate_stream(
     """Replay a pre-computed line stream through the chosen model."""
     if engine == "auto":
         engine = "fast" if config.is_direct_mapped else "lru"
-    if engine == "fast":
-        return simulate_direct_mapped(stream.lines, stream.fetches, config)
-    if engine == "reference":
-        return DirectMappedCache(config).run(
-            stream.lines, fetches=stream.fetches
-        )
-    if engine == "lru":
-        return SetAssociativeCache(config).run(
-            stream.lines, fetches=stream.fetches
-        )
-    raise ConfigError(f"unknown simulation engine {engine!r}")
+    with obs.span("simulate", engine=engine, line_accesses=len(stream.lines)):
+        if engine == "fast":
+            stats = simulate_direct_mapped(
+                stream.lines, stream.fetches, config
+            )
+        elif engine == "reference":
+            stats = DirectMappedCache(config).run(
+                stream.lines, fetches=stream.fetches
+            )
+        elif engine == "lru":
+            stats = SetAssociativeCache(config).run(
+                stream.lines, fetches=stream.fetches
+            )
+        else:
+            raise ConfigError(f"unknown simulation engine {engine!r}")
+    obs.inc("cache.sim.accesses", stats.line_accesses)
+    obs.inc("cache.sim.misses", stats.misses)
+    obs.inc("cache.sim.hits", stats.hits)
+    obs.inc("cache.sim.fetches", stats.fetches)
+    obs.set_gauge("cache.sim.last_miss_rate", stats.miss_rate)
+    return stats
 
 
 def simulate(

@@ -14,9 +14,18 @@ File-based workflow (profile once, place many times)::
     repro-layout place train.npz --algorithm gbsc -o layout.json
     repro-layout simulate layout.json test.npz
 
+Observability (:mod:`repro.obs`): experiment and file-workflow
+commands accept ``--metrics-out RUN.jsonl`` (span events + end-of-run
+manifest), ``--trace-out`` (span events only) and ``-v`` (phase
+narration on stderr)::
+
+    repro-layout place train.npz -o layout.json --metrics-out run.jsonl
+    repro-layout report run.jsonl       # render timings + metrics
+
 Static verification (:mod:`repro.analysis`)::
 
     repro-layout check layout.json      # audit saved artifacts
+    repro-layout check run.jsonl        # audit a run manifest
     repro-layout lint                   # determinism-lint the sources
 
 Exit codes: 0 success / clean, 1 findings reported by ``check`` or
@@ -30,6 +39,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.cache.config import PAPER_CACHE, CacheConfig
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -73,6 +83,58 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSONL run file (span events + final manifest)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write span events only (no manifest) as JSONL",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="narrate pipeline phases and timings on stderr",
+    )
+
+
+def _obs_session(
+    args: argparse.Namespace, command: str
+) -> obs.RunSession:
+    """An observability session echoing the parsed arguments."""
+    config = {
+        key: value
+        for key, value in vars(args).items()
+        if key != "func" and isinstance(value, (str, int, float, bool))
+    }
+    return obs.RunSession(
+        command=command,
+        config=config,
+        metrics_out=getattr(args, "metrics_out", None),
+        trace_out=getattr(args, "trace_out", None),
+        verbose=getattr(args, "verbose", False),
+    )
+
+
+def _summary_line(command: str, manifest: dict) -> str:
+    """One-line success summary sourced from the metric snapshot."""
+    metrics = manifest["metrics"]
+
+    def value_of(name: str):
+        entry = metrics.get(name)
+        return entry.get("value") if entry else None
+
+    parts = [f"{command} ok:"]
+    procedures = value_of("place.procedures")
+    if procedures is not None:
+        parts.append(f"{procedures} procedures placed,")
+    miss_rate = value_of("cache.sim.last_miss_rate")
+    if miss_rate is not None:
+        parts.append(f"miss rate {miss_rate:.4%},")
+    parts.append(f"elapsed {obs.format_duration(manifest['elapsed'])}")
+    return " ".join(parts)
+
+
 def _workload(args: argparse.Namespace):
     workload = by_name(args.workload)
     if args.fast:
@@ -91,67 +153,73 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    workload = _workload(args)
-    config = _cache_from_args(args)
-    train = workload.trace("train")
-    test = workload.trace("test")
-    print(f"profiling {workload.name} (train: {len(train)} events) ...")
-    context = build_context(train, config)
-    print(
-        f"popular procedures: {len(context.popular)} "
-        f"of {len(context.program)}"
-    )
-    algorithms = [
-        DefaultPlacement(),
-        PettisHansenPlacement(),
-        HashemiKaeliCalderPlacement(),
-        GBSCPlacement(),
-    ]
-    if args.runs > 0:
-        results = perturbation_sweep(
-            context, test, algorithms, runs=args.runs
+    with _obs_session(args, "compare"):
+        workload = _workload(args)
+        config = _cache_from_args(args)
+        train = workload.trace("train")
+        test = workload.trace("test")
+        print(f"profiling {workload.name} (train: {len(train)} events) ...")
+        context = build_context(train, config)
+        print(
+            f"popular procedures: {len(context.popular)} "
+            f"of {len(context.program)}"
         )
-        print(summarize(results))
-    else:
-        for algorithm in algorithms:
-            layout = algorithm.place(context)
-            stats = simulate(layout, test, config)
-            print(f"{algorithm.name:<10} miss rate {stats.miss_rate:.4%}")
+        algorithms = [
+            DefaultPlacement(),
+            PettisHansenPlacement(),
+            HashemiKaeliCalderPlacement(),
+            GBSCPlacement(),
+        ]
+        if args.runs > 0:
+            results = perturbation_sweep(
+                context, test, algorithms, runs=args.runs
+            )
+            print(summarize(results))
+        else:
+            for algorithm in algorithms:
+                with obs.span("place", algorithm=algorithm.name):
+                    layout = algorithm.place(context)
+                stats = simulate(layout, test, config)
+                print(
+                    f"{algorithm.name:<10} miss rate {stats.miss_rate:.4%}"
+                )
     return 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    config = _cache_from_args(args)
-    rows = []
-    for workload in SUITE:
-        if args.fast:
-            workload = workload.scaled(0.25)
-        program = workload.program
-        train = workload.trace("train")
-        test = workload.trace("test")
-        context = build_context(train, config)
-        default_stats = simulate(
-            Layout.default(program), test, config
-        )
-        popular_size = program.subset_size(context.popular)
-        rows.append(
-            Table1Row(
-                name=workload.name,
-                total_size=program.total_size,
-                total_count=len(program),
-                popular_size=popular_size,
-                popular_count=len(context.popular),
-                train_events=len(train),
-                test_events=len(test),
-                default_miss_rate=default_stats.miss_rate,
-                avg_q_size=(
-                    context.trgs.select_stats.avg_q_entries
-                    if context.trgs
-                    else 0.0
-                ),
+    with _obs_session(args, "table1"):
+        config = _cache_from_args(args)
+        rows = []
+        for workload in SUITE:
+            if args.fast:
+                workload = workload.scaled(0.25)
+            with obs.span("workload", name=workload.name):
+                program = workload.program
+                train = workload.trace("train")
+                test = workload.trace("test")
+                context = build_context(train, config)
+                default_stats = simulate(
+                    Layout.default(program), test, config
+                )
+            popular_size = program.subset_size(context.popular)
+            rows.append(
+                Table1Row(
+                    name=workload.name,
+                    total_size=program.total_size,
+                    total_count=len(program),
+                    popular_size=popular_size,
+                    popular_count=len(context.popular),
+                    train_events=len(train),
+                    test_events=len(test),
+                    default_miss_rate=default_stats.miss_rate,
+                    avg_q_size=(
+                        context.trgs.select_stats.avg_q_entries
+                        if context.trgs
+                        else 0.0
+                    ),
+                )
             )
-        )
-    print(format_table1(rows))
+        print(format_table1(rows))
     return 0
 
 
@@ -218,51 +286,65 @@ _ALGORITHMS = {
 def cmd_gen_trace(args: argparse.Namespace) -> int:
     from repro.io import save_trace
 
-    if args.spec:
-        from repro.workloads.custom import load_workload
+    with _obs_session(args, "gen-trace"):
+        if args.spec:
+            from repro.workloads.custom import load_workload
 
-        workload = load_workload(args.spec)
-    else:
-        workload = by_name(args.workload)
-    if args.scale != 1.0:
-        workload = workload.scaled(args.scale)
-    trace = workload.trace(args.which)
-    save_trace(trace, args.output)
-    print(
-        f"wrote {args.which} trace of {workload.name}: {len(trace)} "
-        f"events -> {args.output}"
-    )
+            workload = load_workload(args.spec)
+        else:
+            workload = by_name(args.workload)
+        if args.scale != 1.0:
+            workload = workload.scaled(args.scale)
+        trace = workload.trace(args.which)
+        save_trace(trace, args.output)
+        print(
+            f"wrote {args.which} trace of {workload.name}: {len(trace)} "
+            f"events -> {args.output}"
+        )
     return 0
 
 
 def cmd_place(args: argparse.Namespace) -> int:
     from repro.io import load_trace, save_layout
 
-    trace = load_trace(args.trace)
-    config = _cache_from_args(args)
-    context = build_context(trace, config)
-    algorithm = _ALGORITHMS[args.algorithm]()
-    layout = algorithm.place(context)
-    save_layout(layout, args.output)
-    train_stats = simulate(layout, trace, config)
-    print(
-        f"{algorithm.name} layout: text size {layout.text_size} bytes, "
-        f"training miss rate {train_stats.miss_rate:.4%} -> {args.output}"
-    )
+    session = _obs_session(args, "place")
+    try:
+        trace = load_trace(args.trace)
+        config = _cache_from_args(args)
+        context = build_context(trace, config)
+        algorithm = _ALGORITHMS[args.algorithm]()
+        with obs.span("place", algorithm=algorithm.name):
+            layout = algorithm.place(context)
+        obs.set_gauge("place.procedures", len(context.program))
+        save_layout(layout, args.output)
+        train_stats = simulate(layout, trace, config)
+        print(
+            f"{algorithm.name} layout: text size {layout.text_size} bytes, "
+            f"training miss rate {train_stats.miss_rate:.4%} "
+            f"-> {args.output}"
+        )
+    finally:
+        manifest = session.finish()
+    print(_summary_line("place", manifest))
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.io import load_layout, load_trace
 
-    layout = load_layout(args.layout)
-    trace = load_trace(args.trace)
-    config = _cache_from_args(args)
-    stats = simulate(layout, trace, config)
-    print(
-        f"{stats.misses} misses / {stats.fetches} fetches "
-        f"(miss rate {stats.miss_rate:.4%})"
-    )
+    session = _obs_session(args, "simulate")
+    try:
+        layout = load_layout(args.layout)
+        trace = load_trace(args.trace)
+        config = _cache_from_args(args)
+        stats = simulate(layout, trace, config)
+        print(
+            f"{stats.misses} misses / {stats.fetches} fetches "
+            f"(miss rate {stats.miss_rate:.4%})"
+        )
+    finally:
+        manifest = session.finish()
+    print(_summary_line("simulate", manifest))
     return 0
 
 
@@ -315,6 +397,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import (
         audit_graph,
         audit_layout_payload,
+        audit_manifest,
+        audit_run_path,
         format_findings,
     )
     from repro.errors import AnalysisError
@@ -323,8 +407,19 @@ def cmd_check(args: argparse.Namespace) -> int:
     config = _cache_from_args(args)
     total = 0
     for artifact in args.artifacts:
+        path = Path(artifact)
+        if path.is_dir() or path.suffix == ".jsonl":
+            findings = audit_run_path(path)
+            if findings:
+                print(f"{artifact}:")
+                for line in format_findings(findings).splitlines():
+                    print(f"  {line}")
+            else:
+                print(f"{artifact}: no findings")
+            total += len(findings)
+            continue
         try:
-            data = json.loads(Path(artifact).read_text())
+            data = json.loads(path.read_text())
         except (
             OSError,
             UnicodeDecodeError,
@@ -342,6 +437,8 @@ def cmd_check(args: argparse.Namespace) -> int:
             findings = audit_layout_payload(data, config)
         elif kind == "repro/graph":
             findings = audit_graph(graph_from_dict(data))
+        elif kind == "repro/manifest":
+            findings = audit_manifest(data, file=artifact)
         else:
             raise AnalysisError(
                 f"{artifact}: cannot audit artifacts of format {kind!r}"
@@ -354,6 +451,15 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(f"{artifact}: no findings")
         total += len(findings)
     return 1 if total else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import load_run_manifest
+    from repro.eval.reporting import format_manifest_report
+
+    manifest = load_run_manifest(args.run)
+    print(format_manifest_report(manifest, width=args.width))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -403,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="use 4x shorter traces"
     )
     _add_cache_arguments(compare)
+    _add_obs_arguments(compare)
     compare.set_defaults(func=cmd_compare)
 
     table1 = subparsers.add_parser(
@@ -412,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="use 4x shorter traces"
     )
     _add_cache_arguments(table1)
+    _add_obs_arguments(table1)
     table1.set_defaults(func=cmd_table1)
 
     correlate = subparsers.add_parser(
@@ -453,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen_trace.add_argument(
         "-o", "--output", required=True, help="output .npz path"
     )
+    _add_obs_arguments(gen_trace)
     gen_trace.set_defaults(func=cmd_gen_trace)
 
     place = subparsers.add_parser(
@@ -468,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", required=True, help="output layout .json path"
     )
     _add_cache_arguments(place)
+    _add_obs_arguments(place)
     place.set_defaults(func=cmd_place)
 
     simulate_cmd = subparsers.add_parser(
@@ -476,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("layout", help="layout .json path")
     simulate_cmd.add_argument("trace", help="trace .npz path")
     _add_cache_arguments(simulate_cmd)
+    _add_obs_arguments(simulate_cmd)
     simulate_cmd.set_defaults(func=cmd_simulate)
 
     visualize = subparsers.add_parser(
@@ -499,14 +610,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = subparsers.add_parser(
         "check",
-        help="audit saved artifacts (layout/graph JSON) for invariant "
-        "violations",
+        help="audit saved artifacts (layout/graph JSON, JSONL run "
+        "files, run directories) for invariant violations",
     )
     check.add_argument(
-        "artifacts", nargs="+", help="artifact .json paths to audit"
+        "artifacts",
+        nargs="+",
+        help="artifact .json / .jsonl paths or run directories to audit",
     )
     _add_cache_arguments(check)
     check.set_defaults(func=cmd_check)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a JSONL run file's manifest (timings + metrics)",
+    )
+    report.add_argument(
+        "run", help="run file written by --metrics-out"
+    )
+    report.add_argument(
+        "--width", type=int, default=40,
+        help="phase bar chart width in characters",
+    )
+    report.set_defaults(func=cmd_report)
 
     lint = subparsers.add_parser(
         "lint",

@@ -20,6 +20,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.core.linearize import LinearizationResult, linearize
 from repro.core.merge import CostMethod, MergeNode, merge_nodes
@@ -57,44 +58,49 @@ def gbsc_nodes(
     ``TRG_select``; each step merges the endpoints of its heaviest edge
     (lazy max-heap, deterministic tie-breaks) until no edges remain.
     """
-    working = select_graph.subgraph(popular)
-    for name in popular:
-        working.add_node(name)
-    nodes: dict[str, MergeNode] = {
-        name: MergeNode.single(name) for name in popular
-    }
+    with obs.span("gbsc_merge", popular=len(popular), method=method):
+        working = select_graph.subgraph(popular)
+        for name in popular:
+            working.add_node(name)
+        nodes: dict[str, MergeNode] = {
+            name: MergeNode.single(name) for name in popular
+        }
 
-    heap: list[tuple[float, str, str, str, str]] = []
-    for a, b, weight in working.edges():
-        heapq.heappush(heap, (-weight, repr(a), repr(b), a, b))
+        heap: list[tuple[float, str, str, str, str]] = []
+        for a, b, weight in working.edges():
+            heapq.heappush(heap, (-weight, repr(a), repr(b), a, b))
 
-    while heap:
-        neg_weight, _, _, u, v = heapq.heappop(heap)
-        if u not in working or v not in working:
-            continue
-        if working.weight(u, v) != -neg_weight:
-            continue  # stale entry
-        nodes[u] = merge_nodes(
-            nodes[u],
-            nodes[v],
-            place_graph,
-            program,
-            config,
-            chunk_size,
-            method,
-        )
-        del nodes[v]
-        working.merge_nodes_into(u, v)
-        for neighbor in working.neighbors(u):
-            weight = working.weight(u, neighbor)
-            heapq.heappush(
-                heap, (-weight, repr(u), repr(neighbor), u, neighbor)
+        while heap:
+            neg_weight, _, _, u, v = heapq.heappop(heap)
+            if u not in working or v not in working:
+                obs.inc("gbsc.merge.stale_heap_entries")
+                continue
+            if working.weight(u, v) != -neg_weight:
+                obs.inc("gbsc.merge.stale_heap_entries")
+                continue  # stale entry
+            nodes[u] = merge_nodes(
+                nodes[u],
+                nodes[v],
+                place_graph,
+                program,
+                config,
+                chunk_size,
+                method,
             )
+            obs.inc("gbsc.merge.edges_merged")
+            del nodes[v]
+            working.merge_nodes_into(u, v)
+            for neighbor in working.neighbors(u):
+                weight = working.weight(u, neighbor)
+                heapq.heappush(
+                    heap, (-weight, repr(u), repr(neighbor), u, neighbor)
+                )
 
-    # Deterministic order: larger nodes first, then by first member.
-    ordered = sorted(
-        nodes.values(), key=lambda node: (-len(node), node.names[0])
-    )
+        # Deterministic order: larger nodes first, then by first member.
+        ordered = sorted(
+            nodes.values(), key=lambda node: (-len(node), node.names[0])
+        )
+    obs.set_gauge("gbsc.merge.nodes_remaining", len(ordered))
     return tuple(ordered)
 
 

@@ -26,6 +26,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.core.merge import MergeNode
 from repro.errors import PlacementError
@@ -61,6 +62,20 @@ def linearize(
     pages, the Section 4.3 remark that the linear ordering can also be
     chosen "to reduce paging problems".
     """
+    with obs.span("linearize", nodes=len(nodes), unpopular=len(unpopular)):
+        result = _linearize(nodes, program, config, unpopular, affinity)
+    obs.inc("linearize.gap_bytes", result.gap_bytes)
+    obs.inc("linearize.gap_fillers", len(result.gap_fillers))
+    return result
+
+
+def _linearize(
+    nodes: Sequence[MergeNode],
+    program: Program,
+    config: CacheConfig,
+    unpopular: Sequence[str] = (),
+    affinity: WeightedGraph | None = None,
+) -> LinearizationResult:
     offsets: dict[str, int] = {}
     node_size: dict[str, int] = {}
     for node in nodes:

@@ -28,6 +28,7 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.errors import PlacementError
 from repro.profiles.graph import WeightedGraph
@@ -260,5 +261,6 @@ def merge_nodes(
         )
     else:
         raise PlacementError(f"unknown cost method {method!r}")
+    obs.inc("gbsc.merge.offsets_evaluated", config.num_lines)
     offset = best_offset(costs)
     return n1.combined_with(n2.shifted(offset, config.num_lines))

@@ -33,6 +33,11 @@ class PlacementError(ReproError):
     """A placement algorithm was driven with inconsistent inputs."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused (metric kind clash, bad
+    histogram edges, writing to a closed sink)."""
+
+
 class AnalysisError(ReproError):
     """The static-analysis subsystem was driven with invalid inputs
     (unauditable artifact, missing program model, unknown lint rule)."""

@@ -80,6 +80,33 @@ def ascii_cdf(
     return "\n".join(lines)
 
 
+def ascii_bars(
+    items: Sequence[tuple[str, float]],
+    width: int = 40,
+) -> list[str]:
+    """Horizontal bar chart lines for ``(label, value)`` pairs.
+
+    Bars are scaled so the largest value fills *width* characters; any
+    positive value gets at least one mark.  Returns the lines (without
+    values appended) so callers can attach their own value rendering.
+    """
+    if width < 1:
+        raise ConfigError("bar width must be at least 1")
+    if not items:
+        return []
+    label_width = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items)
+    scale = width / peak if peak > 0 else 0.0
+    lines = []
+    for label, value in items:
+        cells = int(round(value * scale))
+        if value > 0:
+            cells = max(1, cells)
+        bar = "#" * cells
+        lines.append(f"{label:<{label_width}} |{bar:<{width}}")
+    return lines
+
+
 def sweep_panel(results, width: int = 60, height: int = 12) -> str:
     """Render a list of :class:`~repro.eval.randomization.SweepResult`
     objects as an ASCII Figure 5 panel."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.cache.simulator import simulate
 from repro.cache.stats import MissStats
@@ -44,25 +45,34 @@ def build_context(
     optionally the Section 6 pair database (procedure granularity).
     """
     program = train_trace.program
-    popular = select_popular(
-        train_trace, coverage=coverage, max_procedures=max_popular
-    )
-    popular_set = set(popular.procedures)
-    wcg = build_wcg(train_trace)
-    trgs = build_trgs(
-        train_trace,
-        config,
-        chunk_size=chunk_size,
-        popular=popular_set,
-        q_multiplier=q_multiplier,
-    )
-    pair_db = None
-    if with_pair_db:
-        pair_db, _ = build_pair_database(
-            procedure_refs(train_trace, popular_set),
-            program.size_of,
-            q_multiplier * config.size,
+    with obs.span(
+        "build_context",
+        events=len(train_trace),
+        procedures=len(program),
+    ):
+        with obs.span("select_popular"):
+            popular = select_popular(
+                train_trace, coverage=coverage, max_procedures=max_popular
+            )
+        popular_set = set(popular.procedures)
+        with obs.span("build_wcg"):
+            wcg = build_wcg(train_trace)
+        trgs = build_trgs(
+            train_trace,
+            config,
+            chunk_size=chunk_size,
+            popular=popular_set,
+            q_multiplier=q_multiplier,
         )
+        pair_db = None
+        if with_pair_db:
+            pair_db, _ = build_pair_database(
+                procedure_refs(train_trace, popular_set),
+                program.size_of,
+                q_multiplier * config.size,
+            )
+    obs.set_gauge("profile.popular_procedures", len(popular.procedures))
+    obs.set_gauge("profile.total_procedures", len(program))
     return PlacementContext(
         program=program,
         config=config,
@@ -114,7 +124,8 @@ def run_experiment(
     trace."""
     outcomes = []
     for algorithm in algorithms:
-        layout = algorithm.place(context)
+        with obs.span("place", algorithm=algorithm.name):
+            layout = algorithm.place(context)
         stats = simulate(layout, test_trace, context.config)
         outcomes.append(
             AlgorithmOutcome(

@@ -8,9 +8,11 @@ rows, Figure 5 CDF series, and Figure 6 scatter data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
+from repro.eval.asciiplot import ascii_bars
 from repro.eval.randomization import SweepResult
+from repro.obs import format_duration
 
 
 @dataclass(frozen=True)
@@ -70,4 +72,88 @@ def format_scatter(
     lines = [f"== {label} (pearson r = {correlation:+.3f}) =="]
     for miss_rate, metric in points:
         lines.append(f"  {miss_rate:.4%}  {metric:.1f}")
+    return "\n".join(lines)
+
+
+def _format_metric_value(entry: Mapping[str, Any]) -> str:
+    kind = entry.get("kind")
+    if kind == "histogram":
+        return (
+            f"count={entry.get('count')} sum={entry.get('sum')} "
+            f"min={entry.get('min')} max={entry.get('max')} "
+            f"buckets={entry.get('counts')}"
+        )
+    value = entry.get("value")
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _timing_lines(
+    node: Mapping[str, Any], depth: int, out: list[str]
+) -> None:
+    indent = "  " * depth
+    attributes = node.get("attributes") or {}
+    suffix = ""
+    if attributes:
+        rendered = " ".join(f"{k}={v}" for k, v in attributes.items())
+        suffix = f"  ({rendered})"
+    error = node.get("error")
+    if error:
+        suffix += f"  [error: {error}]"
+    out.append(
+        f"  {indent}{node['name']}: "
+        f"{format_duration(node.get('duration') or 0.0)}{suffix}"
+    )
+    for child in node.get("children") or ():
+        _timing_lines(child, depth + 1, out)
+
+
+def format_manifest_report(
+    manifest: Mapping[str, Any], width: int = 40
+) -> str:
+    """Human-readable rendering of a run manifest (``report`` command).
+
+    Three sections: a header echoing the run identity, the phase timing
+    tree with a bar chart of the top-level phases, and the final metric
+    snapshot.
+    """
+    command = manifest.get("command", "?")
+    git = manifest.get("git")
+    elapsed = manifest.get("elapsed") or 0.0
+    lines = [
+        f"run: {command}"
+        + (f"  (git {git})" if git else "")
+        + f"  elapsed {format_duration(elapsed)}"
+    ]
+    config = manifest.get("config") or {}
+    if config:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        lines.append(f"config: {rendered}")
+
+    timings = manifest.get("timings") or []
+    if timings:
+        lines.append("")
+        lines.append("phases:")
+        items = [
+            (t["name"], float(t.get("duration") or 0.0)) for t in timings
+        ]
+        bars = ascii_bars(items, width=width)
+        for bar, (_, duration) in zip(bars, items):
+            lines.append(f"  {bar} {format_duration(duration)}")
+        lines.append("")
+        lines.append("timings:")
+        for root in timings:
+            _timing_lines(root, 0, lines)
+
+    metrics = manifest.get("metrics") or {}
+    if metrics:
+        lines.append("")
+        lines.append("metrics:")
+        name_width = max(len(name) for name in metrics)
+        for name, entry in metrics.items():
+            lines.append(
+                f"  {name:<{name_width}}  {entry.get('kind', '?'):<9}  "
+                f"{_format_metric_value(entry)}"
+            )
     return "\n".join(lines)

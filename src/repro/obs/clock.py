@@ -1,0 +1,28 @@
+"""The project's only sanctioned wall-clock access.
+
+Determinism is the repo's core contract: experiment *results* must be
+bit-reproducible from their seeds, which means no result-influencing
+code may read the clock.  Observability, by contrast, exists precisely
+to measure wall time.  The ``det/wallclock`` lint rule
+(:mod:`repro.analysis.rules`) squares the two by forbidding raw
+``time.time()`` / ``time.perf_counter()`` everywhere *except* inside
+``repro.obs`` — all clock reads funnel through these two functions, so
+an audit of "what can observe time" is a one-module read.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_time() -> float:
+    """Seconds since the Unix epoch.
+
+    Used only to timestamp run manifests; never feeds a computation.
+    """
+    return time.time()
+
+
+def monotonic() -> float:
+    """High-resolution monotonic seconds for span durations."""
+    return time.perf_counter()

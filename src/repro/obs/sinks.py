@@ -1,0 +1,90 @@
+"""JSONL event sinks and the end-of-run manifest.
+
+A *run file* is JSON Lines: one ``{"type": "span", ...}`` event per
+finished span, streamed as the run progresses, terminated by a single
+``{"type": "manifest", "format": "repro/manifest", ...}`` object that
+echoes the run configuration and snapshots every metric — the artifact
+``repro-layout report`` renders and ``repro.analysis`` audits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ObservabilityError
+from repro.obs.runtime import Observability
+from repro.obs.tracer import SpanRecord
+
+MANIFEST_FORMAT = "repro/manifest"
+MANIFEST_VERSION = 1
+
+
+class JsonlSink:
+    """Append JSON objects, one per line, to a file.
+
+    The file is opened lazily on the first event (creating parent
+    directories), so constructing a sink for a path that never receives
+    events leaves no file behind.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._closed = False
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        if self._closed:
+            raise ObservabilityError(
+                f"sink {self.path} is closed; cannot emit"
+            )
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.write(json.dumps(event, sort_keys=True))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+
+def span_event(record: SpanRecord, depth: int) -> dict[str, Any]:
+    """Flat JSONL rendering of one finished span."""
+    event: dict[str, Any] = {
+        "type": "span",
+        "name": record.name,
+        "depth": depth,
+        "start": record.start,
+        "duration": record.duration,
+    }
+    if record.attributes:
+        event["attributes"] = dict(record.attributes)
+    if record.error is not None:
+        event["error"] = record.error
+    return event
+
+
+def build_manifest(
+    command: str,
+    state: Observability,
+    config: Mapping[str, Any] | None = None,
+    git: str | None = None,
+    unix_time: float | None = None,
+) -> dict[str, Any]:
+    """Assemble the end-of-run manifest from an observability state."""
+    return {
+        "type": "manifest",
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "command": command,
+        "config": dict(config) if config else {},
+        "git": git,
+        "unix_time": unix_time,
+        "elapsed": state.tracer.total_time(),
+        "timings": [root.to_dict() for root in state.tracer.roots],
+        "metrics": state.registry.snapshot(),
+    }

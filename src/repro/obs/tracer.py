@@ -1,0 +1,97 @@
+"""Structured tracing spans with nesting and exception safety.
+
+A span measures one phase of the pipeline (``build_trgs``,
+``gbsc_merge``, ``simulate``, ...).  Spans nest: entering a span while
+another is open records the new span as a child, so a finished run
+yields a *timing tree* whose roots are the top-level phases — the
+``timings`` section of a run manifest.
+
+Spans are exception-safe: a span whose body raises still records its
+duration, notes the exception type in ``error``, and re-raises.
+Listeners (JSONL sinks, the ``-v`` narrator) are notified as each span
+*closes*, child-before-parent, so streaming consumers see completed
+measurements only.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.obs.clock import monotonic
+
+#: Called with (record, depth) as each span closes; depth 0 is a root.
+SpanListener = Callable[["SpanRecord", int], None]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) span of the timing tree."""
+
+    name: str
+    start: float  # seconds since the tracer's epoch
+    attributes: dict[str, Any] = field(default_factory=dict)
+    duration: float = 0.0
+    error: str | None = None
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable nested rendering (manifest ``timings``)."""
+        record: dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            record["error"] = self.error
+        if self.children:
+            record["children"] = [c.to_dict() for c in self.children]
+        return record
+
+
+class Tracer:
+    """Collects spans into a forest of timing trees."""
+
+    def __init__(self) -> None:
+        self._epoch = monotonic()
+        self._stack: list[SpanRecord] = []
+        self._listeners: list[SpanListener] = []
+        self.roots: list[SpanRecord] = []
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def add_listener(self, listener: SpanListener) -> None:
+        self._listeners.append(listener)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[SpanRecord]:
+        started = monotonic()
+        record = SpanRecord(
+            name=name, start=started - self._epoch, attributes=attributes
+        )
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+        self._stack.append(record)
+        depth = len(self._stack) - 1
+        try:
+            yield record
+        except BaseException as exc:
+            record.error = type(exc).__name__
+            raise
+        finally:
+            record.duration = monotonic() - started
+            self._stack.pop()
+            for listener in self._listeners:
+                listener(record, depth)
+
+    def total_time(self) -> float:
+        """Wall time covered by the root spans."""
+        return sum(root.duration for root in self.roots)

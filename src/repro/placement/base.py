@@ -75,6 +75,19 @@ class PlacementContext:
             )
         return self.trgs
 
+    def summary(self) -> dict[str, object]:
+        """JSON-able description of the context for run manifests."""
+        return {
+            "procedures": len(self.program),
+            "total_size": self.program.total_size,
+            "popular": len(self.popular),
+            "cache_size": self.config.size,
+            "line_size": self.config.line_size,
+            "associativity": self.config.associativity,
+            "has_trgs": self.trgs is not None,
+            "has_pair_db": self.pair_db is not None,
+        }
+
     def require_pair_db(self) -> PairDatabase:
         if self.pair_db is None:
             raise PlacementError(

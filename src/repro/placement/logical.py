@@ -19,6 +19,7 @@ procedures trail the layout.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.placement.base import PlacementContext
 from repro.program.layout import Layout
@@ -31,14 +32,15 @@ class LogicalCachePlacement:
     name = "TXD"
 
     def place(self, context: PlacementContext) -> Layout:
-        order, gaps = logical_cache_order(
-            context.program,
-            context.config,
-            self._hotness_ranking(context),
-        )
-        return Layout.from_order(
-            context.program, order, gaps_before=gaps
-        )
+        with obs.span("logical_cache_place", **context.summary()):
+            order, gaps = logical_cache_order(
+                context.program,
+                context.config,
+                self._hotness_ranking(context),
+            )
+            return Layout.from_order(
+                context.program, order, gaps_before=gaps
+            )
 
     def _hotness_ranking(self, context: PlacementContext) -> list[str]:
         """Popular procedures in decreasing dynamic importance; the

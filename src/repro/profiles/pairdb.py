@@ -15,6 +15,7 @@ from collections import Counter
 from itertools import combinations
 from typing import Callable, Hashable, Iterable
 
+from repro import obs
 from repro.profiles.qset import WorkingSet
 from repro.profiles.trg import TRGBuildStats
 
@@ -71,12 +72,17 @@ def build_pair_database(
     working_set = WorkingSet(capacity, size_of)
     refs_processed = 0
     q_entry_total = 0
-    for block in refs:
-        database.add_block(block)
-        between = working_set.reference(block)
-        if between is not None:
-            database.record(block, between)
-        refs_processed += 1
-        q_entry_total += len(working_set)
+    with obs.span("build_pair_db", q_capacity=capacity):
+        for block in refs:
+            database.add_block(block)
+            between = working_set.reference(block)
+            if between is not None:
+                database.record(block, between)
+            refs_processed += 1
+            q_entry_total += len(working_set)
     average = q_entry_total / refs_processed if refs_processed else 0.0
-    return database, TRGBuildStats(refs_processed, average)
+    obs.inc("pairdb.refs_processed", refs_processed)
+    obs.inc("pairdb.records", database.total_records())
+    return database, TRGBuildStats(
+        refs_processed, average, working_set.evictions
+    )

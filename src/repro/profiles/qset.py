@@ -55,6 +55,7 @@ class WorkingSet:
         self._tail: _Node | None = None  # most recent
         self._nodes: dict[Block, _Node] = {}
         self._total_size = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Trace processing
@@ -101,6 +102,17 @@ class WorkingSet:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped so far by the capacity bound.
+
+        Kept as a plain attribute (rather than an observability
+        counter call per eviction) so the hot trace-processing loop
+        stays untouched; TRG builders report the total through
+        :mod:`repro.obs` once per pass.
+        """
+        return self._evictions
 
     def blocks(self) -> Iterator[Block]:
         """Blocks from oldest to most recent."""
@@ -166,3 +178,4 @@ class WorkingSet:
             and self._total_size - self._head.size >= self._capacity
         ):
             self._unlink(self._head)
+            self._evictions += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
+from repro import obs
 from repro.cache.config import CacheConfig
 from repro.errors import ConfigError
 from repro.profiles.graph import WeightedGraph
@@ -39,11 +40,13 @@ class TRGBuildStats:
 
     ``avg_q_entries`` is the mean number of identifiers present in
     ``Q`` after each processing step — the "average Q size" column of
-    Table 1 when built at procedure granularity.
+    Table 1 when built at procedure granularity.  ``evictions`` counts
+    entries the capacity bound dropped from ``Q`` during the pass.
     """
 
     refs_processed: int
     avg_q_entries: float
+    evictions: int = 0
 
 
 def build_trg(
@@ -71,7 +74,9 @@ def build_trg(
         refs_processed += 1
         q_entry_total += len(working_set)
     average = q_entry_total / refs_processed if refs_processed else 0.0
-    return graph, TRGBuildStats(refs_processed, average)
+    return graph, TRGBuildStats(
+        refs_processed, average, working_set.evictions
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -152,18 +157,33 @@ def build_trgs(
     capacity = q_multiplier * config.size
     program = trace.program
 
-    select, select_stats = build_trg(
-        procedure_refs(trace, popular), program.size_of, capacity
-    )
+    with obs.span(
+        "build_trgs", chunk_size=chunk_size, q_capacity=capacity
+    ):
+        with obs.span("build_trg_select"):
+            select, select_stats = build_trg(
+                procedure_refs(trace, popular), program.size_of, capacity
+            )
 
-    def chunk_byte_size(chunk: ChunkId) -> int:
-        return program[chunk.procedure].chunk_size_of(
-            chunk.index, chunk_size
-        )
+        def chunk_byte_size(chunk: ChunkId) -> int:
+            return program[chunk.procedure].chunk_size_of(
+                chunk.index, chunk_size
+            )
 
-    place, place_stats = build_trg(
-        chunk_refs(trace, chunk_size, popular), chunk_byte_size, capacity
+        with obs.span("build_trg_place"):
+            place, place_stats = build_trg(
+                chunk_refs(trace, chunk_size, popular),
+                chunk_byte_size,
+                capacity,
+            )
+    obs.inc("trg.select.refs_processed", select_stats.refs_processed)
+    obs.inc("trg.place.refs_processed", place_stats.refs_processed)
+    obs.inc(
+        "trg.qset.evictions",
+        select_stats.evictions + place_stats.evictions,
     )
+    obs.set_gauge("trg.select.edges", select.num_edges())
+    obs.set_gauge("trg.place.edges", place.num_edges())
     return TRGPair(
         select=select,
         place=place,

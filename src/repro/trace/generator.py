@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TraceError
 from repro.trace.callgraph import CallGraphModel, ProcedureModel
 from repro.trace.trace import Trace
@@ -124,6 +125,18 @@ class _Frame:
 
 def generate_trace(graph: CallGraphModel, inp: TraceInput) -> Trace:
     """Run the stochastic call/return process and return the trace."""
+    with obs.span(
+        "gen_trace",
+        input=inp.name,
+        seed=inp.seed,
+        target_events=inp.target_events,
+    ):
+        trace = _generate_trace(graph, inp)
+    obs.inc("trace.events_emitted", len(trace))
+    return trace
+
+
+def _generate_trace(graph: CallGraphModel, inp: TraceInput) -> Trace:
     rng = _random.Random(inp.seed)
     tables = _PhaseTables(graph, inp)
     program = graph.program

@@ -143,6 +143,52 @@ class TestDictMutation:
         ) == set()
 
 
+class TestWallclock:
+    def test_time_call_flagged(self):
+        assert lint(
+            """
+            import time
+
+            started = time.time()
+            """
+        ) == {"det/wallclock"}
+
+    def test_perf_counter_and_alias_flagged(self):
+        assert lint(
+            """
+            import time as _t
+
+            a = _t.perf_counter()
+            b = _t.monotonic_ns()
+            """
+        ) == {"det/wallclock"}
+
+    def test_from_import_flagged(self):
+        assert lint("from time import perf_counter\n") == {
+            "det/wallclock"
+        }
+
+    def test_sleep_and_struct_time_allowed(self):
+        assert (
+            lint(
+                """
+                import time
+
+                time.sleep(0.1)
+                t = time.gmtime(0)
+                """
+            )
+            == set()
+        )
+
+    def test_exempt_inside_repro_obs(self):
+        source = "import time\n\nnow = time.time()\n"
+        assert lint(source, "src/repro/obs/clock.py") == set()
+        assert lint(source, "src/repro/trace/generator.py") == {
+            "det/wallclock"
+        }
+
+
 class TestSuppression:
     def test_disable_comment_silences_rule(self):
         source = (
@@ -204,5 +250,6 @@ class TestHarness:
             "det/float-equality",
             "det/set-iteration",
             "det/dict-mutation",
+            "det/wallclock",
         }
         assert {rule.rule_id for rule in all_rules()} == covered

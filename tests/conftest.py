@@ -2,12 +2,36 @@
 
 from __future__ import annotations
 
+import os
+from typing import Iterator
+
 import pytest
 
 from repro.cache.config import CacheConfig
 from repro.program.program import Program
 from repro.trace.events import TraceEvent
 from repro.trace.trace import Trace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def tier1_manifest() -> Iterator[None]:
+    """Observe the whole test session when ``REPRO_TEST_MANIFEST`` names
+    an output path (CI uploads it as a workflow artifact).
+
+    Off by default so local runs stay unobserved; obs unit tests that
+    install their own state nest safely inside this session.
+    """
+    out = os.environ.get("REPRO_TEST_MANIFEST")
+    if not out:
+        yield
+        return
+    from repro.obs import RunSession
+
+    session = RunSession(command="tier1-tests", metrics_out=out)
+    try:
+        yield
+    finally:
+        session.finish()
 
 
 @pytest.fixture

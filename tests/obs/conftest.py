@@ -1,0 +1,25 @@
+"""Fixtures for the observability tests.
+
+Every test in this package runs with the global observability state
+saved and restored, so tests that enable/disable freely cannot leak
+state into the rest of the suite (or into the CI-wide run session
+installed by ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def isolated_obs() -> Iterator[None]:
+    previous = runtime.current()
+    runtime.disable()
+    try:
+        yield
+    finally:
+        runtime.restore(previous)

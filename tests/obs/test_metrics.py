@@ -1,0 +1,95 @@
+"""Counters, gauges and histogram bucket arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_to_dict(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.to_dict() == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("g")
+        assert gauge.value is None
+        gauge.set(1)
+        gauge.set(7)
+        assert gauge.to_dict() == {"kind": "gauge", "value": 7}
+
+
+class TestHistogram:
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", [])
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", [1, 1, 2])
+
+    def test_bucket_edges_are_inclusive_upper(self):
+        # bucket i is (edges[i-1], edges[i]]; the last is overflow.
+        histogram = Histogram("h", [10, 20])
+        histogram.observe(10)  # on the first edge -> bucket 0
+        histogram.observe(11)  # just above -> bucket 1
+        histogram.observe(20)  # on the second edge -> bucket 1
+        histogram.observe(21)  # above all edges -> overflow
+        assert histogram.counts == [1, 2, 1]
+
+    def test_count_sum_min_max(self):
+        histogram = Histogram("h", [100])
+        for value in (5, 50, 500):
+            histogram.observe(value)
+        data = histogram.to_dict()
+        assert data["count"] == 3
+        assert data["sum"] == 555
+        assert data["min"] == 5
+        assert data["max"] == 500
+        assert data["counts"] == [2, 1]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("a")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("a", [1])
+
+    def test_histogram_needs_edges_on_first_use(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h")
+        registry.histogram("h", [1, 2])
+        # later lookups need no edges
+        registry.histogram("h").observe(1)
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("z.gauge").set(1.5)
+        registry.counter("a.counter").inc(2)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.counter", "z.gauge"]
+        assert snapshot["a.counter"] == {"kind": "counter", "value": 2}

@@ -1,0 +1,108 @@
+"""The ``report`` subcommand and its manifest rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.reporting import format_manifest_report
+from repro.obs import MANIFEST_FORMAT, MANIFEST_VERSION
+
+
+@pytest.fixture
+def manifest() -> dict:
+    return {
+        "type": "manifest",
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "command": "place",
+        "config": {"algorithm": "gbsc"},
+        "git": "abc1234",
+        "unix_time": 0.0,
+        "elapsed": 0.15,
+        "timings": [
+            {
+                "name": "build_context",
+                "start": 0.0,
+                "duration": 0.1,
+                "attributes": {"events": 2500},
+                "children": [
+                    {"name": "build_wcg", "start": 0.01, "duration": 0.04}
+                ],
+            },
+            {"name": "place", "start": 0.1, "duration": 0.05},
+        ],
+        "metrics": {
+            "cache.sim.misses": {"kind": "counter", "value": 2739},
+            "cache.sim.last_miss_rate": {"kind": "gauge", "value": 0.0126},
+            "gap.sizes": {
+                "kind": "histogram",
+                "edges": [32, 256],
+                "counts": [1, 2, 0],
+                "count": 3,
+                "sum": 300,
+                "min": 10,
+                "max": 200,
+            },
+        },
+    }
+
+
+class TestFormatManifestReport:
+    def test_golden_shape(self, manifest):
+        text = format_manifest_report(manifest, width=10)
+        lines = text.splitlines()
+        assert lines[0] == "run: place  (git abc1234)  elapsed 150.0ms"
+        assert lines[1] == "config: algorithm=gbsc"
+        assert "phases:" in lines
+        assert "timings:" in lines
+        assert "metrics:" in lines
+        # The longest phase fills the bar; the shorter one is scaled.
+        bars = [l for l in lines if "|" in l]
+        assert "build_context |##########" in bars[0]
+        assert "place         |#####" in bars[1]
+        # Nested span is indented under its parent with attributes.
+        assert "  build_context: 100.0ms  (events=2500)" in lines
+        assert "    build_wcg: 40.0ms" in lines
+        # Metrics table renders each kind.
+        assert any(
+            "cache.sim.misses" in l and "counter" in l and "2739" in l
+            for l in lines
+        )
+        assert any(
+            "gap.sizes" in l and "histogram" in l and "count=3" in l
+            for l in lines
+        )
+
+    def test_empty_sections_are_omitted(self):
+        text = format_manifest_report(
+            {"command": "x", "elapsed": 0.0, "timings": [], "metrics": {}}
+        )
+        assert "phases:" not in text
+        assert "metrics:" not in text
+
+
+class TestReportCommand:
+    def test_renders_run_file(self, tmp_path, capsys, manifest):
+        run = tmp_path / "run.jsonl"
+        span = {"type": "span", "name": "place", "depth": 0,
+                "start": 0.1, "duration": 0.05}
+        run.write_text(
+            json.dumps(span) + "\n" + json.dumps(manifest) + "\n"
+        )
+        assert main(["report", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "run: place" in out
+        assert "cache.sim.misses" in out
+
+    def test_manifest_less_file_exits_2(self, tmp_path, capsys):
+        run = tmp_path / "run.jsonl"
+        run.write_text('{"type": "span", "name": "a"}\n')
+        assert main(["report", str(run)]) == 2
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,73 @@
+"""The global switch: no-op by default, identical results on or off."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.core.gbsc import GBSCPlacement
+from repro.eval.experiment import build_context
+from repro.obs import runtime
+from repro.workloads.suite import by_name
+
+
+class TestSwitch:
+    def test_disabled_by_default_in_this_fixture(self):
+        assert not runtime.is_enabled()
+        assert runtime.current() is None
+
+    def test_facades_are_noops_when_disabled(self):
+        obs.inc("some.counter", 5)
+        obs.set_gauge("some.gauge", 1)
+        obs.observe("some.histogram", 3, edges=[1, 10])
+        with obs.span("phase", attr=1):
+            pass
+        assert runtime.current() is None
+
+    def test_disabled_span_is_shared_null_object(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_enable_records_then_disable_stops(self):
+        state = runtime.enable()
+        obs.inc("c", 2)
+        with obs.span("phase"):
+            pass
+        assert state.registry.counter("c").value == 2
+        assert [r.name for r in state.tracer.roots] == ["phase"]
+        runtime.disable()
+        obs.inc("c", 100)
+        assert state.registry.counter("c").value == 2
+
+    def test_enable_installs_fresh_state_each_time(self):
+        first = runtime.enable()
+        second = runtime.enable()
+        assert first is not second
+        assert runtime.current() is second
+
+    def test_restore_reinstates_a_saved_state(self):
+        saved = runtime.enable()
+        runtime.disable()
+        runtime.restore(saved)
+        assert runtime.current() is saved
+
+
+class TestIdentity:
+    def test_gbsc_results_identical_with_obs_on_and_off(self):
+        """Instrumentation watches the pipeline; it must never steer it."""
+        workload = by_name("m88ksim").scaled(0.02)
+        config = CacheConfig(size=8192, line_size=32)
+
+        def run():
+            train = workload.trace("train")
+            context = build_context(train, config)
+            layout = GBSCPlacement().place(context)
+            stats = simulate(layout, train, config)
+            return dict(layout.items()), stats.misses
+
+        runtime.disable()
+        addresses_off, misses_off = run()
+        runtime.enable()
+        addresses_on, misses_on = run()
+        runtime.disable()
+        assert addresses_on == addresses_off
+        assert misses_on == misses_off

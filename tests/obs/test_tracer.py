@@ -1,0 +1,97 @@
+"""Span nesting, exception safety and listener ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+        assert tracer.depth == 0
+
+    def test_attributes_recorded(self):
+        tracer = Tracer()
+        with tracer.span("phase", workload="m88ksim", events=100):
+            pass
+        record = tracer.roots[0]
+        assert record.attributes == {"workload": "m88ksim", "events": 100}
+
+    def test_durations_accumulate_to_total(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert tracer.total_time() == pytest.approx(
+            sum(r.duration for r in tracer.roots)
+        )
+        assert all(r.duration >= 0 for r in tracer.roots)
+
+
+class TestExceptionSafety:
+    def test_error_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        record = tracer.roots[0]
+        assert record.error == "ValueError"
+        assert record.duration >= 0
+        assert tracer.depth == 0
+
+    def test_stack_unwinds_through_nested_failure(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError
+        outer = tracer.roots[0]
+        assert outer.error == "RuntimeError"
+        assert outer.children[0].error == "RuntimeError"
+        # A fresh span can still open afterwards.
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+
+
+class TestListeners:
+    def test_fired_child_before_parent_with_depth(self):
+        tracer = Tracer()
+        seen: list[tuple[str, int]] = []
+        tracer.add_listener(
+            lambda record, depth: seen.append((record.name, depth))
+        )
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert seen == [("inner", 1), ("outer", 0)]
+
+    def test_to_dict_nests_children(self):
+        tracer = Tracer()
+        with tracer.span("outer", k="v"):
+            with tracer.span("inner"):
+                pass
+        data = tracer.roots[0].to_dict()
+        assert data["name"] == "outer"
+        assert data["attributes"] == {"k": "v"}
+        assert data["children"][0]["name"] == "inner"
+        assert "children" not in data["children"][0]

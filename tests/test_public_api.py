@@ -22,6 +22,7 @@ def test_all_names_resolve():
         "repro.cache",
         "repro.core",
         "repro.eval",
+        "repro.obs",
         "repro.placement",
         "repro.profiles",
         "repro.program",
@@ -52,6 +53,7 @@ def test_errors_hierarchy():
     from repro import (
         ConfigError,
         LayoutError,
+        ObservabilityError,
         PlacementError,
         ProgramError,
         ReproError,
@@ -61,6 +63,7 @@ def test_errors_hierarchy():
     for error in (
         ConfigError,
         LayoutError,
+        ObservabilityError,
         PlacementError,
         ProgramError,
         TraceError,
