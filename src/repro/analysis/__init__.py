@@ -9,8 +9,10 @@ Two independent halves:
   :func:`audit_layout`, :func:`audit_profiles`, :func:`audit_graph`,
   :func:`audit_working_set`, :func:`audit_pair_db`,
   :func:`audit_placement`, :func:`audit_nodes`,
-  :func:`audit_offset_costs`, and — for the observability layer's
-  JSONL run files — :func:`audit_manifest` / :func:`audit_run_path`.
+  :func:`audit_offset_costs`, for the observability layer's
+  JSONL run files — :func:`audit_manifest` / :func:`audit_run_path` —
+  and for batch-runner checkpoint directories,
+  :func:`audit_checkpoint`.
 * **A determinism linter** — an AST walk over ``src/repro`` and
   ``benchmarks/`` enforcing the project's reproducibility contract
   (:func:`run_linter`, rules in :mod:`repro.analysis.rules`).
@@ -19,6 +21,10 @@ Both are wired into the CLI (``repro-layout check`` / ``repro-layout
 lint``) and into CI via ``tests/analysis``.
 """
 
+from repro.analysis.checkpoint_audit import (
+    audit_checkpoint,
+    is_checkpoint_journal,
+)
 from repro.analysis.findings import (
     Finding,
     Location,
@@ -62,6 +68,7 @@ __all__ = [
     "Location",
     "Severity",
     "all_rules",
+    "audit_checkpoint",
     "audit_graph",
     "audit_layout",
     "audit_layout_payload",
@@ -77,6 +84,7 @@ __all__ = [
     "audit_trgs",
     "audit_working_set",
     "format_findings",
+    "is_checkpoint_journal",
     "lint_file",
     "lint_source",
     "load_run_manifest",

@@ -308,7 +308,18 @@ def audit_run_path(path: str | Path) -> list[Finding]:
     A missing or manifest-less run is a ``manifest/missing`` finding,
     not an exception: a run directory with no record is exactly the
     situation ``check`` exists to report.
+
+    Batch-runner checkpoint journals (``checkpoint.jsonl`` /
+    format ``repro/checkpoint``) are recognised and routed to
+    :func:`~repro.analysis.checkpoint_audit.audit_checkpoint`, so
+    ``repro-layout check CKPT/`` audits checkpoint directories with no
+    extra flags.
     """
+    from repro.analysis.checkpoint_audit import (
+        audit_checkpoint,
+        is_checkpoint_journal,
+    )
+
     target = Path(path)
     if target.is_dir():
         runs = sorted(target.glob("*.jsonl"))
@@ -325,6 +336,8 @@ def audit_run_path(path: str | Path) -> list[Finding]:
         for run in runs:
             findings.extend(audit_run_path(run))
         return findings
+    if target.exists() and is_checkpoint_journal(target):
+        return audit_checkpoint(target)
     if not target.exists():
         return [
             _finding(

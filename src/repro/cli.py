@@ -26,11 +26,28 @@ Static verification (:mod:`repro.analysis`)::
 
     repro-layout check layout.json      # audit saved artifacts
     repro-layout check run.jsonl        # audit a run manifest
+    repro-layout check ckpt/            # audit a checkpoint directory
     repro-layout lint                   # determinism-lint the sources
 
+Fault-tolerant batches (:mod:`repro.runner`): ``compare`` and
+``table1`` accept ``--checkpoint DIR`` to execute through the batch
+runner — every grid cell is journaled and its artifact written
+atomically, so an interrupted run (Ctrl-C, crash, kill) resumes with
+``--resume`` and reproduces the uninterrupted report byte for byte::
+
+    repro-layout compare perl --runs 40 --checkpoint ckpt
+    ^C  ->  interrupted — resume with --resume
+    repro-layout compare perl --runs 40 --checkpoint ckpt --resume
+
+``--max-failures N`` aborts a degrading batch early;
+``--inject PLAN.json`` runs under a deterministic fault-injection
+plan (CI and tests).
+
 Exit codes: 0 success / clean, 1 findings reported by ``check`` or
-``lint``, 2 a :class:`~repro.errors.ReproError` (bad input, unreadable
-artifact, invalid configuration).
+``lint`` **or** a degraded batch (structured task failures), 2 a
+:class:`~repro.errors.ReproError` (bad input, unreadable artifact,
+invalid configuration), 130 interrupted (checkpoint journal is
+flushed; re-run with ``--resume``).
 """
 
 from __future__ import annotations
@@ -98,6 +115,64 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="execute through the fault-tolerant batch runner, "
+        "journaling every task into DIR (enables --resume)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip tasks already completed in the --checkpoint journal",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="abort the batch once more than N tasks have failed "
+        "(default: keep going, finish degraded)",
+    )
+    parser.add_argument(
+        "--inject", default=None, metavar="PLAN",
+        help="run under a repro/faultplan JSON injection plan "
+        "(testing/CI)",
+    )
+
+
+def _wants_batch(args: argparse.Namespace) -> bool:
+    """Any runner flag routes the command through the batch engine
+    (so ``--resume`` without ``--checkpoint`` errors instead of being
+    silently ignored by the direct path)."""
+    return bool(args.checkpoint or args.resume or args.inject)
+
+
+def _run_batch(args: argparse.Namespace, batch) -> int:
+    """Execute a batch through :class:`repro.runner.BatchRunner`."""
+    from repro.errors import RunnerError
+    from repro.runner import BatchRunner, load_plan
+
+    if not args.checkpoint:
+        raise RunnerError("--resume/--inject require --checkpoint DIR")
+    plan = load_plan(args.inject) if args.inject else None
+    runner = BatchRunner(
+        batch,
+        args.checkpoint,
+        resume=args.resume,
+        max_failures=args.max_failures,
+        plan=plan,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    outcome = runner.run()
+    print(outcome.report)
+    if not outcome.ok:
+        print(
+            f"batch degraded: {len(outcome.failures)} failed, "
+            f"{len(outcome.pending)} not attempted "
+            f"({outcome.executed} executed, {outcome.cached} from "
+            "checkpoint)",
+            file=sys.stderr,
+        )
+    return outcome.exit_code
+
+
 def _obs_session(
     args: argparse.Namespace, command: str
 ) -> obs.RunSession:
@@ -156,6 +231,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     with _obs_session(args, "compare"):
         workload = _workload(args)
         config = _cache_from_args(args)
+        if _wants_batch(args):
+            from repro.runner import compare_batch
+
+            batch = compare_batch(
+                workload,
+                config,
+                runs=args.runs,
+                extra_config={"fast": args.fast},
+            )
+            return _run_batch(args, batch)
         train = workload.trace("train")
         test = workload.trace("test")
         print(f"profiling {workload.name} (train: {len(train)} events) ...")
@@ -189,11 +274,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     with _obs_session(args, "table1"):
         config = _cache_from_args(args)
+        if _wants_batch(args):
+            from repro.runner import table1_batch
+
+            workloads = [
+                workload.scaled(0.25) if args.fast else workload
+                for workload in SUITE
+            ]
+            batch = table1_batch(
+                workloads, config, extra_config={"fast": args.fast}
+            )
+            return _run_batch(args, batch)
         rows = []
         for workload in SUITE:
             if args.fast:
                 workload = workload.scaled(0.25)
-            with obs.span("workload", name=workload.name):
+            with obs.span("workload", workload=workload.name):
                 program = workload.program
                 train = workload.trace("train")
                 test = workload.trace("test")
@@ -510,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(compare)
     _add_obs_arguments(compare)
+    _add_runner_arguments(compare)
     compare.set_defaults(func=cmd_compare)
 
     table1 = subparsers.add_parser(
@@ -520,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(table1)
     _add_obs_arguments(table1)
+    _add_runner_arguments(table1)
     table1.set_defaults(func=cmd_table1)
 
     correlate = subparsers.add_parser(
@@ -662,7 +760,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     (bad inputs, unreadable artifacts, invalid geometry) — those are
     user errors, reported without a traceback.  Genuine bugs still
     raise.
+
+    ``KeyboardInterrupt`` exits 130 (128 + SIGINT) with a one-line
+    resume hint and no traceback: the checkpoint journal is fsynced
+    after every task, so whatever completed before the interrupt is
+    already durable.  The fault harness's simulated ``SIGKILL``
+    (:class:`repro.runner.SimulatedKill`) maps to 137 (128 + SIGKILL)
+    so in-process CLI tests can observe kill semantics.
     """
+    from repro.runner.faults import SimulatedKill
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -670,6 +777,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print(
+            "interrupted — resume with --resume", file=sys.stderr
+        )
+        return 130
+    except SimulatedKill:
+        return 137
 
 
 if __name__ == "__main__":

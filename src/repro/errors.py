@@ -49,3 +49,27 @@ class AuditFailure(AnalysisError):
     Raised by :func:`repro.analysis.require_clean` when callers want a
     hard failure instead of a findings list.
     """
+
+
+class RunnerError(ReproError):
+    """The fault-tolerant batch runner was misused or found a corrupt
+    checkpoint (grid mismatch on resume, unreadable journal, bad fault
+    plan)."""
+
+
+class TransientTaskError(RunnerError):
+    """A task failed in a way expected to succeed on retry.
+
+    Task bodies (and the fault-injection harness) raise this to mark a
+    failure as retryable; :class:`repro.runner.TaskGuard` applies
+    bounded retry with deterministic backoff before giving up.
+    """
+
+
+class TaskTimeout(RunnerError):
+    """A task exceeded its soft deadline.
+
+    The runner is single-threaded, so deadlines are *soft*: a runaway
+    task is detected when it completes, its result is discarded, and
+    the overrun is recorded as a structured failure.  Never retried.
+    """

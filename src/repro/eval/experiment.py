@@ -9,7 +9,7 @@ trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro import obs
 from repro.cache.config import CacheConfig
@@ -22,6 +22,8 @@ from repro.core.popular import (
 )
 from repro.placement.base import PlacementAlgorithm, PlacementContext
 from repro.profiles.pairdb import build_pair_database
+from repro.eval.randomization import SEED_STRIDE
+from repro.profiles.perturb import PAPER_SCALE
 from repro.profiles.trg import DEFAULT_Q_MULTIPLIER, build_trgs, procedure_refs
 from repro.profiles.wcg import build_wcg
 from repro.program.layout import Layout
@@ -133,6 +135,64 @@ def run_experiment(
             )
         )
     return ExperimentResult(tuple(outcomes))
+
+
+# ----------------------------------------------------------------------
+# Task decomposition hooks (repro.runner)
+# ----------------------------------------------------------------------
+
+#: Seed stride between perturbed runs — shared with
+#: :func:`repro.eval.randomization.perturbation_sweep` so grid cell
+#: ``p<i>`` sees the same noise stream as sweep run ``i``.
+PERTURBATION_SEED_STRIDE = SEED_STRIDE
+
+
+def profile_summary(
+    context: PlacementContext, train_events: int
+) -> dict[str, Any]:
+    """JSON-able witness of a profiling task's completion.
+
+    The heavy profile structures themselves stay in-process (they are
+    deterministic derived data); the batch runner journals only this
+    summary, which the final report and the checkpoint auditor read.
+    """
+    return {
+        "procedures": len(context.program),
+        "popular": len(context.popular),
+        "train_events": train_events,
+    }
+
+
+def evaluate_cell(
+    context: PlacementContext,
+    test_trace: Trace,
+    algorithm: PlacementAlgorithm,
+    seed: int | None = None,
+    scale: float = PAPER_SCALE,
+) -> dict[str, Any]:
+    """One comparison-grid cell: place (optionally on a perturbed
+    profile) and simulate on the test trace.
+
+    ``seed=None`` is the clean, unperturbed cell; integer seeds follow
+    the Figure 5 convention (``PERTURBATION_SEED_STRIDE * seed``), so
+    cell results are reproducible in isolation and independent of
+    execution order.
+    """
+    cell_context = (
+        context
+        if seed is None
+        else context.perturbed(scale, PERTURBATION_SEED_STRIDE * seed)
+    )
+    with obs.span("place", algorithm=algorithm.name):
+        layout = algorithm.place(cell_context)
+    stats = simulate(layout, test_trace, context.config)
+    return {
+        "algorithm": algorithm.name,
+        "seed": seed,
+        "miss_rate": stats.miss_rate,
+        "misses": stats.misses,
+        "fetches": stats.fetches,
+    }
 
 
 def run_workload_experiment(

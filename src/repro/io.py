@@ -12,13 +12,25 @@ linker.  This module serialises every pipeline artifact:
 All writers produce deterministic output for identical inputs, and all
 readers validate through the ordinary constructors, so a corrupt file
 fails loudly rather than producing a silently-wrong layout.
+
+Every writer is also **atomic**: content goes to a temporary file in
+the destination directory, is fsynced, and only then renamed over the
+final path with :func:`os.replace` — a process killed mid-write leaves
+either the previous artifact or none, never a truncated one.  Readers
+wrap the raw decoding errors of truncated or corrupt files (JSON,
+zip/npz, missing keys) in :class:`SerializationError` naming the
+offending path and the artifact kind that was expected there.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -33,7 +45,64 @@ _FORMAT_VERSION = 1
 
 
 class SerializationError(ReproError):
-    """A file could not be read as the requested artifact."""
+    """A file could not be read or written as the requested artifact."""
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def atomic_writer(
+    path: str | Path, mode: str = "w"
+) -> Iterator[Any]:
+    """Write a file atomically: temp file, fsync, then ``os.replace``.
+
+    Yields an open handle onto a temporary file in the *destination
+    directory* (same filesystem, so the final rename is atomic).  On
+    clean exit the data is flushed, fsynced and renamed over *path*;
+    on any exception — including :class:`BaseException` subclasses
+    such as the fault harness's simulated kill or a
+    ``KeyboardInterrupt`` — the temp file is removed and *path* is
+    left untouched.  A real ``SIGKILL`` can still strand a
+    ``*.tmp`` file, but never a truncated final artifact.
+    """
+    if mode not in ("w", "wb"):
+        raise SerializationError(
+            f"atomic_writer supports modes 'w'/'wb', not {mode!r}"
+        )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(
+            fd, mode, encoding="utf-8" if mode == "w" else None
+        ) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp_name, target)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace *path* with *text* (UTF-8)."""
+    with atomic_writer(path, "w") as handle:
+        handle.write(text)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically replace *path* with *data*."""
+    with atomic_writer(path, "wb") as handle:
+        handle.write(data)
 
 
 # ----------------------------------------------------------------------
@@ -68,7 +137,7 @@ def save_program(program: Program, path: str | Path) -> None:
 
 
 def load_program(path: str | Path) -> Program:
-    return program_from_dict(_read_json(path))
+    return _load_artifact(path, "program", program_from_dict)
 
 
 # ----------------------------------------------------------------------
@@ -103,7 +172,7 @@ def save_layout(layout: Layout, path: str | Path) -> None:
 
 
 def load_layout(path: str | Path) -> Layout:
-    return layout_from_dict(_read_json(path))
+    return _load_artifact(path, "layout", layout_from_dict)
 
 
 # ----------------------------------------------------------------------
@@ -114,15 +183,16 @@ def load_layout(path: str | Path) -> Layout:
 def save_trace(trace: Trace, path: str | Path) -> None:
     """Write a trace as compressed npz (program embedded as JSON)."""
     program_json = json.dumps(program_to_dict(trace.program))
-    np.savez_compressed(
-        path,
-        format=np.array("repro/trace"),
-        version=np.array(_FORMAT_VERSION),
-        program=np.array(program_json),
-        procs=np.asarray(trace.proc_indices),
-        starts=np.asarray(trace.extent_starts),
-        lengths=np.asarray(trace.extent_lengths),
-    )
+    with atomic_writer(path, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            format=np.array("repro/trace"),
+            version=np.array(_FORMAT_VERSION),
+            program=np.array(program_json),
+            procs=np.asarray(trace.proc_indices),
+            starts=np.asarray(trace.extent_starts),
+            lengths=np.asarray(trace.extent_lengths),
+        )
 
 
 def load_trace(path: str | Path) -> Trace:
@@ -141,9 +211,21 @@ def load_trace(path: str | Path) -> Trace:
                 payload["starts"],
                 payload["lengths"],
             )
-    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+    except (
+        OSError,
+        EOFError,
+        KeyError,
+        ValueError,
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+        SerializationError,
+    ) as error:
+        if isinstance(error, SerializationError) and str(path) in str(
+            error
+        ):
+            raise
         raise SerializationError(
-            f"cannot load trace from {path}: {error}"
+            f"cannot load trace artifact from {path}: {error}"
         ) from error
 
 
@@ -211,7 +293,7 @@ def save_graph(graph: WeightedGraph, path: str | Path) -> None:
 
 
 def load_graph(path: str | Path) -> WeightedGraph:
-    return graph_from_dict(_read_json(path))
+    return _load_artifact(path, "graph", graph_from_dict)
 
 
 # ----------------------------------------------------------------------
@@ -235,13 +317,25 @@ def _expect_format(data: dict[str, Any], expected: str) -> None:
 
 def _write_json(path: str | Path, payload: dict[str, Any]) -> None:
     text = json.dumps(payload, indent=2, sort_keys=True)
-    Path(path).write_text(text + "\n")
+    atomic_write_text(path, text + "\n")
 
 
-def _read_json(path: str | Path) -> dict[str, Any]:
+def _read_json(path: str | Path, kind: str = "artifact") -> Any:
     try:
         return json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as error:
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
         raise SerializationError(
-            f"cannot read {path}: {error}"
+            f"cannot read {kind} artifact from {path}: {error}"
+        ) from error
+
+
+def _load_artifact(path: str | Path, kind: str, from_dict: Any) -> Any:
+    """Load + validate a JSON artifact, naming *path* and *kind* in
+    every failure."""
+    data = _read_json(path, kind)
+    try:
+        return from_dict(data)
+    except SerializationError as error:
+        raise SerializationError(
+            f"{path}: not a valid {kind} artifact: {error}"
         ) from error

@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the batch runner.
+
+Robustness code that is only exercised by real failures is untested
+code.  This module gives tests and CI a way to *schedule* failures: an
+:class:`FaultPlan` maps task keys (exact or ``fnmatch`` globs) to
+injections that fire at well-defined points of task execution —
+
+* ``start``   — before the task body runs (attempt entry);
+* ``finish``  — after the body computed its result, before the
+  artifact is written;
+* ``artifact`` — mid-way through the atomic artifact write, with
+  partial bytes already on disk (the classic torn-write window);
+
+raising a chosen error class:
+
+* ``transient`` — :class:`~repro.errors.TransientTaskError`, which the
+  guard retries;
+* ``permanent`` — :class:`~repro.errors.RunnerError`, a structured
+  non-retryable failure;
+* ``timeout``   — :class:`~repro.errors.TaskTimeout`;
+* ``interrupt`` — ``KeyboardInterrupt``, the Ctrl-C path;
+* ``kill``      — :class:`SimulatedKill`, a ``BaseException`` that no
+  handler in the runner catches, modelling ``SIGKILL``/power loss.
+
+Plans are deterministic: each injection fires on the first *times*
+matching calls and never again, so a replayed run observes the exact
+same fault sequence.  Plans serialise as JSON (format
+``repro/faultplan``) for the CLI's ``--inject`` flag and CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import RunnerError, TaskTimeout, TransientTaskError
+
+FAULTPLAN_FORMAT = "repro/faultplan"
+FAULTPLAN_VERSION = 1
+
+#: Valid execution points an injection can target.
+POINTS = ("start", "finish", "artifact")
+
+#: Valid error kinds an injection can raise.
+ERROR_KINDS = ("transient", "permanent", "timeout", "interrupt", "kill")
+
+
+class SimulatedKill(BaseException):
+    """The fault harness's stand-in for ``SIGKILL``.
+
+    Derives from ``BaseException`` so neither :class:`TaskGuard` nor
+    any library ``except Exception`` can swallow it — exactly like the
+    real signal, the run just stops.  (Unlike the real signal it still
+    unwinds the stack, so atomic writers get to discard their temp
+    files; a genuine ``SIGKILL`` would strand a ``*.tmp`` but never a
+    truncated artifact.)
+    """
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One scheduled fault."""
+
+    task: str
+    point: str = "start"
+    error: str = "transient"
+    times: int = 1
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.point not in POINTS:
+            raise RunnerError(
+                f"unknown injection point {self.point!r} "
+                f"(expected one of {', '.join(POINTS)})"
+            )
+        if self.error not in ERROR_KINDS:
+            raise RunnerError(
+                f"unknown injection error {self.error!r} "
+                f"(expected one of {', '.join(ERROR_KINDS)})"
+            )
+        if self.times < 1:
+            raise RunnerError(
+                f"injection times must be >= 1, got {self.times}"
+            )
+
+
+class FaultPlan:
+    """A deterministic schedule of injections, with a fired log."""
+
+    def __init__(self, injections: Iterable[Injection] = ()) -> None:
+        self.injections = tuple(injections)
+        self._remaining = [spec.times for spec in self.injections]
+        #: Chronological (task, point, error) triples, for assertions.
+        self.fired: list[tuple[str, str, str]] = []
+
+    def fire(self, task: str, point: str) -> None:
+        """Raise the first armed injection matching (*task*, *point*).
+
+        Matching injections are consumed in declaration order; a spent
+        injection never fires again.
+        """
+        for index, spec in enumerate(self.injections):
+            if self._remaining[index] <= 0:
+                continue
+            if spec.point != point:
+                continue
+            if not fnmatchcase(task, spec.task):
+                continue
+            self._remaining[index] -= 1
+            self.fired.append((task, point, spec.error))
+            message = spec.message or (
+                f"injected {spec.error} fault at {task}/{point}"
+            )
+            self._raise(spec.error, message)
+
+    @staticmethod
+    def _raise(kind: str, message: str) -> None:
+        if kind == "transient":
+            raise TransientTaskError(message)
+        if kind == "permanent":
+            raise RunnerError(message)
+        if kind == "timeout":
+            raise TaskTimeout(message)
+        if kind == "interrupt":
+            raise KeyboardInterrupt(message)
+        raise SimulatedKill(message)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled injection has fired."""
+        return all(remaining == 0 for remaining in self._remaining)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise RunnerError("fault plan must be a JSON object")
+        if data.get("format") != FAULTPLAN_FORMAT:
+            raise RunnerError(
+                "fault plan payload is not "
+                f"{FAULTPLAN_FORMAT!r} (found "
+                f"format={data.get('format')!r})"
+            )
+        if data.get("version") != FAULTPLAN_VERSION:
+            raise RunnerError(
+                f"unsupported fault plan version {data.get('version')!r}"
+            )
+        injections = []
+        for entry in data.get("injections") or ():
+            if not isinstance(entry, Mapping):
+                raise RunnerError(
+                    f"malformed injection entry: {entry!r}"
+                )
+            try:
+                injections.append(
+                    Injection(
+                        task=entry["task"],
+                        point=entry.get("point", "start"),
+                        error=entry.get("error", "transient"),
+                        times=entry.get("times", 1),
+                        message=entry.get("message", ""),
+                    )
+                )
+            except (KeyError, TypeError) as error:
+                raise RunnerError(
+                    f"malformed injection entry {entry!r}: {error}"
+                ) from error
+        return cls(injections)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FAULTPLAN_FORMAT,
+            "version": FAULTPLAN_VERSION,
+            "injections": [
+                {
+                    "task": spec.task,
+                    "point": spec.point,
+                    "error": spec.error,
+                    "times": spec.times,
+                    "message": spec.message,
+                }
+                for spec in self.injections
+            ],
+        }
+
+
+def load_plan(path: str | Path) -> FaultPlan:
+    """Read a JSON fault plan (the CLI's ``--inject`` argument)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise RunnerError(
+            f"cannot read fault plan from {path}: {error}"
+        ) from error
+    return FaultPlan.from_dict(data)

@@ -1,0 +1,162 @@
+"""Crash-safe JSONL checkpoint journal for batch runs.
+
+The journal is the runner's source of truth: one append-only JSON
+Lines file (``checkpoint.jsonl``) inside the checkpoint directory,
+beginning with a *batch header* that pins the grid identity, followed
+by one *task record* per completed or failed task.  Every record is
+flushed **and fsynced** before the runner moves on, so the journal
+survives ``SIGKILL`` at any instant with at most one torn trailing
+line — which :func:`load_journal` detects and drops, exactly as a
+database log replay would.
+
+Records::
+
+    {"type": "batch", "format": "repro/checkpoint", "version": 1,
+     "command": "compare", "grid": "<sha256>", "tasks": 13, ...}
+    {"type": "task", "key": "cell:perl:gbsc:p000", "status": "ok",
+     "kind": "cell", "artifact": "cell-perl-gbsc-p000.json",
+     "elapsed": 0.41, "retries": 0}
+    {"type": "task", "key": "...", "status": "failed",
+     "error": "RunnerError", "message": "...", "transient": false,
+     "elapsed": 0.02, "retries": 2}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import RunnerError
+
+CHECKPOINT_FORMAT = "repro/checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: Journal filename inside a checkpoint directory.
+JOURNAL_NAME = "checkpoint.jsonl"
+
+
+class CheckpointJournal:
+    """Append-only, fsync-per-record JSONL writer.
+
+    The file is opened lazily in append mode on the first record, so
+    constructing a journal never touches the filesystem, and reopening
+    an existing journal for resume simply appends.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._closed = False
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record: write, flush, fsync."""
+        if self._closed:
+            raise RunnerError(
+                f"checkpoint journal {self.path} is closed; cannot append"
+            )
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """A parsed journal: header, task records, torn-tail marker."""
+
+    header: dict[str, Any] | None
+    entries: tuple[dict[str, Any], ...]
+    truncated: bool
+
+    def completed(self) -> dict[str, dict[str, Any]]:
+        """Last successful record per task key (later entries win, so a
+        task re-run after artifact repair supersedes its old record)."""
+        done: dict[str, dict[str, Any]] = {}
+        for entry in self.entries:
+            if entry.get("status") == "ok" and "key" in entry:
+                done[entry["key"]] = entry
+        return done
+
+    def failed(self) -> dict[str, dict[str, Any]]:
+        """Last *failed* record per task key, excluding tasks that
+        later completed."""
+        done = self.completed()
+        failures: dict[str, dict[str, Any]] = {}
+        for entry in self.entries:
+            key = entry.get("key")
+            if entry.get("status") == "failed" and key not in done:
+                failures[key] = entry
+        return failures
+
+
+def load_journal(path: str | Path) -> JournalState:
+    """Parse a checkpoint journal, tolerating a torn final line.
+
+    A process killed mid-append leaves a final line that is either
+    incomplete JSON or lacks its newline; both are dropped and flagged
+    via :attr:`JournalState.truncated`.  Corruption anywhere *else*
+    means the file is not a journal this code wrote, and raises
+    :class:`~repro.errors.RunnerError`.
+    """
+    journal_path = Path(path)
+    try:
+        text = journal_path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise RunnerError(
+            f"cannot read checkpoint journal {journal_path}: {error}"
+        ) from error
+    lines = text.split("\n")
+    # A clean journal ends with "\n", leaving one empty trailing piece.
+    complete, tail = lines[:-1], lines[-1]
+    truncated = tail.strip() != ""
+    records: list[dict[str, Any]] = []
+    for number, line in enumerate(complete, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if number == len(complete) and not truncated:
+                # Torn write that still got its newline out.
+                truncated = True
+                continue
+            raise RunnerError(
+                f"{journal_path}:{number}: corrupt checkpoint journal "
+                f"line: {error.msg}"
+            ) from error
+        if not isinstance(record, dict):
+            raise RunnerError(
+                f"{journal_path}:{number}: journal record is not an "
+                "object"
+            )
+        records.append(record)
+    header: dict[str, Any] | None = None
+    entries: list[dict[str, Any]] = []
+    for record in records:
+        if record.get("type") == "batch":
+            if header is None:
+                header = record
+        elif record.get("type") == "task":
+            entries.append(record)
+    return JournalState(
+        header=header, entries=tuple(entries), truncated=truncated
+    )

@@ -1,0 +1,247 @@
+"""CLI-level batch runner tests: the kill-and-resume contract.
+
+These drive ``repro-layout compare/table1 --checkpoint`` end to end on
+a drastically scaled-down workload, asserting the acceptance
+invariants: an interrupted batch exits 130 with a one-line resume
+hint, ``--resume`` reproduces the uninterrupted report byte for byte,
+the run manifest's runner metrics agree with the journal (no task is
+double-counted), and the checkpoint directory passes
+``repro-layout check`` cleanly.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis import load_run_manifest
+from repro.runner import (
+    FAULTPLAN_FORMAT,
+    FAULTPLAN_VERSION,
+    load_journal,
+)
+from repro.workloads import suite as suite_module
+
+#: compare --runs 1 grid: 1 profile + 4 algorithms x (clean + 1 seed).
+COMPARE_TASKS = 9
+
+
+@pytest.fixture
+def tiny_workload(monkeypatch):
+    workload = suite_module.by_name("m88ksim").scaled(0.02)
+    monkeypatch.setattr(cli, "by_name", lambda _name: workload)
+    monkeypatch.setattr(cli, "SUITE", [workload])
+    return workload
+
+
+def write_plan(path, injections: list[dict]) -> str:
+    path.write_text(
+        json.dumps(
+            {
+                "format": FAULTPLAN_FORMAT,
+                "version": FAULTPLAN_VERSION,
+                "injections": injections,
+            }
+        )
+    )
+    return str(path)
+
+
+def compare_argv(checkpoint, *extra: str) -> list[str]:
+    return [
+        "compare",
+        "m88ksim",
+        "--runs",
+        "1",
+        "--checkpoint",
+        str(checkpoint),
+        *extra,
+    ]
+
+
+class TestCleanBatch:
+    def test_compare_checkpoint_exits_0(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert cli.main(compare_argv(tmp_path / "ck")) == 0
+        out = capsys.readouterr().out
+        assert "m88ksim:" in out
+        state = load_journal(tmp_path / "ck" / "checkpoint.jsonl")
+        assert len(state.completed()) == COMPARE_TASKS
+
+    def test_checkpoint_dir_passes_check(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert cli.main(compare_argv(tmp_path / "ck")) == 0
+        capsys.readouterr()
+        assert cli.main(["check", str(tmp_path / "ck")]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_table1_checkpoint_matches_direct(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert cli.main(["table1"]) == 0
+        direct = capsys.readouterr().out
+        argv = ["table1", "--checkpoint", str(tmp_path / "ck")]
+        assert cli.main(argv) == 0
+        assert capsys.readouterr().out == direct
+
+
+class TestInterruptAndResume:
+    def test_interrupt_exits_130_with_hint(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        plan = write_plan(
+            tmp_path / "plan.json",
+            [{"task": "cell:*:HKC:clean", "error": "interrupt"}],
+        )
+        code = cli.main(
+            compare_argv(tmp_path / "ck", "--inject", plan)
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted — resume with --resume" in err
+        assert "Traceback" not in err
+
+    def test_resume_reproduces_uninterrupted_report(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert cli.main(compare_argv(tmp_path / "ref")) == 0
+        reference = capsys.readouterr().out
+
+        plan = write_plan(
+            tmp_path / "plan.json",
+            [{"task": "cell:*:HKC:clean", "error": "interrupt"}],
+        )
+        assert (
+            cli.main(compare_argv(tmp_path / "ck", "--inject", plan))
+            == 130
+        )
+        capsys.readouterr()
+        journaled = len(
+            load_journal(
+                tmp_path / "ck" / "checkpoint.jsonl"
+            ).completed()
+        )
+        assert 0 < journaled < COMPARE_TASKS
+
+        metrics = tmp_path / "resume.jsonl"
+        code = cli.main(
+            compare_argv(
+                tmp_path / "ck",
+                "--resume",
+                "--metrics-out",
+                str(metrics),
+            )
+        )
+        assert code == 0
+        assert capsys.readouterr().out == reference
+
+        # Manifest counters agree with the journal: every task ran
+        # exactly once across the two processes.
+        manifest = load_run_manifest(metrics)
+        counters = manifest["metrics"]
+        cached = counters["runner.task.cached"]["value"]
+        completed = counters["runner.task.completed"]["value"]
+        assert cached == journaled
+        assert cached + completed == COMPARE_TASKS
+
+    def test_simulated_kill_exits_137_then_resumes(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        plan = write_plan(
+            tmp_path / "plan.json",
+            [{"task": "cell:*:PH:clean", "error": "kill"}],
+        )
+        assert (
+            cli.main(compare_argv(tmp_path / "ck", "--inject", plan))
+            == 137
+        )
+        capsys.readouterr()
+        assert (
+            cli.main(compare_argv(tmp_path / "ck", "--resume")) == 0
+        )
+
+
+class TestDegradedBatch:
+    def test_permanent_fault_degrades_exit_1(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        plan = write_plan(
+            tmp_path / "plan.json",
+            [
+                {
+                    "task": "cell:*:GBSC:p000",
+                    "error": "permanent",
+                    "message": "injected permanent fault",
+                }
+            ],
+        )
+        code = cli.main(
+            compare_argv(tmp_path / "ck", "--inject", plan)
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "failures:" in captured.out
+        assert "injected permanent fault" in captured.out
+        assert "batch degraded: 1 failed" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_degraded_checkpoint_still_passes_check(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        plan = write_plan(
+            tmp_path / "plan.json",
+            [{"task": "cell:*:GBSC:p000", "error": "permanent"}],
+        )
+        assert (
+            cli.main(compare_argv(tmp_path / "ck", "--inject", plan))
+            == 1
+        )
+        capsys.readouterr()
+        assert cli.main(["check", str(tmp_path / "ck")]) == 0
+
+    def test_transient_fault_is_retried_to_success(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        plan = write_plan(
+            tmp_path / "plan.json",
+            [{"task": "profile:*", "error": "transient", "times": 2}],
+        )
+        code = cli.main(
+            compare_argv(tmp_path / "ck", "--inject", plan)
+        )
+        assert code == 0
+        state = load_journal(tmp_path / "ck" / "checkpoint.jsonl")
+        assert state.completed()["profile:m88ksim"]["retries"] == 2
+
+
+class TestRunnerArgumentErrors:
+    def test_resume_without_checkpoint_exits_2(
+        self, tiny_workload, capsys
+    ):
+        code = cli.main(["compare", "m88ksim", "--resume"])
+        assert code == 2
+        assert "require --checkpoint" in capsys.readouterr().err
+
+    def test_missing_inject_plan_exits_2(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        code = cli.main(
+            compare_argv(
+                tmp_path / "ck",
+                "--inject",
+                str(tmp_path / "absent.json"),
+            )
+        )
+        assert code == 2
+        assert "fault plan" in capsys.readouterr().err
+
+    def test_reusing_checkpoint_without_resume_exits_2(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert cli.main(compare_argv(tmp_path / "ck")) == 0
+        capsys.readouterr()
+        code = cli.main(compare_argv(tmp_path / "ck"))
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err

@@ -1,0 +1,258 @@
+"""BatchRunner: checkpointing, resume invariance, degraded mode.
+
+Uses synthetic batches (no workloads) so each test runs in
+milliseconds; the CLI-level tests in ``test_cli_runner.py`` cover the
+real grids.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import (
+    Batch,
+    BatchRunner,
+    FaultPlan,
+    Injection,
+    SimulatedKill,
+    TaskSpec,
+    load_journal,
+)
+
+def make_batch(
+    n: int = 3, grid: str = "grid-a", calls: list | None = None
+) -> Batch:
+    tasks = []
+    for index in range(1, n + 1):
+        def body(env, index=index):
+            if calls is not None:
+                calls.append(f"t:{index}")
+            return {"value": index * 10}
+
+        tasks.append(
+            TaskSpec(
+                key=f"t:{index}",
+                kind="unit",
+                run=body,
+                artifact=f"t{index}.json",
+            )
+        )
+
+    def render(results):
+        if not results:
+            return "empty"
+        return "\n".join(
+            f"{key}={results[key]['value']}" for key in sorted(results)
+        )
+
+    return Batch(
+        command="test",
+        grid_id=grid,
+        tasks=tuple(tasks),
+        render=render,
+        metadata={"n": n},
+    )
+
+
+def runner(batch: Batch, directory, **kwargs) -> BatchRunner:
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return BatchRunner(batch, directory, **kwargs)
+
+
+class TestCleanRun:
+    def test_all_tasks_complete(self, tmp_path):
+        outcome = runner(make_batch(), tmp_path).run()
+        assert outcome.ok
+        assert outcome.exit_code == 0
+        assert outcome.executed == 3
+        assert outcome.cached == 0
+        assert outcome.report == "t:1=10\nt:2=20\nt:3=30"
+
+    def test_artifacts_written(self, tmp_path):
+        runner(make_batch(), tmp_path).run()
+        for name in ("t1.json", "t2.json", "t3.json"):
+            payload = json.loads((tmp_path / name).read_text())
+            assert "value" in payload
+
+    def test_journal_records(self, tmp_path):
+        batch = make_batch()
+        runner(batch, tmp_path).run()
+        state = load_journal(tmp_path / "checkpoint.jsonl")
+        assert state.header["grid"] == "grid-a"
+        assert state.header["tasks"] == 3
+        assert set(state.completed()) == {"t:1", "t:2", "t:3"}
+
+    def test_existing_journal_without_resume_raises(self, tmp_path):
+        runner(make_batch(), tmp_path).run()
+        with pytest.raises(RunnerError, match="--resume"):
+            runner(make_batch(), tmp_path).run()
+
+    def test_non_dict_payload_is_structured_failure(self, tmp_path):
+        batch = make_batch()
+        bad = TaskSpec(
+            key="t:bad", kind="unit", run=lambda env: [1, 2]
+        )
+        batch = Batch(
+            command="test",
+            grid_id="grid-bad",
+            tasks=(*batch.tasks, bad),
+            render=batch.render,
+        )
+        outcome = runner(batch, tmp_path).run()
+        assert outcome.exit_code == 1
+        (failure,) = outcome.failures
+        assert failure.key == "t:bad"
+        assert "expected a JSON-able dict" in failure.message
+
+
+class TestResume:
+    def test_full_resume_is_all_cached(self, tmp_path):
+        batch = make_batch()
+        first = runner(batch, tmp_path).run()
+        calls: list[str] = []
+        second = runner(
+            make_batch(calls=calls), tmp_path, resume=True
+        ).run()
+        assert second.cached == 3
+        assert second.executed == 0
+        assert calls == []
+        assert second.report == first.report
+
+    def test_grid_mismatch_raises(self, tmp_path):
+        runner(make_batch(grid="grid-a"), tmp_path).run()
+        with pytest.raises(RunnerError, match="fresh checkpoint"):
+            runner(
+                make_batch(grid="grid-b"), tmp_path, resume=True
+            ).run()
+
+    def test_missing_artifact_reruns_task(self, tmp_path):
+        runner(make_batch(), tmp_path).run()
+        (tmp_path / "t2.json").unlink()
+        calls: list[str] = []
+        outcome = runner(
+            make_batch(calls=calls), tmp_path, resume=True
+        ).run()
+        assert calls == ["t:2"]
+        assert outcome.ok
+        assert outcome.report == "t:1=10\nt:2=20\nt:3=30"
+
+    def test_corrupt_artifact_reruns_task(self, tmp_path):
+        runner(make_batch(), tmp_path).run()
+        (tmp_path / "t3.json").write_text("{ torn")
+        calls: list[str] = []
+        outcome = runner(
+            make_batch(calls=calls), tmp_path, resume=True
+        ).run()
+        assert calls == ["t:3"]
+        assert outcome.ok
+
+
+class TestFaults:
+    def test_transient_fault_is_retried(self, tmp_path):
+        plan = FaultPlan([Injection(task="t:2", error="transient")])
+        outcome = runner(make_batch(), tmp_path, plan=plan).run()
+        assert outcome.ok
+        assert plan.exhausted
+        state = load_journal(tmp_path / "checkpoint.jsonl")
+        assert state.completed()["t:2"]["retries"] == 1
+
+    def test_permanent_fault_degrades(self, tmp_path):
+        plan = FaultPlan(
+            [Injection(task="t:2", error="permanent", message="bad")]
+        )
+        outcome = runner(make_batch(), tmp_path, plan=plan).run()
+        assert outcome.exit_code == 1
+        (failure,) = outcome.failures
+        assert failure.key == "t:2"
+        assert not failure.transient
+        assert "failures:" in outcome.report
+        assert "t:2: RunnerError (permanent, retries=0): bad" in (
+            outcome.report
+        )
+        # The rest of the grid still ran.
+        assert set(outcome.results) == {"t:1", "t:3"}
+
+    def test_failed_task_reruns_on_resume(self, tmp_path):
+        plan = FaultPlan([Injection(task="t:2", error="permanent")])
+        degraded = runner(make_batch(), tmp_path, plan=plan).run()
+        assert degraded.exit_code == 1
+        clean = runner(make_batch(), tmp_path, resume=True).run()
+        assert clean.ok
+        assert clean.cached == 2
+        assert clean.executed == 1
+        reference = runner(make_batch(), tmp_path / "ref").run()
+        assert clean.report == reference.report
+
+    def test_retry_budget_exhaustion_is_transient_failure(
+        self, tmp_path
+    ):
+        plan = FaultPlan(
+            [Injection(task="t:1", error="transient", times=10)]
+        )
+        outcome = runner(
+            make_batch(), tmp_path, plan=plan, retries=2
+        ).run()
+        (failure,) = outcome.failures
+        assert failure.transient
+        assert failure.retries == 2
+
+    def test_max_failures_aborts_batch(self, tmp_path):
+        plan = FaultPlan([Injection(task="t:1", error="permanent")])
+        outcome = runner(
+            make_batch(), tmp_path, plan=plan, max_failures=0
+        ).run()
+        assert outcome.exit_code == 1
+        assert outcome.pending == ("t:2", "t:3")
+        assert "not attempted" in outcome.report
+
+
+class TestKillAndResume:
+    def test_kill_mid_batch_then_resume_byte_identical(self, tmp_path):
+        reference = runner(make_batch(), tmp_path / "ref").run()
+        plan = FaultPlan([Injection(task="t:2", error="kill")])
+        with pytest.raises(SimulatedKill):
+            runner(make_batch(), tmp_path / "ck", plan=plan).run()
+        state = load_journal(tmp_path / "ck" / "checkpoint.jsonl")
+        assert set(state.completed()) == {"t:1"}
+        resumed = runner(
+            make_batch(), tmp_path / "ck", resume=True
+        ).run()
+        assert resumed.cached == 1
+        assert resumed.executed == 2
+        assert resumed.report == reference.report
+
+    def test_interrupt_propagates(self, tmp_path):
+        plan = FaultPlan([Injection(task="t:3", error="interrupt")])
+        with pytest.raises(KeyboardInterrupt):
+            runner(make_batch(), tmp_path, plan=plan).run()
+        # Everything before the interrupt is durable.
+        state = load_journal(tmp_path / "checkpoint.jsonl")
+        assert set(state.completed()) == {"t:1", "t:2"}
+
+    def test_kill_during_artifact_write_leaves_no_partial(
+        self, tmp_path
+    ):
+        plan = FaultPlan(
+            [Injection(task="t:1", point="artifact", error="kill")]
+        )
+        with pytest.raises(SimulatedKill):
+            runner(make_batch(), tmp_path, plan=plan).run()
+        assert not (tmp_path / "t1.json").exists()
+        assert not list(tmp_path.glob("*.tmp"))
+        state = load_journal(tmp_path / "checkpoint.jsonl")
+        assert state.completed() == {}
+        resumed = runner(make_batch(), tmp_path, resume=True).run()
+        assert resumed.ok
+        assert (tmp_path / "t1.json").exists()
+
+    def test_transient_fault_during_artifact_write_is_retried(
+        self, tmp_path
+    ):
+        plan = FaultPlan(
+            [Injection(task="t:1", point="artifact", error="transient")]
+        )
+        outcome = runner(make_batch(), tmp_path, plan=plan).run()
+        assert outcome.ok
+        payload = json.loads((tmp_path / "t1.json").read_text())
+        assert payload == {"value": 10}

@@ -1,0 +1,149 @@
+"""Fault plans: validation, deterministic firing, serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError, TaskTimeout, TransientTaskError
+from repro.runner import (
+    FAULTPLAN_FORMAT,
+    FAULTPLAN_VERSION,
+    FaultPlan,
+    Injection,
+    SimulatedKill,
+    load_plan,
+)
+
+
+class TestInjectionValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(RunnerError, match="point"):
+            Injection(task="t:1", point="middle")
+
+    def test_unknown_error_rejected(self):
+        with pytest.raises(RunnerError, match="error"):
+            Injection(task="t:1", error="cosmic-ray")
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(RunnerError, match="times"):
+            Injection(task="t:1", times=0)
+
+
+class TestFiring:
+    def test_exact_match_fires(self):
+        plan = FaultPlan([Injection(task="t:1", error="transient")])
+        with pytest.raises(TransientTaskError):
+            plan.fire("t:1", "start")
+        assert plan.fired == [("t:1", "start", "transient")]
+
+    def test_glob_match_fires(self):
+        plan = FaultPlan([Injection(task="cell:*:GBSC:*")])
+        with pytest.raises(TransientTaskError):
+            plan.fire("cell:perl:GBSC:p003", "start")
+
+    def test_non_matching_task_is_silent(self):
+        plan = FaultPlan([Injection(task="t:1")])
+        plan.fire("t:2", "start")
+        assert plan.fired == []
+
+    def test_non_matching_point_is_silent(self):
+        plan = FaultPlan([Injection(task="t:1", point="finish")])
+        plan.fire("t:1", "start")
+        assert plan.fired == []
+
+    def test_times_countdown(self):
+        plan = FaultPlan([Injection(task="t:*", times=2)])
+        with pytest.raises(TransientTaskError):
+            plan.fire("t:1", "start")
+        with pytest.raises(TransientTaskError):
+            plan.fire("t:1", "start")
+        plan.fire("t:1", "start")  # spent: silent
+        assert len(plan.fired) == 2
+        assert plan.exhausted
+
+    def test_declaration_order_wins(self):
+        plan = FaultPlan(
+            [
+                Injection(task="t:*", error="transient"),
+                Injection(task="t:1", error="permanent"),
+            ]
+        )
+        with pytest.raises(TransientTaskError):
+            plan.fire("t:1", "start")
+        with pytest.raises(RunnerError):
+            plan.fire("t:1", "start")
+
+    def test_empty_plan_is_exhausted(self):
+        assert FaultPlan().exhausted
+
+    @pytest.mark.parametrize(
+        "kind, exc",
+        [
+            ("transient", TransientTaskError),
+            ("permanent", RunnerError),
+            ("timeout", TaskTimeout),
+            ("interrupt", KeyboardInterrupt),
+            ("kill", SimulatedKill),
+        ],
+    )
+    def test_error_kinds(self, kind, exc):
+        plan = FaultPlan([Injection(task="t:1", error=kind)])
+        with pytest.raises(exc):
+            plan.fire("t:1", "start")
+
+    def test_custom_message(self):
+        plan = FaultPlan(
+            [Injection(task="t:1", error="permanent", message="disk full")]
+        )
+        with pytest.raises(RunnerError, match="disk full"):
+            plan.fire("t:1", "start")
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        plan = FaultPlan(
+            [
+                Injection(task="t:1", point="finish", error="kill"),
+                Injection(task="t:*", times=3, message="m"),
+            ]
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.injections == plan.injections
+
+    def test_load_plan(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": FAULTPLAN_FORMAT,
+                    "version": FAULTPLAN_VERSION,
+                    "injections": [{"task": "t:1", "error": "permanent"}],
+                }
+            )
+        )
+        plan = load_plan(path)
+        assert plan.injections[0].task == "t:1"
+
+    def test_load_plan_missing_file(self, tmp_path):
+        with pytest.raises(RunnerError, match="cannot read fault plan"):
+            load_plan(tmp_path / "absent.json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(RunnerError, match="faultplan"):
+            FaultPlan.from_dict({"format": "repro/layout", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(RunnerError, match="version"):
+            FaultPlan.from_dict(
+                {"format": FAULTPLAN_FORMAT, "version": 99}
+            )
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(RunnerError, match="malformed"):
+            FaultPlan.from_dict(
+                {
+                    "format": FAULTPLAN_FORMAT,
+                    "version": FAULTPLAN_VERSION,
+                    "injections": [{"point": "start"}],
+                }
+            )

@@ -1,0 +1,161 @@
+"""Checkpoint journal: durable appends, torn-tail-tolerant replay."""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointJournal,
+    load_journal,
+)
+
+
+def header() -> dict:
+    return {
+        "type": "batch",
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "command": "test",
+        "grid": "abc123",
+        "tasks": 2,
+    }
+
+
+def ok(key: str, value: int = 0) -> dict:
+    return {
+        "type": "task",
+        "key": key,
+        "status": "ok",
+        "payload": {"value": value},
+    }
+
+
+def failed(key: str) -> dict:
+    return {
+        "type": "task",
+        "key": key,
+        "status": "failed",
+        "error": "RunnerError",
+        "message": "boom",
+        "transient": False,
+    }
+
+
+class TestAppend:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(header())
+            journal.append(ok("t:1"))
+        state = load_journal(path)
+        assert state.header["grid"] == "abc123"
+        assert [e["key"] for e in state.entries] == ["t:1"]
+        assert not state.truncated
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        CheckpointJournal(path)
+        assert not path.exists()
+
+    def test_every_record_is_one_line(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(header())
+            journal.append(ok("t:1"))
+            journal.append(ok("t:2"))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line) for line in lines)
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(header())
+        with CheckpointJournal(path) as journal:
+            journal.append(ok("t:1"))
+        state = load_journal(path)
+        assert state.header is not None
+        assert len(state.entries) == 1
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "checkpoint.jsonl")
+        journal.close()
+        with pytest.raises(RunnerError):
+            journal.append(header())
+
+
+class TestReplay:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(RunnerError):
+            load_journal(tmp_path / "absent.jsonl")
+
+    def test_completed_last_wins(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(header())
+            journal.append(ok("t:1", value=1))
+            journal.append(ok("t:1", value=2))
+        done = load_journal(path).completed()
+        assert done["t:1"]["payload"] == {"value": 2}
+
+    def test_failed_excludes_later_completed(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(header())
+            journal.append(failed("t:1"))
+            journal.append(failed("t:2"))
+            journal.append(ok("t:1"))
+        state = load_journal(path)
+        assert set(state.failed()) == {"t:2"}
+        assert set(state.completed()) == {"t:1"}
+
+    def test_torn_tail_without_newline_dropped(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(header())
+            journal.append(ok("t:1"))
+        with path.open("a") as handle:
+            handle.write('{"type": "task", "key": "t:2", "sta')
+        state = load_journal(path)
+        assert state.truncated
+        assert [e["key"] for e in state.entries] == ["t:1"]
+
+    def test_torn_tail_with_newline_dropped(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(header())
+            journal.append(ok("t:1"))
+        with path.open("a") as handle:
+            handle.write('{"type": "task", "key"\n')
+        state = load_journal(path)
+        assert state.truncated
+        assert [e["key"] for e in state.entries] == ["t:1"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        lines = [
+            json.dumps(header()),
+            "{definitely not json",
+            json.dumps(ok("t:1")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RunnerError, match="corrupt"):
+            load_journal(path)
+
+    def test_non_object_record_raises(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        path.write_text(json.dumps(header()) + "\n[1, 2]\n" + json.dumps(ok("t:1")) + "\n")
+        with pytest.raises(RunnerError, match="not an"):
+            load_journal(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "checkpoint.jsonl"
+        path.write_text(
+            json.dumps(header()) + "\n\n" + json.dumps(ok("t:1")) + "\n"
+        )
+        state = load_journal(path)
+        assert len(state.entries) == 1
+        assert not state.truncated

@@ -104,6 +104,32 @@ class TestBadInputs:
             "unknown lint rule",
         )
 
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        """Ctrl-C is not an error: one-line resume hint, exit 130
+        (128 + SIGINT), no traceback."""
+        from repro import cli
+
+        def interrupted(_name):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "by_name", interrupted)
+        assert cli.main(["compare", "m88ksim"]) == 130
+        captured = capsys.readouterr()
+        assert captured.err.strip() == (
+            "interrupted — resume with --resume"
+        )
+        assert "Traceback" not in captured.err
+
+    def test_simulated_kill_exits_137(self, monkeypatch):
+        from repro import cli
+        from repro.runner.faults import SimulatedKill
+
+        def killed(_name):
+            raise SimulatedKill
+
+        monkeypatch.setattr(cli, "by_name", killed)
+        assert cli.main(["compare", "m88ksim"]) == 137
+
     def test_unknown_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

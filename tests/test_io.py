@@ -6,6 +6,9 @@ import pytest
 
 from repro.io import (
     SerializationError,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
     graph_from_dict,
     graph_to_dict,
     layout_from_dict,
@@ -175,6 +178,125 @@ class TestGraphRoundtrip:
                     "edges": [],
                 }
             )
+
+
+class TestAtomicWrites:
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_kill_mid_write_leaves_previous_artifact(self, tmp_path):
+        """A process dying inside a write must leave the old file —
+        never a truncated new one."""
+        from repro.runner.faults import SimulatedKill
+
+        path = tmp_path / "out.txt"
+        path.write_text("previous contents")
+        with pytest.raises(SimulatedKill):
+            with atomic_writer(path) as handle:
+                handle.write("half of the new con")
+                raise SimulatedKill("power loss mid-write")
+        assert path.read_text() == "previous contents"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_kill_mid_write_leaves_no_new_artifact(self, tmp_path):
+        from repro.runner.faults import SimulatedKill
+
+        path = tmp_path / "fresh.txt"
+        with pytest.raises(SimulatedKill):
+            with atomic_writer(path) as handle:
+                handle.write("torn")
+                raise SimulatedKill
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_layout_survives_injected_kill(self, program, tmp_path):
+        """Killing an artifact save through the fault harness keeps
+        the previous layout readable."""
+        from repro.runner import BatchRunner, FaultPlan, Injection
+        from repro.runner.tasks import Batch, TaskSpec
+
+        old = Layout.default(program)
+        path = tmp_path / "layout.json"
+        save_layout(old, path)
+        plan = FaultPlan(
+            [Injection(task="t:1", point="artifact", error="kill")]
+        )
+        batch = Batch(
+            command="test",
+            grid_id="g",
+            tasks=(
+                TaskSpec(
+                    key="t:1",
+                    kind="unit",
+                    run=lambda env: {"v": 1},
+                    artifact="layout.json",
+                ),
+            ),
+            render=lambda results: "",
+        )
+        from repro.runner.faults import SimulatedKill
+
+        with pytest.raises(SimulatedKill):
+            BatchRunner(batch, tmp_path, plan=plan).run()
+        assert load_layout(path) == old
+
+    def test_unsupported_mode_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            with atomic_writer(tmp_path / "x", "a"):
+                pass
+
+
+class TestReaderErrorMessages:
+    """Truncated/corrupt artifacts fail with the path and the artifact
+    kind that was expected there."""
+
+    def test_truncated_npz_names_path_and_kind(self, program, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(Trace(program, [TraceEvent.full("a", 100)]), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SerializationError) as excinfo:
+            load_trace(path)
+        assert "trace.npz" in str(excinfo.value)
+        assert "trace" in str(excinfo.value)
+
+    def test_truncated_json_names_path_and_kind(self, program, tmp_path):
+        path = tmp_path / "layout.json"
+        save_layout(Layout.default(program), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(SerializationError) as excinfo:
+            load_layout(path)
+        assert "layout.json" in str(excinfo.value)
+        assert "layout" in str(excinfo.value)
+
+    def test_missing_npz_key_wrapped(self, program, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trace.npz"
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, wrong_key=np.zeros(3))
+        with pytest.raises(SerializationError) as excinfo:
+            load_trace(path)
+        assert "trace.npz" in str(excinfo.value)
+
+    def test_wrong_kind_json_names_expectation(self, program, tmp_path):
+        path = tmp_path / "mislabeled.json"
+        save_program(program, path)
+        with pytest.raises(SerializationError) as excinfo:
+            load_layout(path)
+        assert "mislabeled.json" in str(excinfo.value)
 
 
 class TestPipelineThroughFiles:
