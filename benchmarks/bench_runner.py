@@ -1,0 +1,119 @@
+"""Parallel batch runner — serial vs ``--workers 4`` wall clock.
+
+Runs the compare grid (primary, one cell task per algorithm × seed)
+and the table1 grid through :class:`~repro.runner.BatchRunner` with
+``workers=1`` and ``workers=4``, asserts the parallel reports are
+byte-identical to the serial ones, and records the measured speedups
+in ``benchmarks/results/BENCH_runner.json``.
+
+The ≥3× acceptance threshold is asserted only when the host actually
+exposes ≥4 usable cores (CI runners do); on smaller containers the
+honest numbers are still recorded — a fork pool cannot beat the
+hardware it runs on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import RUNS, RESULTS_DIR, scaled_suite, write_report
+from repro.cache.config import PAPER_CACHE
+from repro.obs.clock import monotonic
+from repro.runner import BatchRunner
+from repro.runner.grids import compare_batch, table1_batch
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"),
+    reason="the pool backend requires the fork start method",
+)
+
+#: Worker count of the acceptance criterion.
+WORKERS = 4
+#: Required compare-grid speedup at 4 workers — enforced only on
+#: hosts with at least that many cores.
+SPEEDUP_THRESHOLD = 3.0
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _timed_run(batch, directory, workers: int):
+    start = monotonic()
+    outcome = BatchRunner(batch, directory, workers=workers).run()
+    return outcome, monotonic() - start
+
+
+def _measure(make_batch, directory) -> dict:
+    serial, serial_seconds = _timed_run(
+        make_batch(), directory / "serial", workers=1
+    )
+    parallel, parallel_seconds = _timed_run(
+        make_batch(), directory / "parallel", workers=WORKERS
+    )
+    assert serial.ok and parallel.ok
+    assert parallel.report == serial.report
+    return {
+        "tasks": serial.executed,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+    }
+
+
+def test_pool_speedup(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-runner")
+    workload = next(
+        w for w in scaled_suite() if w.name == "m88ksim"
+    )
+    compare = _measure(
+        lambda: compare_batch(workload, PAPER_CACHE, runs=RUNS),
+        directory / "compare",
+    )
+    table1 = _measure(
+        lambda: table1_batch(scaled_suite(), PAPER_CACHE),
+        directory / "table1",
+    )
+
+    cores = usable_cores()
+    enforced = cores >= WORKERS
+    record = {
+        "bench": "runner-pool",
+        "workers": WORKERS,
+        "cpu_count": cores,
+        "threshold": SPEEDUP_THRESHOLD,
+        "threshold_enforced": enforced,
+        "compare": compare,
+        "table1": table1,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_runner.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    write_report(
+        "runner",
+        "\n".join(
+            [
+                f"runner pool ({cores} usable cores, "
+                f"{WORKERS} workers):",
+                "  compare grid: "
+                f"{compare['tasks']} tasks, "
+                f"{compare['serial_seconds']:.2f}s serial, "
+                f"{compare['parallel_seconds']:.2f}s parallel "
+                f"({compare['speedup']:.2f}x)",
+                "  table1 grid:  "
+                f"{table1['tasks']} tasks, "
+                f"{table1['serial_seconds']:.2f}s serial, "
+                f"{table1['parallel_seconds']:.2f}s parallel "
+                f"({table1['speedup']:.2f}x)",
+            ]
+        ),
+    )
+    if enforced:
+        assert compare["speedup"] >= SPEEDUP_THRESHOLD

@@ -16,7 +16,9 @@ Rules::
     checkpoint/parse       a non-tail journal line is not JSON (error)
     checkpoint/truncated   torn tail line dropped by replay (warning)
     checkpoint/header      missing or malformed batch header (error)
-    checkpoint/entry       task record missing required keys (error)
+    checkpoint/entry       task record missing required keys, or a
+                           malformed worker id on a pool-executed
+                           record (error)
     checkpoint/artifact    completed task's artifact missing or
                            unparseable (error)
     checkpoint/duplicate   task completed more than once (warning —
@@ -153,6 +155,20 @@ def _audit_task_record(
             )
         )
         return
+    worker = record.get("worker")
+    if worker is not None and (
+        isinstance(worker, bool)
+        or not isinstance(worker, int)
+        or worker < 0
+    ):
+        findings.append(
+            _finding(
+                "checkpoint/entry",
+                f"task {key!r} has malformed worker id {worker!r}",
+                file=file,
+                obj=key,
+            )
+        )
     if status == "failed":
         if not isinstance(record.get("error"), str):
             findings.append(

@@ -3,9 +3,9 @@
 from repro.cache.config import PAPER_CACHE, PAPER_CACHE_2WAY, CacheConfig
 from repro.cache.direct import DirectMappedCache
 from repro.cache.fast import count_direct_mapped_misses, simulate_direct_mapped
-from repro.cache.hierarchy import miss_flags, simulate_hierarchy
+from repro.cache.hierarchy import lru_miss_flags, miss_flags, simulate_hierarchy
 from repro.cache.linetrace import LineStream, line_stream
-from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.setassoc import SetAssociativeCache, simulate_set_associative
 from repro.cache.simulator import simulate, simulate_stream
 from repro.cache.stats import MissStats
 
@@ -19,9 +19,11 @@ __all__ = [
     "SetAssociativeCache",
     "count_direct_mapped_misses",
     "line_stream",
+    "lru_miss_flags",
     "miss_flags",
     "simulate",
     "simulate_direct_mapped",
     "simulate_hierarchy",
+    "simulate_set_associative",
     "simulate_stream",
 ]

@@ -30,7 +30,10 @@ def count_direct_mapped_misses(
     if not config.is_direct_mapped:
         raise ConfigError(
             "count_direct_mapped_misses requires associativity 1, got "
-            f"{config.associativity}"
+            f"{config.associativity}; set-associative streams go "
+            "through repro.cache.setassoc.simulate_set_associative, "
+            "which routes associativity-1 geometries back to this "
+            "fast path"
         )
     n = len(lines)
     if n == 0:

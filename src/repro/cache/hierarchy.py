@@ -55,7 +55,15 @@ def direct_mapped_miss_flags(
 def lru_miss_flags(
     lines: np.ndarray, config: CacheConfig
 ) -> np.ndarray:
-    """Per-access miss booleans through the LRU model (stream order)."""
+    """Per-access miss booleans through the LRU model (stream order).
+
+    Associativity-1 LRU is exactly direct-mapped replacement, so that
+    geometry delegates to the vectorized computation — bit-exact with
+    the scalar loop it shortcuts (``tests/cache/test_setassoc_routing``)
+    — instead of paying the Python-level loop for every access.
+    """
+    if config.is_direct_mapped:
+        return direct_mapped_miss_flags(lines, config)
     cache = SetAssociativeCache(config)
     flags = np.empty(len(lines), dtype=bool)
     for index, line in enumerate(np.asarray(lines).tolist()):

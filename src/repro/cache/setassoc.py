@@ -4,14 +4,23 @@ A straightforward stateful model: each set holds up to ``associativity``
 memory lines in most-recently-used-first order.  With associativity 1
 it degenerates to the direct-mapped model, which the test suite
 verifies against both other implementations.
+
+:func:`simulate_set_associative` is the geometry-aware entry point:
+associativity-1 configurations — typically reached through
+:mod:`repro.cache.hierarchy` levels — are routed to the vectorized
+direct-mapped kernel instead of the stateful Python loop, bit-exactly
+(``tests/cache/test_setassoc_routing.py``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro import obs
 from repro.cache.config import CacheConfig
+from repro.cache.fast import simulate_direct_mapped
 from repro.cache.stats import MissStats
 
 
@@ -70,3 +79,26 @@ class SetAssociativeCache:
             for index, ways in enumerate(self._sets)
             if ways
         }
+
+
+def simulate_set_associative(
+    lines: Sequence[int] | np.ndarray,
+    fetches: int | None,
+    config: CacheConfig,
+) -> MissStats:
+    """Replay a line stream under *config* with the fastest exact model.
+
+    An associativity-1 set-associative cache *is* a direct-mapped
+    cache, so that geometry dispatches to the vectorized
+    ``O(n log n)`` kernel; everything else runs the stateful LRU loop.
+    Both paths are bit-exact with the scalar reference models.
+    *fetches* defaults to one per line access.
+    """
+    if config.is_direct_mapped:
+        stream = np.asarray(lines, dtype=np.int64)
+        return simulate_direct_mapped(
+            stream,
+            len(stream) if fetches is None else fetches,
+            config,
+        )
+    return SetAssociativeCache(config).run(lines, fetches=fetches)

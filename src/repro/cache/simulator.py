@@ -21,6 +21,12 @@ from repro.errors import ConfigError
 from repro.program.layout import Layout
 from repro.trace.trace import Trace
 
+#: ``auto`` picks the fastest exact model for the geometry; the named
+#: engines *force* a specific implementation — in particular ``lru``
+#: always runs the stateful scalar model, even for associativity-1
+#: geometries, so cross-validation tests can compare it against the
+#: vectorized path (which :func:`~repro.cache.setassoc.
+#: simulate_set_associative` and the hierarchy level dispatch use).
 Engine = Literal["auto", "fast", "reference", "lru"]
 
 

@@ -41,7 +41,11 @@ atomically, so an interrupted run (Ctrl-C, crash, kill) resumes with
 
 ``--max-failures N`` aborts a degrading batch early;
 ``--inject PLAN.json`` runs under a deterministic fault-injection
-plan (CI and tests).
+plan (CI and tests); ``--workers N`` fans independent grid tasks out
+to a process pool (the parent remains the single journal/artifact
+writer, and the report stays byte-identical to a serial run)::
+
+    repro-layout compare perl --runs 40 --checkpoint ckpt --workers 4
 
 Exit codes: 0 success / clean, 1 findings reported by ``check`` or
 ``lint`` **or** a degraded batch (structured task failures), 2 a
@@ -135,13 +139,23 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="run under a repro/faultplan JSON injection plan "
         "(testing/CI)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan independent grid tasks out to N worker processes "
+        "(requires --checkpoint; the parent remains the single "
+        "journal and artifact writer, so reports stay byte-identical "
+        "to serial runs)",
+    )
 
 
 def _wants_batch(args: argparse.Namespace) -> bool:
     """Any runner flag routes the command through the batch engine
     (so ``--resume`` without ``--checkpoint`` errors instead of being
     silently ignored by the direct path)."""
-    return bool(args.checkpoint or args.resume or args.inject)
+    return (
+        bool(args.checkpoint or args.resume or args.inject)
+        or args.workers != 1
+    )
 
 
 def _run_batch(args: argparse.Namespace, batch) -> int:
@@ -150,7 +164,9 @@ def _run_batch(args: argparse.Namespace, batch) -> int:
     from repro.runner import BatchRunner, load_plan
 
     if not args.checkpoint:
-        raise RunnerError("--resume/--inject require --checkpoint DIR")
+        raise RunnerError(
+            "--resume/--inject/--workers require --checkpoint DIR"
+        )
     plan = load_plan(args.inject) if args.inject else None
     runner = BatchRunner(
         batch,
@@ -159,6 +175,7 @@ def _run_batch(args: argparse.Namespace, batch) -> int:
         max_failures=args.max_failures,
         plan=plan,
         echo=lambda line: print(line, file=sys.stderr),
+        workers=args.workers,
     )
     outcome = runner.run()
     print(outcome.report)

@@ -42,6 +42,7 @@ from repro.obs.runtime import (
     enable,
     inc,
     is_enabled,
+    merge_snapshot,
     observe,
     restore,
     set_gauge,
@@ -77,6 +78,7 @@ __all__ = [
     "git_revision",
     "inc",
     "is_enabled",
+    "merge_snapshot",
     "monotonic",
     "observe",
     "restore",

@@ -19,7 +19,7 @@ of a run manifest.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ObservabilityError
 
@@ -98,6 +98,41 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def merge_dict(self, entry: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_dict` snapshot of a same-shaped histogram
+        into this one (the cross-process metric merge).
+
+        Bucket edges must match exactly: two processes observing the
+        same name with different bucketing is a programming error, not
+        something a merge can paper over.
+        """
+        edges = tuple(entry.get("edges") or ())
+        if edges != self.edges:
+            raise ObservabilityError(
+                f"histogram {self.name!r} bucket edges differ between "
+                f"processes: {list(self.edges)} vs {list(edges)}"
+            )
+        counts = entry.get("counts") or []
+        if len(counts) != len(self.counts):
+            raise ObservabilityError(
+                f"histogram {self.name!r} snapshot has {len(counts)} "
+                f"buckets, expected {len(self.counts)}"
+            )
+        for index, value in enumerate(counts):
+            self.counts[index] += value
+        self.count += entry.get("count") or 0
+        self.total += entry.get("sum") or 0
+        other_min = entry.get("min")
+        if other_min is not None and (
+            self.min is None or other_min < self.min
+        ):
+            self.min = other_min
+        other_max = entry.get("max")
+        if other_max is not None and (
+            self.max is None or other_max > self.max
+        ):
+            self.max = other_max
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
@@ -166,3 +201,36 @@ class MetricsRegistry:
         return {
             name: self._metrics[name].to_dict() for name in self.names()
         }
+
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Mapping[str, Any]]
+    ) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process merge used by the parallel batch runner:
+        worker processes return their registry snapshots as picklable
+        shards and the parent folds each shard in.  Counters add,
+        gauges take the incoming value (last-wins — callers must merge
+        shards in a deterministic order), histograms require identical
+        edges and add per-bucket counts.  Instruments are created on
+        demand, with the usual kind checking.
+        """
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry.get("value") or 0)
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                value = entry.get("value")
+                if value is not None:
+                    gauge.set(value)
+            elif kind == "histogram":
+                self.histogram(name, edges=entry.get("edges")).merge_dict(
+                    entry
+                )
+            else:
+                raise ObservabilityError(
+                    f"cannot merge metric {name!r} of unknown kind "
+                    f"{kind!r}"
+                )

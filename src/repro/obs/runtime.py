@@ -15,7 +15,7 @@ a global keeps the disabled-path cost at one attribute load.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import Tracer
@@ -115,6 +115,16 @@ def observe(
         state.registry.histogram(name, edges).observe(value)
 
 
+def merge_snapshot(
+    snapshot: Mapping[str, Mapping[str, Any]],
+) -> None:
+    """Fold a metric-registry snapshot from another process into the
+    active registry; no-op when disabled."""
+    state = _STATE
+    if state is not None:
+        state.registry.merge_snapshot(snapshot)
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -127,6 +137,7 @@ __all__ = [
     "enable",
     "inc",
     "is_enabled",
+    "merge_snapshot",
     "observe",
     "restore",
     "set_gauge",

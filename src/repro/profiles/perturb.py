@@ -13,12 +13,47 @@ from __future__ import annotations
 
 import math
 import random as _random
+import re
 
 from repro.errors import ConfigError
 from repro.profiles.graph import WeightedGraph
+from repro.program.procedure import ChunkId
 
 #: The scaling factor used in the paper's experiments.
 PAPER_SCALE = 0.1
+
+_DIGITS = re.compile(r"(\d+)")
+
+
+def _natural(text: str) -> tuple:
+    """Natural-sort decomposition: ``"p10"`` → ``("p", 10, "")``.
+
+    ``re.split`` with a capturing group alternates literal and digit
+    segments, so any two decompositions compare str-to-str and
+    int-to-int position by position — a total order with no
+    cross-type comparisons.
+    """
+    return tuple(
+        int(part) if index % 2 else part
+        for index, part in enumerate(_DIGITS.split(text))
+    )
+
+
+def structural_node_key(node: object) -> tuple:
+    """A stable, structure-aware sort key for profile-graph nodes.
+
+    Graph nodes are procedure names (WCG, selection TRG) or
+    :class:`~repro.program.procedure.ChunkId` (placement TRG).  The
+    key orders names *naturally* — ``p2`` before ``p10`` — and chunks
+    by (procedure, index), so the canonical visit order does not jump
+    when a numbering crosses a power of ten the way plain ``repr``
+    lexicographic ordering does.
+    """
+    if isinstance(node, ChunkId):
+        return ("chunk", _natural(node.procedure), node.index)
+    if isinstance(node, str):
+        return ("name", _natural(node), -1)
+    return ("other", (repr(node),), -1)
 
 
 def perturbed(
@@ -26,17 +61,32 @@ def perturbed(
 ) -> WeightedGraph:
     """A perturbed copy of *graph* with weights ``w * exp(scale * X)``.
 
-    Edges are visited in canonical order so the same seed always yields
-    the same perturbation regardless of graph construction history.
+    Edges are visited in canonical *structural* order (see
+    :func:`structural_node_key`) so the same seed always yields the
+    same perturbation regardless of graph construction history.
     ``scale = 0`` returns an exact copy.
+
+    .. note::
+       Earlier releases canonicalised with ``repr``-lexicographic
+       ordering, which sorts ``p10`` before ``p2`` — the assignment of
+       Gaussian draws to edges silently depended on digit widths in
+       node names.  With the structural key a given seed produces a
+       *different* (equally valid) perturbation than it did before the
+       fix; per-seed results are not comparable across that boundary.
     """
     if scale < 0:
         raise ConfigError(f"perturbation scale must be >= 0, got {scale}")
     rng = _random.Random(seed)
     out = WeightedGraph()
-    for node in sorted(graph.nodes, key=repr):
+    for node in sorted(graph.nodes, key=structural_node_key):
         out.add_node(node)
-    edges = sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    edges = sorted(
+        graph.edges(),
+        key=lambda edge: (
+            structural_node_key(edge[0]),
+            structural_node_key(edge[1]),
+        ),
+    )
     for a, b, weight in edges:
         noisy = weight * math.exp(scale * rng.gauss(0.0, 1.0))
         out.set_weight(a, b, noisy)

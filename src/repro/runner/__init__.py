@@ -17,7 +17,12 @@ zero:
   ``SIGKILL``) used by the tier-1 tests and CI;
 * :mod:`~repro.runner.engine` — :class:`BatchRunner`: executes a
   batch, checkpoints each task, resumes idempotently
-  (``--resume``) and finishes in degraded mode with a failure table.
+  (``--resume``) and finishes in degraded mode with a failure table;
+* :mod:`~repro.runner.pool` — the worker half of
+  ``BatchRunner(workers=N)``: independent tasks run in a ``fork``
+  process pool and return picklable :class:`WorkerResult` shards,
+  while the parent stays the single journal/artifact writer and
+  merges results deterministically in batch order.
 
 Usage::
 
@@ -55,6 +60,7 @@ from repro.runner.guard import (
     TaskFailure,
     TaskGuard,
     TaskOutcome,
+    null_sleep,
 )
 from repro.runner.journal import (
     CHECKPOINT_FORMAT,
@@ -64,6 +70,7 @@ from repro.runner.journal import (
     JournalState,
     load_journal,
 )
+from repro.runner.pool import WorkerResult
 from repro.runner.tasks import (
     Batch,
     RunnerEnv,
@@ -94,11 +101,13 @@ __all__ = [
     "TaskGuard",
     "TaskOutcome",
     "TaskSpec",
+    "WorkerResult",
     "compare_batch",
     "default_algorithms",
     "format_failure_table",
     "grid_fingerprint",
     "load_journal",
     "load_plan",
+    "null_sleep",
     "table1_batch",
 ]

@@ -16,13 +16,19 @@ through to a report the way a database drives a transaction log:
   retried on the next resume;
 * ``KeyboardInterrupt`` and the fault harness's
   :class:`~repro.runner.faults.SimulatedKill` propagate — the journal
-  is already durable, so the process can die at any instant.
+  is already durable, so the process can die at any instant;
+* ``workers=N`` fans independent tasks out to a ``fork`` process pool
+  (:mod:`~repro.runner.pool`) while this parent stays the **single
+  writer** of the journal and every artifact.  Results are consumed
+  in submission (= batch) order, so journal records, merged metrics
+  and the failure table — and therefore the report — are byte-for-byte
+  the same as a serial run of the same grid.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
@@ -30,12 +36,13 @@ from repro import obs
 from repro.errors import RunnerError
 from repro.io import atomic_writer
 from repro.obs.clock import wall_time
-from repro.runner.faults import FaultPlan
+from repro.runner.faults import FaultPlan, SimulatedKill
 from repro.runner.guard import (
     DEFAULT_BACKOFF,
     DEFAULT_RETRIES,
     TaskFailure,
     TaskGuard,
+    null_sleep,
 )
 from repro.runner.journal import (
     CHECKPOINT_FORMAT,
@@ -44,6 +51,12 @@ from repro.runner.journal import (
     CheckpointJournal,
     JournalState,
     load_journal,
+)
+from repro.runner.pool import (
+    WorkerResult,
+    execute_task,
+    fork_context,
+    initialize_worker,
 )
 from repro.runner.tasks import Batch, RunnerEnv, TaskSpec
 
@@ -98,7 +111,10 @@ class BatchRunner:
         deadline: float | None = None,
         sleep: Callable[[float], None] | None = None,
         echo: Callable[[str], None] | None = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise RunnerError(f"--workers must be >= 1, got {workers}")
         self.batch = batch
         self.directory = Path(checkpoint_dir)
         self.resume = resume
@@ -107,8 +123,14 @@ class BatchRunner:
         self.retries = retries
         self.backoff_base = backoff_base
         self.deadline = deadline
+        if sleep is None and plan is not None:
+            # Injected faults are simulations; burning real wall time
+            # on their retry backoff buys nothing.  The schedule and
+            # the journaled retry counts are unchanged.
+            sleep = null_sleep
         self._sleep = sleep
         self._echo = echo
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # Resume bookkeeping
@@ -210,6 +232,276 @@ class BatchRunner:
         if self._echo is not None:
             self._echo(line)
 
+    # ------------------------------------------------------------------
+    # Journaling (shared by the serial and pool paths, so records and
+    # counters — and therefore resumed reports — are identical)
+    # ------------------------------------------------------------------
+
+    def _journal_ok(
+        self,
+        journal: CheckpointJournal,
+        spec: TaskSpec,
+        value: dict[str, Any],
+        elapsed: float,
+        retries: int,
+        results: dict[str, dict[str, Any]],
+        worker: int | None = None,
+    ) -> None:
+        record: dict[str, Any] = {
+            "type": "task",
+            "key": spec.key,
+            "kind": spec.kind,
+            "status": "ok",
+            "elapsed": elapsed,
+            "retries": retries,
+        }
+        if worker is not None:
+            record["worker"] = worker
+        if spec.artifact is not None:
+            record["artifact"] = spec.artifact
+        else:
+            record["payload"] = value
+        journal.append(record)
+        results[spec.key] = value
+        obs.inc("runner.task.completed")
+        self._say(f"[runner] ok      {spec.key}")
+
+    def _journal_failure(
+        self,
+        journal: CheckpointJournal,
+        spec: TaskSpec,
+        failure: TaskFailure,
+        failures: list[TaskFailure],
+        worker: int | None = None,
+    ) -> None:
+        record = failure.to_record()
+        record["kind"] = spec.kind
+        if worker is not None:
+            record["worker"] = worker
+        journal.append(record)
+        failures.append(failure)
+        obs.inc("runner.task.failures")
+        self._say(
+            f"[runner] failed  {spec.key}: "
+            f"{failure.error_class}: {failure.message}"
+        )
+
+    def _task_guard(self, spec: TaskSpec) -> TaskGuard:
+        return TaskGuard(
+            spec.key,
+            retries=(
+                spec.retries
+                if spec.retries is not None
+                else self.retries
+            ),
+            backoff_base=self.backoff_base,
+            deadline=(
+                spec.deadline
+                if spec.deadline is not None
+                else self.deadline
+            ),
+            sleep=self._sleep,
+        )
+
+    def _run_serial(
+        self,
+        journal: CheckpointJournal,
+        env: RunnerEnv,
+        completed: dict[str, dict[str, Any]],
+        results: dict[str, dict[str, Any]],
+        failures: list[TaskFailure],
+        pending: list[str],
+    ) -> tuple[int, int]:
+        executed = 0
+        cached = 0
+        for spec in self.batch.tasks:
+            if spec.key in completed:
+                results[spec.key] = completed[spec.key]
+                cached += 1
+                obs.inc("runner.task.cached")
+                self._say(f"[runner] cached  {spec.key}")
+                continue
+            if (
+                self.max_failures is not None
+                and len(failures) > self.max_failures
+            ):
+                pending.append(spec.key)
+                continue
+            guard = self._task_guard(spec)
+            with obs.span(
+                "runner.task", key=spec.key, kind=spec.kind
+            ):
+                outcome = guard.run(self._attempt(spec, env))
+            executed += 1
+            if outcome.retries:
+                obs.inc("runner.task.retries", outcome.retries)
+            if outcome.ok:
+                self._journal_ok(
+                    journal,
+                    spec,
+                    outcome.value,
+                    outcome.elapsed,
+                    outcome.retries,
+                    results,
+                )
+            else:
+                self._journal_failure(
+                    journal, spec, outcome.failure, failures
+                )
+        return executed, cached
+
+    # ------------------------------------------------------------------
+    # Parallel execution (single-writer merge over a fork pool)
+    # ------------------------------------------------------------------
+
+    def _artifact_attempt(
+        self, spec: TaskSpec, payload: dict[str, Any]
+    ) -> Callable[[int], dict[str, Any]]:
+        def attempt_fn(attempt: int) -> dict[str, Any]:
+            self._write_artifact(spec, payload)
+            return payload
+
+        return attempt_fn
+
+    def _reraise_worker_death(self, result: WorkerResult) -> None:
+        """Re-raise a worker's process-death fault under its original
+        type, so CLI exit codes match serial runs (130 interrupt, 137
+        simulated kill)."""
+        if result.died == "KeyboardInterrupt":
+            raise KeyboardInterrupt(result.died_message)
+        if result.died == "SimulatedKill":
+            raise SimulatedKill(result.died_message)
+        raise RunnerError(
+            f"worker running {result.key} died: {result.died}: "
+            f"{result.died_message}"
+        )
+
+    def _run_pool(
+        self,
+        journal: CheckpointJournal,
+        completed: dict[str, dict[str, Any]],
+        results: dict[str, dict[str, Any]],
+        failures: list[TaskFailure],
+        pending: list[str],
+    ) -> tuple[int, int]:
+        """Fan non-cached tasks out to a ``fork`` pool and merge.
+
+        Determinism: results are consumed through ``imap`` in
+        submission (= batch) order, so journal records, metric merges
+        and the failure table are appended in the same order as a
+        serial run regardless of which worker finishes first.  Only
+        this parent touches the journal and the artifact files.
+        """
+        executed = 0
+        cached = 0
+        for spec in self.batch.tasks:
+            if spec.key in completed:
+                results[spec.key] = completed[spec.key]
+                cached += 1
+                obs.inc("runner.task.cached")
+                self._say(f"[runner] cached  {spec.key}")
+        specs = [
+            spec
+            for spec in self.batch.tasks
+            if spec.key not in completed
+        ]
+        if not specs:
+            return executed, cached
+        context = fork_context()
+        worker_ids: dict[int, int] = {}
+        died: WorkerResult | None = None
+        with context.Pool(
+            processes=min(self.workers, len(specs)),
+            initializer=initialize_worker,
+            initargs=(
+                self.batch,
+                self.plan,
+                self.retries,
+                self.backoff_base,
+                self.deadline,
+                self._sleep,
+            ),
+        ) as pool:
+            arrivals = pool.imap(
+                execute_task,
+                [spec.key for spec in specs],
+                chunksize=1,
+            )
+            for index, result in enumerate(arrivals):
+                if result.died is not None:
+                    died = result
+                    break
+                spec = self.batch.spec(result.key)
+                worker = worker_ids.setdefault(
+                    result.pid, len(worker_ids)
+                )
+                with obs.span(
+                    "runner.task",
+                    key=spec.key,
+                    kind=spec.kind,
+                    worker=worker,
+                ):
+                    self._merge_worker_metrics(result, worker)
+                    value = result.value
+                    failure = result.failure
+                    retries = result.retries
+                    if failure is None and spec.artifact is not None:
+                        # The single-writer invariant: artifacts are
+                        # written here, under their own guard, so the
+                        # plan's ``artifact`` injection point and
+                        # write-retry semantics live in the parent.
+                        persisted = self._task_guard(spec).run(
+                            self._artifact_attempt(spec, value)
+                        )
+                        retries += persisted.retries
+                        if not persisted.ok:
+                            failure = replace(
+                                persisted.failure, retries=retries
+                            )
+                executed += 1
+                if retries:
+                    obs.inc("runner.task.retries", retries)
+                if failure is None:
+                    self._journal_ok(
+                        journal,
+                        spec,
+                        value,
+                        result.elapsed,
+                        retries,
+                        results,
+                        worker=worker,
+                    )
+                else:
+                    self._journal_failure(
+                        journal, spec, failure, failures, worker=worker
+                    )
+                if (
+                    self.max_failures is not None
+                    and len(failures) > self.max_failures
+                ):
+                    pending.extend(
+                        later.key for later in specs[index + 1 :]
+                    )
+                    break
+            pool.terminate()
+        if died is not None:
+            self._reraise_worker_death(died)
+        return executed, cached
+
+    def _merge_worker_metrics(
+        self, result: WorkerResult, worker: int
+    ) -> None:
+        """Fold one worker shard into the parent's manifest metrics."""
+        obs.merge_snapshot(result.metrics)
+        obs.inc("runner.worker.tasks")
+        obs.inc(f"runner.worker.{worker}.tasks")
+        obs.inc(f"runner.worker.{worker}.seconds", result.elapsed)
+        for name in sorted(result.phases):
+            obs.inc(
+                f"runner.worker.phase.{name}.seconds",
+                result.phases[name],
+            )
+
     def run(self) -> BatchOutcome:
         """Execute the batch; returns a degraded-mode-aware outcome.
 
@@ -240,6 +532,7 @@ class BatchRunner:
                 command=self.batch.command,
                 grid=self.batch.grid_id,
                 tasks=len(self.batch.tasks),
+                workers=self.workers,
             ):
                 if fresh:
                     journal.append(
@@ -254,69 +547,19 @@ class BatchRunner:
                             "unix_time": wall_time(),
                         }
                     )
-                for spec in self.batch.tasks:
-                    if spec.key in completed:
-                        results[spec.key] = completed[spec.key]
-                        cached += 1
-                        obs.inc("runner.task.cached")
-                        self._say(f"[runner] cached  {spec.key}")
-                        continue
-                    if (
-                        self.max_failures is not None
-                        and len(failures) > self.max_failures
-                    ):
-                        pending.append(spec.key)
-                        continue
-                    guard = TaskGuard(
-                        spec.key,
-                        retries=(
-                            spec.retries
-                            if spec.retries is not None
-                            else self.retries
-                        ),
-                        backoff_base=self.backoff_base,
-                        deadline=(
-                            spec.deadline
-                            if spec.deadline is not None
-                            else self.deadline
-                        ),
-                        sleep=self._sleep,
+                if self.workers > 1:
+                    executed, cached = self._run_pool(
+                        journal, completed, results, failures, pending
                     )
-                    with obs.span(
-                        "runner.task", key=spec.key, kind=spec.kind
-                    ):
-                        outcome = guard.run(self._attempt(spec, env))
-                    executed += 1
-                    if outcome.retries:
-                        obs.inc("runner.task.retries", outcome.retries)
-                    if outcome.ok:
-                        record: dict[str, Any] = {
-                            "type": "task",
-                            "key": spec.key,
-                            "kind": spec.kind,
-                            "status": "ok",
-                            "elapsed": outcome.elapsed,
-                            "retries": outcome.retries,
-                        }
-                        if spec.artifact is not None:
-                            record["artifact"] = spec.artifact
-                        else:
-                            record["payload"] = outcome.value
-                        journal.append(record)
-                        results[spec.key] = outcome.value
-                        obs.inc("runner.task.completed")
-                        self._say(f"[runner] ok      {spec.key}")
-                    else:
-                        failure = outcome.failure
-                        record = failure.to_record()
-                        record["kind"] = spec.kind
-                        journal.append(record)
-                        failures.append(failure)
-                        obs.inc("runner.task.failures")
-                        self._say(
-                            f"[runner] failed  {spec.key}: "
-                            f"{failure.error_class}: {failure.message}"
-                        )
+                else:
+                    executed, cached = self._run_serial(
+                        journal,
+                        env,
+                        completed,
+                        results,
+                        failures,
+                        pending,
+                    )
         finally:
             journal.close()
         obs.set_gauge("runner.task.pending", len(pending))

@@ -37,6 +37,17 @@ DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF = 0.05
 
 
+def null_sleep(seconds: float) -> None:
+    """A sleeper that returns immediately.
+
+    Injected wherever the deterministic backoff *schedule* matters but
+    the wall-time delay does not — under the fault-injection harness
+    and in tests.  Retry behaviour (attempt counts, the journaled
+    ``retries`` numbers, the sequence of computed delays) is identical
+    to the real :func:`time.sleep`; only the waiting is skipped.
+    """
+
+
 @dataclass(frozen=True)
 class TaskFailure:
     """Structured record of one task that did not produce a result."""

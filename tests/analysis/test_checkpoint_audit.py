@@ -3,6 +3,7 @@ stays quiet on a healthy one — including a *degraded* one, whose
 failure records are valid content, not findings."""
 
 import json
+import os
 
 import pytest
 
@@ -69,6 +70,19 @@ class TestHealthyCheckpoints:
         ).run()
         assert outcome.exit_code == 1
         # Failure records are valid journal content, not findings.
+        assert audit_checkpoint(tmp_path / "ck") == []
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="pool requires fork"
+    )
+    def test_parallel_run_is_clean(self, tmp_path):
+        """Pool-produced journals carry ``worker`` ids on task records;
+        the auditor accepts them as valid content."""
+        BatchRunner(
+            make_batch(), tmp_path / "ck", workers=2
+        ).run()
+        journal = (tmp_path / "ck" / JOURNAL_NAME).read_text()
+        assert '"worker":' in journal
         assert audit_checkpoint(tmp_path / "ck") == []
 
     def test_payload_only_records_are_clean(self, tmp_path):
@@ -181,6 +195,37 @@ class TestDamage:
             )
         findings = audit_checkpoint(checkpoint)
         assert rules(findings) == {"checkpoint/entry"}
+
+    @pytest.mark.parametrize("worker", [-1, "x", 1.5, True])
+    def test_malformed_worker_id(self, checkpoint, worker):
+        with (checkpoint / JOURNAL_NAME).open("a") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "task",
+                        "key": "t:1",
+                        "status": "ok",
+                        "payload": {},
+                        "worker": worker,
+                    }
+                )
+                + "\n"
+            )
+        findings = audit_checkpoint(checkpoint)
+        assert "checkpoint/entry" in rules(findings)
+        assert any(
+            "malformed worker id" in finding.message
+            for finding in findings
+        )
+
+    def test_valid_worker_id_is_clean(self, checkpoint):
+        journal = checkpoint / JOURNAL_NAME
+        lines = journal.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["worker"] = 0
+        lines[1] = json.dumps(record)
+        journal.write_text("\n".join(lines) + "\n")
+        assert audit_checkpoint(checkpoint) == []
 
     def test_more_completions_than_declared(self, checkpoint):
         with (checkpoint / JOURNAL_NAME).open("a") as handle:

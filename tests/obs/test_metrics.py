@@ -93,3 +93,80 @@ class TestRegistry:
         snapshot = registry.snapshot()
         assert list(snapshot) == ["a.counter", "z.gauge"]
         assert snapshot["a.counter"] == {"kind": "counter", "value": 2}
+
+
+class TestMergeSnapshot:
+    """Cross-process shard folding: counters add, gauges last-write-
+    wins, histograms add bucket-wise (the parallel runner's merge)."""
+
+    @staticmethod
+    def shard() -> dict:
+        other = MetricsRegistry()
+        other.counter("c").inc(3)
+        other.gauge("g").set(7)
+        histogram = other.histogram("h", [10, 20])
+        histogram.observe(5)
+        histogram.observe(15)
+        histogram.observe(25)
+        return other.snapshot()
+
+    def test_merge_into_empty_registry(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot(self.shard())
+        assert registry.snapshot() == self.shard()
+
+    def test_counters_add(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(10)
+        registry.merge_snapshot(self.shard())
+        assert registry.counter("c").value == 13
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        registry.merge_snapshot(self.shard())
+        assert registry.gauge("g").value == 7
+
+    def test_none_gauge_does_not_clobber(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        registry.merge_snapshot(
+            {"g": {"kind": "gauge", "value": None}}
+        )
+        assert registry.gauge("g").value == 1
+
+    def test_histograms_add_bucketwise(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", [10, 20])
+        histogram.observe(1)
+        registry.merge_snapshot(self.shard())
+        data = registry.histogram("h").to_dict()
+        assert data["counts"] == [2, 1, 1]
+        assert data["count"] == 4
+        assert data["sum"] == 46
+        assert data["min"] == 1
+        assert data["max"] == 25
+
+    def test_merge_twice_doubles(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot(self.shard())
+        registry.merge_snapshot(self.shard())
+        assert registry.counter("c").value == 6
+        assert registry.histogram("h").to_dict()["count"] == 6
+
+    def test_mismatched_histogram_edges_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", [1, 2]).observe(1)
+        with pytest.raises(ObservabilityError):
+            registry.merge_snapshot(self.shard())
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("c").set(1)
+        with pytest.raises(ObservabilityError):
+            registry.merge_snapshot(self.shard())
+
+    def test_unknown_kind_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.merge_snapshot({"x": {"kind": "summary"}})

@@ -1,12 +1,20 @@
 """Tests for multiplicative profile perturbation (Section 5.1)."""
 
+import math
+import random
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.profiles.graph import WeightedGraph
-from repro.profiles.perturb import PAPER_SCALE, perturbed
+from repro.profiles.perturb import (
+    PAPER_SCALE,
+    perturbed,
+    structural_node_key,
+)
+from repro.program.procedure import ChunkId
 
 
 @pytest.fixture
@@ -78,3 +86,92 @@ class TestPerturbation:
         noisy = perturbed(graph, 0.01, seed=9)
         for a, b, weight in graph.edges():
             assert noisy.weight(a, b) == pytest.approx(weight, rel=0.1)
+
+
+class TestStructuralNodeKey:
+    """The canonical visit order is structural, not ``repr``
+    lexicographic: ``p2`` sorts before ``p10``, and chunk ids sort by
+    (procedure, index)."""
+
+    def test_natural_numeric_order(self):
+        names = ["p10", "p2", "p1", "p20", "p3"]
+        assert sorted(names, key=structural_node_key) == [
+            "p1",
+            "p2",
+            "p3",
+            "p10",
+            "p20",
+        ]
+
+    def test_repr_order_was_wrong(self):
+        # The bug this key replaces: lexicographic repr ordering puts
+        # p10 before p2.
+        assert sorted(["p10", "p2"], key=repr) == ["p10", "p2"]
+        assert structural_node_key("p2") < structural_node_key("p10")
+
+    def test_chunk_ids_sort_by_procedure_then_index(self):
+        chunks = [
+            ChunkId("p10", 0),
+            ChunkId("p2", 1),
+            ChunkId("p2", 0),
+            ChunkId("p2", 10),
+            ChunkId("p2", 2),
+        ]
+        assert sorted(chunks, key=structural_node_key) == [
+            ChunkId("p2", 0),
+            ChunkId("p2", 1),
+            ChunkId("p2", 2),
+            ChunkId("p2", 10),
+            ChunkId("p10", 0),
+        ]
+
+    def test_names_and_chunks_never_interleave(self):
+        mixed = [ChunkId("a", 0), "a", ChunkId("b", 1), "b"]
+        ordered = sorted(mixed, key=structural_node_key)
+        assert ordered == [ChunkId("a", 0), ChunkId("b", 1), "a", "b"]
+
+    def test_multi_segment_names(self):
+        names = ["f2_g10", "f2_g2", "f10_g1"]
+        assert sorted(names, key=structural_node_key) == [
+            "f2_g2",
+            "f2_g10",
+            "f10_g1",
+        ]
+
+
+class TestDrawAssignment:
+    def test_draws_follow_structural_edge_order(self):
+        """The k-th Gaussian draw lands on the k-th edge in structural
+        order — pinning the exact rng-to-edge assignment."""
+        graph = WeightedGraph()
+        graph.add_edge("p10", "p11", 100.0)
+        graph.add_edge("p2", "p3", 100.0)
+        noisy = perturbed(graph, 0.5, seed=13)
+        rng = random.Random(13)
+        first = 100.0 * math.exp(0.5 * rng.gauss(0.0, 1.0))
+        second = 100.0 * math.exp(0.5 * rng.gauss(0.0, 1.0))
+        # (p2, p3) sorts before (p10, p11) under the structural key.
+        assert noisy.weight("p2", "p3") == pytest.approx(first)
+        assert noisy.weight("p10", "p11") == pytest.approx(second)
+
+    def test_digit_width_does_not_move_other_draws(self):
+        """Renaming one node without changing its structural rank
+        leaves every other edge's perturbation untouched."""
+        g1 = WeightedGraph()
+        g1.add_edge("a", "b", 10.0)
+        g1.add_edge("m", "n", 20.0)
+        g2 = WeightedGraph()
+        g2.add_edge("a", "b", 10.0)
+        g2.add_edge("m2", "n", 20.0)  # still sorts after (a, b)
+        n1 = perturbed(g1, 0.3, seed=7)
+        n2 = perturbed(g2, 0.3, seed=7)
+        assert n1.weight("a", "b") == n2.weight("a", "b")
+        assert n1.weight("m", "n") == n2.weight("m2", "n")
+
+    def test_chunk_graphs_perturb_deterministically(self):
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("p2", 0), ChunkId("p10", 0), 50.0)
+        graph.add_edge(ChunkId("p2", 1), ChunkId("p2", 2), 60.0)
+        assert perturbed(graph, 0.2, seed=3) == perturbed(
+            graph, 0.2, seed=3
+        )

@@ -10,11 +10,12 @@ double-counted), and the checkpoint directory passes
 """
 
 import json
+import os
 
 import pytest
 
 from repro import cli
-from repro.analysis import load_run_manifest
+from repro.analysis import audit_manifest, load_run_manifest
 from repro.runner import (
     FAULTPLAN_FORMAT,
     FAULTPLAN_VERSION,
@@ -24,6 +25,16 @@ from repro.workloads import suite as suite_module
 
 #: compare --runs 1 grid: 1 profile + 4 algorithms x (clean + 1 seed).
 COMPARE_TASKS = 9
+
+#: ``REPRO_TEST_WORKERS=N`` reruns every checkpointed invocation in
+#: this module through the fork pool — CI uses it to exercise the
+#: parallel backend against the exact same assertions as serial runs.
+TEST_WORKERS = os.environ.get("REPRO_TEST_WORKERS")
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"),
+    reason="the pool backend requires the fork start method",
+)
 
 
 @pytest.fixture
@@ -48,7 +59,7 @@ def write_plan(path, injections: list[dict]) -> str:
 
 
 def compare_argv(checkpoint, *extra: str) -> list[str]:
-    return [
+    argv = [
         "compare",
         "m88ksim",
         "--runs",
@@ -57,6 +68,9 @@ def compare_argv(checkpoint, *extra: str) -> list[str]:
         str(checkpoint),
         *extra,
     ]
+    if TEST_WORKERS:
+        argv += ["--workers", TEST_WORKERS]
+    return argv
 
 
 class TestCleanBatch:
@@ -83,6 +97,8 @@ class TestCleanBatch:
         assert cli.main(["table1"]) == 0
         direct = capsys.readouterr().out
         argv = ["table1", "--checkpoint", str(tmp_path / "ck")]
+        if TEST_WORKERS:
+            argv += ["--workers", TEST_WORKERS]
         assert cli.main(argv) == 0
         assert capsys.readouterr().out == direct
 
@@ -216,6 +232,95 @@ class TestDegradedBatch:
         assert state.completed()["profile:m88ksim"]["retries"] == 2
 
 
+@needs_fork
+class TestParallelCli:
+    """``--workers N`` end to end: byte-identity with serial runs,
+    kill-and-resume, and manifest/journal reconciliation."""
+
+    def test_parallel_report_matches_serial(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert cli.main(compare_argv(tmp_path / "ref")) == 0
+        serial = capsys.readouterr().out
+        assert (
+            cli.main(
+                compare_argv(tmp_path / "ck", "--workers", "2")
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
+    def test_kill_exits_137_then_parallel_resume_matches(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert cli.main(compare_argv(tmp_path / "ref")) == 0
+        reference = capsys.readouterr().out
+        plan = write_plan(
+            tmp_path / "plan.json",
+            [{"task": "cell:*:PH:clean", "error": "kill"}],
+        )
+        assert (
+            cli.main(
+                compare_argv(
+                    tmp_path / "ck",
+                    "--inject",
+                    plan,
+                    "--workers",
+                    "2",
+                )
+            )
+            == 137
+        )
+        capsys.readouterr()
+        assert (
+            cli.main(
+                compare_argv(
+                    tmp_path / "ck", "--resume", "--workers", "2"
+                )
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_manifest_worker_counters_reconcile(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        metrics = tmp_path / "run.jsonl"
+        code = cli.main(
+            compare_argv(
+                tmp_path / "ck",
+                "--workers",
+                "2",
+                "--metrics-out",
+                str(metrics),
+            )
+        )
+        assert code == 0
+        manifest = load_run_manifest(metrics)
+        counters = manifest["metrics"]
+        assert (
+            counters["runner.worker.tasks"]["value"] == COMPARE_TASKS
+        )
+        assert (
+            counters["runner.task.completed"]["value"]
+            == COMPARE_TASKS
+        )
+        assert audit_manifest(manifest) == []
+
+    def test_parallel_checkpoint_passes_check(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        assert (
+            cli.main(
+                compare_argv(tmp_path / "ck", "--workers", "2")
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert cli.main(["check", str(tmp_path / "ck")]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
 class TestRunnerArgumentErrors:
     def test_resume_without_checkpoint_exits_2(
         self, tiny_workload, capsys
@@ -223,6 +328,31 @@ class TestRunnerArgumentErrors:
         code = cli.main(["compare", "m88ksim", "--resume"])
         assert code == 2
         assert "require --checkpoint" in capsys.readouterr().err
+
+    def test_workers_without_checkpoint_exits_2(
+        self, tiny_workload, capsys
+    ):
+        code = cli.main(
+            ["compare", "m88ksim", "--workers", "2"]
+        )
+        assert code == 2
+        assert "require --checkpoint" in capsys.readouterr().err
+
+    def test_workers_zero_exits_2(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        code = cli.main(
+            [
+                "compare",
+                "m88ksim",
+                "--checkpoint",
+                str(tmp_path / "ck"),
+                "--workers",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
 
     def test_missing_inject_plan_exits_2(
         self, tiny_workload, tmp_path, capsys

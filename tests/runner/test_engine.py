@@ -18,6 +18,7 @@ from repro.runner import (
     SimulatedKill,
     TaskSpec,
     load_journal,
+    null_sleep,
 )
 
 def make_batch(
@@ -205,6 +206,28 @@ class TestFaults:
         assert outcome.exit_code == 1
         assert outcome.pending == ("t:2", "t:3")
         assert "not attempted" in outcome.report
+
+
+class TestSleeperDefaults:
+    def test_fault_plan_defaults_to_null_sleep(self, tmp_path):
+        """Injected faults are simulations; their retry backoff must
+        not burn real wall time unless a sleeper is passed in."""
+        plan = FaultPlan([Injection(task="t:1", error="transient")])
+        engine = BatchRunner(make_batch(), tmp_path, plan=plan)
+        assert engine._sleep is null_sleep
+
+    def test_no_plan_keeps_real_backoff(self, tmp_path):
+        engine = BatchRunner(make_batch(), tmp_path)
+        assert engine._sleep is None
+
+    def test_explicit_sleeper_wins_over_plan_default(self, tmp_path):
+        plan = FaultPlan([Injection(task="t:1", error="transient")])
+        sleeps: list[float] = []
+        outcome = BatchRunner(
+            make_batch(), tmp_path, plan=plan, sleep=sleeps.append
+        ).run()
+        assert outcome.ok
+        assert sleeps  # the injected sleeper observed the backoff
 
 
 class TestKillAndResume:

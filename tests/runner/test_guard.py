@@ -1,10 +1,12 @@
 """TaskGuard: retry schedules, failure conversion, deadline, and
 BaseException passthrough."""
 
+import time
+
 import pytest
 
 from repro.errors import RunnerError, TaskTimeout, TransientTaskError
-from repro.runner import TaskGuard
+from repro.runner import TaskGuard, null_sleep
 from repro.runner.faults import SimulatedKill
 
 
@@ -138,6 +140,31 @@ class TestDeadline:
     def test_generous_deadline_passes(self):
         guard, _ = make_guard(deadline=3600.0)
         assert guard.run(lambda attempt: {"value": 1}).ok
+
+
+class TestNullSleep:
+    def test_returns_immediately(self):
+        start = time.monotonic()
+        null_sleep(60.0)
+        assert time.monotonic() - start < 1.0
+
+    def test_schedule_and_retries_unchanged(self):
+        """Skipping the wait must not change what is *recorded*: the
+        retry count matches a real-sleeper guard's."""
+        guard = TaskGuard(
+            "t:1", retries=2, backoff_base=0.05, sleep=null_sleep
+        )
+
+        def body(attempt: int) -> dict:
+            raise TransientTaskError("still flaky")
+
+        outcome = guard.run(body)
+        assert not outcome.ok
+        assert outcome.retries == 2
+
+    def test_default_sleep_is_real(self):
+        guard = TaskGuard("t:1")
+        assert guard._sleep is time.sleep
 
 
 class TestBaseExceptionPassthrough:
