@@ -1,0 +1,142 @@
+"""Artifact store — cold vs warm vs disabled wall clock.
+
+Runs ``table1 --fast`` and ``compare --fast`` as subprocesses (so the
+warm run starts with a cold process memo and only the persistent store
+helps), asserts stdout is byte-identical across cold, warm and
+``--no-cache`` runs, and records the timings in
+``benchmarks/results/BENCH_store.json``.
+
+The ≥3× warm-table1 acceptance threshold is asserted only when the
+cache directory sits on a local filesystem — on network mounts the
+store's reads are at the mercy of the share, and the honest numbers
+are still recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, write_report
+from repro.obs.clock import monotonic
+
+#: Required cold/warm speedup for the table1 grid on local disk.
+SPEEDUP_THRESHOLD = 3.0
+
+#: Filesystem types treated as local disk for threshold enforcement.
+LOCAL_FSTYPES = {
+    "btrfs",
+    "ext2",
+    "ext3",
+    "ext4",
+    "f2fs",
+    "overlay",
+    "ramfs",
+    "tmpfs",
+    "xfs",
+    "zfs",
+}
+
+
+def fstype_of(path: Path) -> str:
+    """Filesystem type of the mount holding *path* (best effort)."""
+    try:
+        lines = Path("/proc/mounts").read_text().splitlines()
+    except OSError:
+        return "unknown"
+    best = ("", "unknown")
+    resolved = str(path.resolve())
+    for line in lines:
+        fields = line.split()
+        if len(fields) < 3:
+            continue
+        mount, fstype = fields[1], fields[2]
+        if resolved.startswith(mount.rstrip("/") + "/") or resolved == mount:
+            if len(mount) > len(best[0]):
+                best = (mount, fstype)
+    return best[1]
+
+
+def run_cli(args: list[str]) -> tuple[str, float]:
+    """Run one CLI invocation in a fresh interpreter; (stdout, secs)."""
+    repo = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(repo / "src"), env.get("PYTHONPATH")) if p
+    )
+    start = monotonic()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=repo,
+    )
+    elapsed = monotonic() - start
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout, elapsed
+
+
+def measure(command: list[str], cache_dir: Path) -> dict:
+    """Cold/warm/disabled runs of one subcommand; asserts parity."""
+    cold_out, cold_seconds = run_cli(
+        [*command, "--cache", str(cache_dir)]
+    )
+    warm_out, warm_seconds = run_cli(
+        [*command, "--cache", str(cache_dir)]
+    )
+    plain_out, plain_seconds = run_cli([*command, "--no-cache"])
+    assert cold_out == warm_out == plain_out
+    return {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "disabled_seconds": plain_seconds,
+        "speedup": cold_seconds / warm_seconds,
+    }
+
+
+def test_store_speedup(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-store")
+    fstype = fstype_of(directory)
+    enforced = fstype in LOCAL_FSTYPES
+
+    table1 = measure(["table1", "--fast"], directory / "table1-store")
+    compare = measure(
+        ["compare", "m88ksim", "--fast"], directory / "compare-store"
+    )
+
+    record = {
+        "bench": "store",
+        "fstype": fstype,
+        "threshold": SPEEDUP_THRESHOLD,
+        "threshold_enforced": enforced,
+        "table1": table1,
+        "compare": compare,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_store.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    write_report(
+        "store",
+        "\n".join(
+            [
+                f"artifact store (cache on {fstype}):",
+                "  table1 --fast:  "
+                f"{table1['cold_seconds']:.2f}s cold, "
+                f"{table1['warm_seconds']:.2f}s warm, "
+                f"{table1['disabled_seconds']:.2f}s disabled "
+                f"({table1['speedup']:.2f}x)",
+                "  compare --fast: "
+                f"{compare['cold_seconds']:.2f}s cold, "
+                f"{compare['warm_seconds']:.2f}s warm, "
+                f"{compare['disabled_seconds']:.2f}s disabled "
+                f"({compare['speedup']:.2f}x)",
+            ]
+        ),
+    )
+    if enforced:
+        assert table1["speedup"] >= SPEEDUP_THRESHOLD

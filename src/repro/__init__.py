@@ -54,7 +54,11 @@ from repro.errors import (
     PlacementError,
     ProgramError,
     ReproError,
+    RunnerError,
+    StoreError,
+    TaskTimeout,
     TraceError,
+    TransientTaskError,
 )
 from repro.eval import (
     build_context,
@@ -70,13 +74,16 @@ from repro.placement import (
     RandomPlacement,
 )
 from repro.profiles import WeightedGraph, build_trgs, build_wcg
+from repro.io import SerializationError
 from repro.program import ChunkId, Layout, Procedure, Program
+from repro.store import ArtifactStore
 from repro.trace import Trace, TraceEvent, TraceInput, generate_trace
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "ArtifactStore",
     "AuditFailure",
     "CacheConfig",
     "ChunkId",
@@ -101,10 +108,15 @@ __all__ = [
     "ProgramError",
     "RandomPlacement",
     "ReproError",
+    "RunnerError",
+    "SerializationError",
+    "StoreError",
+    "TaskTimeout",
     "Trace",
     "TraceError",
     "TraceEvent",
     "TraceInput",
+    "TransientTaskError",
     "WeightedGraph",
     "audit_layout",
     "audit_placement",

@@ -11,8 +11,9 @@ Two independent halves:
   :func:`audit_placement`, :func:`audit_nodes`,
   :func:`audit_offset_costs`, for the observability layer's
   JSONL run files — :func:`audit_manifest` / :func:`audit_run_path` —
-  and for batch-runner checkpoint directories,
-  :func:`audit_checkpoint`.
+  for batch-runner checkpoint directories, :func:`audit_checkpoint`,
+  and for artifact-store directories, :func:`audit_store` (the
+  ``cache/*`` rule family).
 * **A determinism linter** — an AST walk over ``src/repro`` and
   ``benchmarks/`` enforcing the project's reproducibility contract
   (:func:`run_linter`, rules in :mod:`repro.analysis.rules`).
@@ -61,6 +62,7 @@ from repro.analysis.profile_audit import (
     audit_trgs,
     audit_working_set,
 )
+from repro.analysis.store_audit import audit_store, is_store_dir
 
 __all__ = [
     "Finding",
@@ -81,10 +83,12 @@ __all__ = [
     "audit_placement",
     "audit_profiles",
     "audit_run_path",
+    "audit_store",
     "audit_trgs",
     "audit_working_set",
     "format_findings",
     "is_checkpoint_journal",
+    "is_store_dir",
     "lint_file",
     "lint_source",
     "load_run_manifest",

@@ -343,17 +343,32 @@ def audit_run_path(path: str | Path) -> list[Finding]:
     format ``repro/checkpoint``) are recognised and routed to
     :func:`~repro.analysis.checkpoint_audit.audit_checkpoint`, so
     ``repro-layout check CKPT/`` audits checkpoint directories with no
-    extra flags.
+    extra flags.  Artifact-store directories — the target itself, or
+    any immediate subdirectory holding a store index — are likewise
+    routed to :func:`~repro.analysis.store_audit.audit_store`, so a
+    run directory with an embedded ``--cache`` store gets the
+    ``cache/*`` rules applied in the same ``check`` invocation.
     """
     from repro.analysis.checkpoint_audit import (
         audit_checkpoint,
         is_checkpoint_journal,
     )
+    from repro.analysis.store_audit import audit_store, is_store_dir
 
     target = Path(path)
     if target.is_dir():
+        if is_store_dir(target):
+            return audit_store(target)
+        findings: list[Finding] = []
+        store_children = [
+            child
+            for child in sorted(target.iterdir())
+            if child.is_dir() and is_store_dir(child)
+        ]
+        for child in store_children:
+            findings.extend(audit_store(child))
         runs = sorted(target.glob("*.jsonl"))
-        if not runs:
+        if not runs and not store_children:
             return [
                 _finding(
                     "manifest/missing",
@@ -362,7 +377,6 @@ def audit_run_path(path: str | Path) -> list[Finding]:
                     file=str(target),
                 )
             ]
-        findings: list[Finding] = []
         for run in runs:
             findings.extend(audit_run_path(run))
         return findings

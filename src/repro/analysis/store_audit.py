@@ -1,0 +1,203 @@
+"""Auditing artifact-store directories (the ``cache/*`` rule family).
+
+A store directory (:mod:`repro.store`) promises three invariants that
+are cheap to verify offline and expensive to discover the hard way:
+
+* the JSON index parses and every entry is well-formed
+  (``cache/index-parse``, ``cache/index-entry``);
+* every indexed blob exists and its bytes hash to the recorded
+  content sha256 (``cache/missing-blob``, ``cache/digest-mismatch``)
+  — a digest mismatch is exactly the tampered/truncated-blob case the
+  store itself treats as a miss and rebuilds;
+* no blob file sits in ``objects/`` without an index entry
+  (``cache/orphan-blob``, a warning: orphans waste space but cannot
+  corrupt results; ``cache gc`` removes them).
+
+Routed through ``repro-layout check`` (store directories directly, or
+run directories containing one) and ``repro-layout cache verify``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.store import ENTRY_FIELDS, INDEX_NAME, STORE_FORMAT, STORE_VERSION
+
+
+def _finding(
+    rule: str,
+    message: str,
+    severity: Severity = Severity.ERROR,
+    file: str | None = None,
+    obj: str | None = None,
+) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=severity,
+        message=message,
+        location=Location(file=file, obj=obj),
+    )
+
+
+def is_store_dir(path: str | Path) -> bool:
+    """True when *path* looks like an artifact-store directory.
+
+    Deliberately shallow (the index file exists and claims the store
+    format) so routing stays cheap; :func:`audit_store` does the real
+    validation.
+    """
+    index = Path(path) / INDEX_NAME
+    if not index.is_file():
+        return False
+    try:
+        data = json.loads(index.read_text())
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    return isinstance(data, dict) and data.get("format") == STORE_FORMAT
+
+
+def _load_entries(
+    index: Path, findings: list[Finding]
+) -> dict[str, Any]:
+    try:
+        data = json.loads(index.read_text())
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        findings.append(
+            _finding(
+                "cache/index-parse",
+                f"store index does not parse: {error}",
+                file=str(index),
+            )
+        )
+        return {}
+    if (
+        not isinstance(data, dict)
+        or data.get("format") != STORE_FORMAT
+        or data.get("version") != STORE_VERSION
+    ):
+        findings.append(
+            _finding(
+                "cache/index-parse",
+                f"not a {STORE_FORMAT} v{STORE_VERSION} index "
+                f"(format={data.get('format')!r} "
+                f"version={data.get('version')!r})"
+                if isinstance(data, dict)
+                else "index is not a JSON object",
+                file=str(index),
+            )
+        )
+        return {}
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        findings.append(
+            _finding(
+                "cache/index-parse",
+                "index has no entries table",
+                file=str(index),
+            )
+        )
+        return {}
+    return entries
+
+
+def audit_store(path: str | Path) -> list[Finding]:
+    """Audit one store directory; returns sorted ``cache/*`` findings."""
+    root = Path(path)
+    index = root / INDEX_NAME
+    findings: list[Finding] = []
+    if not index.is_file():
+        findings.append(
+            _finding(
+                "cache/index-parse",
+                f"{root} has no {INDEX_NAME}; not an artifact store",
+                file=str(root),
+            )
+        )
+        return findings
+
+    entries = _load_entries(index, findings)
+    referenced: set[str] = set()
+    for digest in sorted(entries):
+        entry = entries[digest]
+        if not isinstance(entry, dict) or any(
+            field not in entry for field in ENTRY_FIELDS
+        ):
+            findings.append(
+                _finding(
+                    "cache/index-entry",
+                    f"entry {digest} is malformed (want fields "
+                    f"{', '.join(ENTRY_FIELDS)})",
+                    file=str(index),
+                    obj=digest,
+                )
+            )
+            continue
+        relative = str(entry["file"])
+        referenced.add(relative)
+        blob = root / relative
+        if not blob.is_file():
+            findings.append(
+                _finding(
+                    "cache/missing-blob",
+                    f"entry {digest} ({entry['kind']}) points at "
+                    f"missing blob {relative}",
+                    file=str(index),
+                    obj=digest,
+                )
+            )
+            continue
+        try:
+            data = blob.read_bytes()
+        except OSError as error:
+            findings.append(
+                _finding(
+                    "cache/missing-blob",
+                    f"blob {relative} is unreadable: {error}",
+                    file=str(blob),
+                    obj=digest,
+                )
+            )
+            continue
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != entry["sha256"]:
+            findings.append(
+                _finding(
+                    "cache/digest-mismatch",
+                    f"blob {relative} hashes to {actual[:12]}…, index "
+                    f"records {str(entry['sha256'])[:12]}… — the blob "
+                    "was tampered with or truncated (the store will "
+                    "treat it as a miss and rebuild)",
+                    file=str(blob),
+                    obj=digest,
+                )
+            )
+        elif len(data) != entry["bytes"]:
+            findings.append(
+                _finding(
+                    "cache/index-entry",
+                    f"entry {digest} records {entry['bytes']} bytes "
+                    f"but blob {relative} holds {len(data)}",
+                    file=str(index),
+                    obj=digest,
+                )
+            )
+
+    objects = root / "objects"
+    if objects.is_dir():
+        for blob in sorted(objects.glob("*/*")):
+            relative = blob.relative_to(root).as_posix()
+            if relative not in referenced:
+                findings.append(
+                    _finding(
+                        "cache/orphan-blob",
+                        f"blob {relative} has no index entry "
+                        "(run `repro-layout cache gc` to remove it)",
+                        severity=Severity.WARNING,
+                        file=str(blob),
+                    )
+                )
+    return findings

@@ -47,11 +47,23 @@ writer, and the report stays byte-identical to a serial run)::
 
     repro-layout compare perl --runs 40 --checkpoint ckpt --workers 4
 
-Exit codes: 0 success / clean, 1 findings reported by ``check`` or
-``lint`` **or** a degraded batch (structured task failures), 2 a
-:class:`~repro.errors.ReproError` (bad input, unreadable artifact,
-invalid configuration), 130 interrupted (checkpoint journal is
-flushed; re-run with ``--resume``).
+Artifact caching (:mod:`repro.store`): ``compare``, ``table1``,
+``gen-trace`` and ``place`` accept ``--cache DIR`` — traces and
+profile graphs are stored content-addressed in DIR and reused by
+later runs (``--no-cache`` forces a cold run; results are
+byte-identical either way).  ``repro-layout cache {stats,gc,verify}``
+maintains a store::
+
+    repro-layout table1 --fast --cache ~/.cache/repro-layout
+    repro-layout cache stats ~/.cache/repro-layout
+    repro-layout cache gc ~/.cache/repro-layout --max-bytes 100000000
+
+Exit codes: 0 success / clean, 1 findings reported by ``check``,
+``lint`` or ``cache verify`` **or** a degraded batch (structured task
+failures), 2 a :class:`~repro.errors.ReproError` (bad input,
+unreadable artifact, invalid configuration), 130 interrupted
+(checkpoint journal is flushed; re-run with ``--resume``), 137 a
+simulated kill from the fault harness.
 """
 
 from __future__ import annotations
@@ -102,6 +114,36 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         "--associativity", type=int, default=1,
         help="cache associativity (default: 1, direct-mapped)",
     )
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persistent content-addressed artifact cache: traces and "
+        "profile graphs are stored in DIR and reused by later runs "
+        "(results are byte-identical with the cache hot, cold or "
+        "disabled)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache for this invocation",
+    )
+
+
+def _store_from_args(args: argparse.Namespace):
+    """The shared :class:`~repro.store.ArtifactStore`, or None.
+
+    ``--no-cache`` wins over ``--cache`` so scripts can export a
+    default cache location and still force a cold run.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    directory = getattr(args, "cache", None)
+    if not directory:
+        return None
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(directory)
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -158,7 +200,7 @@ def _wants_batch(args: argparse.Namespace) -> bool:
     )
 
 
-def _run_batch(args: argparse.Namespace, batch) -> int:
+def _run_batch(args: argparse.Namespace, batch, store=None) -> int:
     """Execute a batch through :class:`repro.runner.BatchRunner`."""
     from repro.errors import RunnerError
     from repro.runner import BatchRunner, load_plan
@@ -176,6 +218,7 @@ def _run_batch(args: argparse.Namespace, batch) -> int:
         plan=plan,
         echo=lambda line: print(line, file=sys.stderr),
         workers=args.workers,
+        store=store,
     )
     outcome = runner.run()
     print(outcome.report)
@@ -248,6 +291,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     with _obs_session(args, "compare"):
         workload = _workload(args)
         config = _cache_from_args(args)
+        store = _store_from_args(args)
         if _wants_batch(args):
             from repro.runner import compare_batch
 
@@ -256,12 +300,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 config,
                 runs=args.runs,
                 extra_config={"fast": args.fast},
+                store=store,
             )
-            return _run_batch(args, batch)
-        train = workload.trace("train")
-        test = workload.trace("test")
+            return _run_batch(args, batch, store)
+        train = workload.trace("train", store=store)
+        test = workload.trace("test", store=store)
         print(f"profiling {workload.name} (train: {len(train)} events) ...")
-        context = build_context(train, config)
+        context = build_context(train, config, store=store)
         print(
             f"popular procedures: {len(context.popular)} "
             f"of {len(context.program)}"
@@ -291,6 +336,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     with _obs_session(args, "table1"):
         config = _cache_from_args(args)
+        store = _store_from_args(args)
         if _wants_batch(args):
             from repro.runner import table1_batch
 
@@ -299,18 +345,21 @@ def cmd_table1(args: argparse.Namespace) -> int:
                 for workload in SUITE
             ]
             batch = table1_batch(
-                workloads, config, extra_config={"fast": args.fast}
+                workloads,
+                config,
+                extra_config={"fast": args.fast},
+                store=store,
             )
-            return _run_batch(args, batch)
+            return _run_batch(args, batch, store)
         rows = []
         for workload in SUITE:
             if args.fast:
                 workload = workload.scaled(0.25)
             with obs.span("workload", workload=workload.name):
                 program = workload.program
-                train = workload.trace("train")
-                test = workload.trace("test")
-                context = build_context(train, config)
+                train = workload.trace("train", store=store)
+                test = workload.trace("test", store=store)
+                context = build_context(train, config, store=store)
                 default_stats = simulate(
                     Layout.default(program), test, config
                 )
@@ -408,7 +457,7 @@ def cmd_gen_trace(args: argparse.Namespace) -> int:
             workload = by_name(args.workload)
         if args.scale != 1.0:
             workload = workload.scaled(args.scale)
-        trace = workload.trace(args.which)
+        trace = workload.trace(args.which, store=_store_from_args(args))
         save_trace(trace, args.output)
         print(
             f"wrote {args.which} trace of {workload.name}: {len(trace)} "
@@ -424,7 +473,7 @@ def cmd_place(args: argparse.Namespace) -> int:
     try:
         trace = load_trace(args.trace)
         config = _cache_from_args(args)
-        context = build_context(trace, config)
+        context = build_context(trace, config, store=_store_from_args(args))
         algorithm = _ALGORITHMS[args.algorithm]()
         with obs.span("place", algorithm=algorithm.name):
             layout = algorithm.place(context)
@@ -566,6 +615,72 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if total else 0
 
 
+def _format_bytes(count: int) -> str:
+    """Human-readable byte count (binary units, one decimal)."""
+    value = float(count)
+    for unit in ("bytes", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "bytes":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{int(count)} bytes"
+
+
+def _open_store(directory: str):
+    """Open an existing store directory for maintenance commands."""
+    from pathlib import Path
+
+    from repro.errors import StoreError
+    from repro.store import ArtifactStore
+
+    if not Path(directory).is_dir():
+        raise StoreError(f"no artifact store directory at {directory}")
+    return ArtifactStore(directory)
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    summary = store.stats()
+    print(
+        f"store {summary['root']}: {summary['entries']} artifact(s), "
+        f"{_format_bytes(summary['bytes'])}"
+    )
+    for kind, bucket in summary["kinds"].items():
+        print(
+            f"  {kind:<8} {bucket['entries']:>4} entr"
+            f"{'y' if bucket['entries'] == 1 else 'ies'}  "
+            f"{_format_bytes(bucket['bytes'])}"
+        )
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    summary = store.gc(max_bytes=args.max_bytes)
+    print(
+        f"gc {args.dir}: removed {summary['removed_entries']} index "
+        f"entr{'y' if summary['removed_entries'] == 1 else 'ies'} and "
+        f"{summary['removed_blobs']} blob file(s), freed "
+        f"{_format_bytes(summary['freed_bytes'])}; kept "
+        f"{summary['kept_entries']} entr"
+        f"{'y' if summary['kept_entries'] == 1 else 'ies'} "
+        f"({_format_bytes(summary['kept_bytes'])})"
+    )
+    return 0
+
+
+def cmd_cache_verify(args: argparse.Namespace) -> int:
+    from repro.analysis import audit_store, format_findings
+
+    findings = audit_store(args.dir)
+    if findings:
+        print(format_findings(findings))
+        return 1
+    print(f"{args.dir}: no findings")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import load_run_manifest
     from repro.eval.reporting import format_manifest_report
@@ -622,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="use 4x shorter traces"
     )
     _add_cache_arguments(compare)
+    _add_store_arguments(compare)
     _add_obs_arguments(compare)
     _add_runner_arguments(compare)
     compare.set_defaults(func=cmd_compare)
@@ -633,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="use 4x shorter traces"
     )
     _add_cache_arguments(table1)
+    _add_store_arguments(table1)
     _add_obs_arguments(table1)
     _add_runner_arguments(table1)
     table1.set_defaults(func=cmd_table1)
@@ -676,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen_trace.add_argument(
         "-o", "--output", required=True, help="output .npz path"
     )
+    _add_store_arguments(gen_trace)
     _add_obs_arguments(gen_trace)
     gen_trace.set_defaults(func=cmd_gen_trace)
 
@@ -692,6 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", required=True, help="output layout .json path"
     )
     _add_cache_arguments(place)
+    _add_store_arguments(place)
     _add_obs_arguments(place)
     place.set_defaults(func=cmd_place)
 
@@ -735,6 +854,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(check)
     check.set_defaults(func=cmd_check)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain a --cache artifact store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts and byte totals per artifact kind"
+    )
+    cache_stats.add_argument("dir", help="store directory (--cache DIR)")
+    cache_stats.set_defaults(func=cmd_cache_stats)
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="drop dangling index entries, orphaned blobs and stale "
+        "temp files; optionally trim to a byte budget",
+    )
+    cache_gc.add_argument("dir", help="store directory (--cache DIR)")
+    cache_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="evict oldest entries until the store holds at most N "
+        "bytes of blobs",
+    )
+    cache_gc.set_defaults(func=cmd_cache_gc)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="audit the store (cache/* rules): index parses, blob "
+        "digests match, no orphans",
+    )
+    cache_verify.add_argument("dir", help="store directory (--cache DIR)")
+    cache_verify.set_defaults(func=cmd_cache_verify)
 
     report = subparsers.add_parser(
         "report",

@@ -51,6 +51,12 @@ class AuditFailure(AnalysisError):
     """
 
 
+class StoreError(ReproError):
+    """The artifact store was misused or found an unusable cache
+    directory (corrupt index, blob path collisions, writes to a
+    read-only store)."""
+
+
 class RunnerError(ReproError):
     """The fault-tolerant batch runner was misused or found a corrupt
     checkpoint (grid mismatch on resume, unreadable journal, bad fault

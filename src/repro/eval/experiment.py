@@ -21,11 +21,11 @@ from repro.core.popular import (
     select_popular,
 )
 from repro.placement.base import PlacementAlgorithm, PlacementContext
-from repro.profiles.pairdb import build_pair_database
+from repro.profiles.pairdb import get_or_build_pair_database
 from repro.eval.randomization import SEED_STRIDE
 from repro.profiles.perturb import PAPER_SCALE
-from repro.profiles.trg import DEFAULT_Q_MULTIPLIER, build_trgs, procedure_refs
-from repro.profiles.wcg import build_wcg
+from repro.profiles.trg import DEFAULT_Q_MULTIPLIER, get_or_build_trgs
+from repro.profiles.wcg import get_or_build_wcg
 from repro.program.layout import Layout
 from repro.program.procedure import DEFAULT_CHUNK_SIZE
 from repro.trace.trace import Trace
@@ -40,13 +40,22 @@ def build_context(
     q_multiplier: int = DEFAULT_Q_MULTIPLIER,
     with_pair_db: bool = False,
     max_popular: int | None = DEFAULT_MAX_POPULAR,
+    store: Any = None,
 ) -> PlacementContext:
     """Profile a training trace into a :class:`PlacementContext`.
 
     Builds the WCG, both TRGs (popular procedures only, Section 4) and
     optionally the Section 6 pair database (procedure granularity).
+    With *store* (an :class:`~repro.store.ArtifactStore`) each profile
+    structure is fetched from the cache when an identical build was
+    stored before; the result is identical either way.
     """
     program = train_trace.program
+    trace_fingerprint = None
+    if store is not None:
+        from repro.store.fingerprint import trace_content_fingerprint
+
+        trace_fingerprint = trace_content_fingerprint(train_trace)
     with obs.span(
         "build_context",
         events=len(train_trace),
@@ -58,20 +67,28 @@ def build_context(
             )
         popular_set = set(popular.procedures)
         with obs.span("build_wcg"):
-            wcg = build_wcg(train_trace)
-        trgs = build_trgs(
+            wcg = get_or_build_wcg(
+                train_trace,
+                store=store,
+                trace_fingerprint=trace_fingerprint,
+            )
+        trgs = get_or_build_trgs(
             train_trace,
             config,
             chunk_size=chunk_size,
             popular=popular_set,
             q_multiplier=q_multiplier,
+            store=store,
+            trace_fingerprint=trace_fingerprint,
         )
         pair_db = None
         if with_pair_db:
-            pair_db, _ = build_pair_database(
-                procedure_refs(train_trace, popular_set),
-                program.size_of,
+            pair_db, _ = get_or_build_pair_database(
+                train_trace,
+                popular_set,
                 q_multiplier * config.size,
+                store=store,
+                trace_fingerprint=trace_fingerprint,
             )
     obs.set_gauge("profile.popular_procedures", len(popular.procedures))
     obs.set_gauge("profile.total_procedures", len(program))

@@ -234,7 +234,13 @@ def load_trace(path: str | Path) -> Trace:
 # ----------------------------------------------------------------------
 
 
-def _node_to_json(node: Any) -> Any:
+def node_to_json(node: Any) -> Any:
+    """JSON form of a graph node (a procedure name or a :class:`ChunkId`).
+
+    Shared by the graph writers here and the artifact-store codecs
+    (:mod:`repro.store.codecs`), so every serialised node uses one
+    canonical encoding.
+    """
     if isinstance(node, ChunkId):
         return {"procedure": node.procedure, "index": node.index}
     if isinstance(node, str):
@@ -244,7 +250,8 @@ def _node_to_json(node: Any) -> Any:
     )
 
 
-def _node_from_json(payload: Any) -> Any:
+def node_from_json(payload: Any) -> Any:
+    """Inverse of :func:`node_to_json`."""
     if isinstance(payload, str):
         return payload
     if isinstance(payload, dict):
@@ -255,6 +262,11 @@ def _node_from_json(payload: Any) -> Any:
                 f"malformed chunk node: {payload!r}"
             ) from error
     raise SerializationError(f"malformed graph node: {payload!r}")
+
+
+# Backwards-compatible private aliases (pre-store internal names).
+_node_to_json = node_to_json
+_node_from_json = node_from_json
 
 
 def graph_to_dict(graph: WeightedGraph) -> dict[str, Any]:

@@ -31,6 +31,7 @@ class WeightedGraph:
     """
 
     def __init__(self) -> None:
+        """Create an empty graph."""
         self._adj: dict[Node, dict[Node, float]] = {}
 
     # ------------------------------------------------------------------
@@ -79,13 +80,16 @@ class WeightedGraph:
     # ------------------------------------------------------------------
 
     def __contains__(self, node: object) -> bool:
+        """True when *node* is in the graph."""
         return node in self._adj
 
     def __len__(self) -> int:
+        """Number of nodes."""
         return len(self._adj)
 
     @property
     def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
         return list(self._adj)
 
     def weight(self, a: Node, b: Node) -> float:
@@ -93,9 +97,11 @@ class WeightedGraph:
         return self._adj.get(a, {}).get(b, 0.0)
 
     def has_edge(self, a: Node, b: Node) -> bool:
+        """True when the edge ``{a, b}`` exists."""
         return b in self._adj.get(a, {})
 
     def neighbors(self, node: Node) -> Iterator[Node]:
+        """Neighbors of *node* (empty when absent)."""
         yield from self._adj.get(node, {})
 
     def has_neighbor_in(self, node: Node, candidates: set) -> bool:
@@ -111,6 +117,7 @@ class WeightedGraph:
         return not candidates.isdisjoint(neighbors)
 
     def degree(self, node: Node) -> int:
+        """Number of edges incident to *node*."""
         return len(self._adj.get(node, {}))
 
     def edges(self) -> Iterator[tuple[Node, Node, float]]:
@@ -125,6 +132,7 @@ class WeightedGraph:
                 yield key[0], key[1], weight
 
     def num_edges(self) -> int:
+        """Number of (undirected) edges."""
         return sum(len(n) for n in self._adj.values()) // 2
 
     def total_weight(self) -> float:
@@ -146,6 +154,7 @@ class WeightedGraph:
         return best
 
     def copy(self) -> "WeightedGraph":
+        """An independent deep copy (adjacency dicts are not shared)."""
         clone = WeightedGraph()
         clone._adj = {
             node: dict(neighbors) for node, neighbors in self._adj.items()
@@ -182,6 +191,7 @@ class WeightedGraph:
         self.remove_node(source)
 
     def __eq__(self, other: object) -> bool:
+        """Structural equality: same node set and same edge weights."""
         if not isinstance(other, WeightedGraph):
             return NotImplemented
         if set(self._adj) != set(other._adj):
@@ -192,4 +202,5 @@ class WeightedGraph:
         return {_canon(a, b): w for a, b, w in self.edges()}
 
     def __repr__(self) -> str:
+        """Size summary, e.g. ``WeightedGraph(4 nodes, 3 edges)``."""
         return f"WeightedGraph({len(self)} nodes, {self.num_edges()} edges)"

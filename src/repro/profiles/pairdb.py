@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from collections import Counter
 from itertools import combinations
-from typing import Callable, Hashable, Iterable
+from typing import Any, Callable, Hashable, Iterable
 
 from repro import obs
 from repro.profiles.qset import WorkingSet
-from repro.profiles.trg import TRGBuildStats
+from repro.profiles.trg import TRGBuildStats, procedure_refs
+from repro.trace.trace import Trace
 
 Block = Hashable
 
@@ -26,10 +27,12 @@ class PairDatabase:
     """Counts ``D(p, {r, s})`` keyed by block and unordered pair."""
 
     def __init__(self) -> None:
+        """Create an empty database."""
         self._db: dict[Block, Counter[frozenset]] = {}
         self._blocks: set[Block] = set()
 
     def add_block(self, block: Block) -> None:
+        """Register *block* even if it never accumulates pair counts."""
         self._blocks.add(block)
 
     def record(self, block: Block, between: list[Block]) -> None:
@@ -48,12 +51,26 @@ class PairDatabase:
             return 0
         return counter.get(frozenset((r, s)), 0)
 
+    def set_pair_count(
+        self, block: Block, r: Block, s: Block, count: int
+    ) -> None:
+        """Set ``D(p, {r, s})`` directly.
+
+        Used by deserialisers (:mod:`repro.store.codecs`) to restore a
+        database without replaying the reference stream.
+        """
+        self.add_block(block)
+        self._db.setdefault(block, Counter())[frozenset((r, s))] = int(
+            count
+        )
+
     def pairs_for(self, block: Block) -> Counter:
         """All recorded pairs for *block* (empty counter when none)."""
         return Counter(self._db.get(block, Counter()))
 
     @property
     def blocks(self) -> set[Block]:
+        """All registered blocks (a defensive copy)."""
         return set(self._blocks)
 
     def total_records(self) -> int:
@@ -85,4 +102,41 @@ def build_pair_database(
     obs.inc("pairdb.records", database.total_records())
     return database, TRGBuildStats(
         refs_processed, average, working_set.evictions
+    )
+
+
+def get_or_build_pair_database(
+    trace: Trace,
+    popular: set[str] | None,
+    capacity: int,
+    store: Any = None,
+    trace_fingerprint: str | None = None,
+) -> tuple[PairDatabase, TRGBuildStats]:
+    """Cache-aware procedure-granularity :func:`build_pair_database`.
+
+    Keys on the trace's content fingerprint, the popular set and the
+    working-set capacity; a hit restores the database from the store
+    instead of replaying the reference stream.  Pass
+    *trace_fingerprint* to reuse a fingerprint the caller already
+    computed.  The :mod:`repro.store` import is deferred because that
+    package sits above this one in the layering.
+    """
+
+    def build() -> tuple[PairDatabase, TRGBuildStats]:
+        return build_pair_database(
+            procedure_refs(trace, popular),
+            trace.program.size_of,
+            capacity,
+        )
+
+    if store is None:
+        return build()
+    from repro.store.fingerprint import (
+        pairdb_key,
+        trace_content_fingerprint,
+    )
+
+    fingerprint = trace_fingerprint or trace_content_fingerprint(trace)
+    return store.get_or_build(
+        "pairdb", pairdb_key(fingerprint, popular, capacity), build
     )

@@ -47,6 +47,7 @@ class WorkingSet:
     """
 
     def __init__(self, capacity: int, size_of: Callable[[Block], int]) -> None:
+        """Create an empty working set with the given byte capacity."""
         if capacity <= 0:
             raise ConfigError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
@@ -89,9 +90,11 @@ class WorkingSet:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
+        """Number of blocks currently in ``Q``."""
         return len(self._nodes)
 
     def __contains__(self, block: object) -> bool:
+        """True when *block* is currently in ``Q``."""
         return block in self._nodes
 
     @property
@@ -101,6 +104,7 @@ class WorkingSet:
 
     @property
     def capacity(self) -> int:
+        """The configured byte-capacity bound."""
         return self._capacity
 
     @property

@@ -112,10 +112,17 @@ class BatchRunner:
         sleep: Callable[[float], None] | None = None,
         echo: Callable[[str], None] | None = None,
         workers: int = 1,
+        store: Any = None,
     ) -> None:
         if workers < 1:
             raise RunnerError(f"--workers must be >= 1, got {workers}")
         self.batch = batch
+        # One artifact store is shared by every grid cell; forked pool
+        # workers inherit it read-only (owner-pid gate), so only this
+        # parent ever writes its index — same single-writer discipline
+        # as the journal.  The runner itself only publishes its gauges;
+        # the cache-aware builders inside the tasks do the lookups.
+        self.store = store
         self.directory = Path(checkpoint_dir)
         self.resume = resume
         self.max_failures = max_failures
@@ -563,6 +570,12 @@ class BatchRunner:
         finally:
             journal.close()
         obs.set_gauge("runner.task.pending", len(pending))
+        if self.store is not None:
+            self.store.record_metrics()
+            self._say(
+                f"[store] {self.store.hits} hit(s), "
+                f"{self.store.misses} miss(es) in {self.store.root}"
+            )
         report_lines = [self.batch.render(results)]
         if failures:
             report_lines.append("")

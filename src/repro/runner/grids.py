@@ -49,18 +49,24 @@ def default_algorithms() -> list[PlacementAlgorithm]:
 
 
 def _shared_profile(
-    env: RunnerEnv, workload: Workload, config: CacheConfig
+    env: RunnerEnv,
+    workload: Workload,
+    config: CacheConfig,
+    store: Any = None,
 ) -> dict[str, Any]:
     """Process-local profile state for one workload: context + traces.
 
     Deterministic derived data — rebuilt lazily after a resume by the
-    first pending task that needs it, never checkpointed.
+    first pending task that needs it, never checkpointed.  With
+    *store* the traces and profile structures come from the
+    persistent artifact cache when available; since the data is
+    deterministic either way, cache state never changes results.
     """
 
     def build() -> dict[str, Any]:
-        train = workload.trace("train")
-        test = workload.trace("test")
-        context = build_context(train, config)
+        train = workload.trace("train", store=store)
+        test = workload.trace("test", store=store)
+        context = build_context(train, config, store=store)
         return {
             "context": context,
             "test": test,
@@ -86,8 +92,14 @@ def compare_batch(
     runs: int = 0,
     algorithms: Sequence[PlacementAlgorithm] | None = None,
     extra_config: Mapping[str, Any] | None = None,
+    store: Any = None,
 ) -> Batch:
-    """Decompose ``repro-layout compare`` into addressable tasks."""
+    """Decompose ``repro-layout compare`` into addressable tasks.
+
+    *store* is deliberately **not** part of the grid fingerprint:
+    cache state is an execution detail, so cached and uncached runs
+    share checkpoints and must render identical reports.
+    """
     algorithms = (
         list(algorithms) if algorithms is not None else default_algorithms()
     )
@@ -106,7 +118,7 @@ def compare_batch(
     tasks: list[TaskSpec] = []
 
     def profile_run(env: RunnerEnv) -> dict[str, Any]:
-        shared = _shared_profile(env, workload, config)
+        shared = _shared_profile(env, workload, config, store)
         return profile_summary(shared["context"], shared["train_events"])
 
     profile_key = f"profile:{workload.name}"
@@ -123,7 +135,7 @@ def compare_batch(
         algorithm: PlacementAlgorithm, seed: int | None
     ) -> TaskSpec:
         def cell_run(env: RunnerEnv) -> dict[str, Any]:
-            shared = _shared_profile(env, workload, config)
+            shared = _shared_profile(env, workload, config, store)
             return evaluate_cell(
                 shared["context"], shared["test"], algorithm, seed=seed
             )
@@ -206,9 +218,14 @@ def table1_batch(
     workloads: Iterable[Workload],
     config: CacheConfig,
     extra_config: Mapping[str, Any] | None = None,
+    store: Any = None,
 ) -> Batch:
     """Decompose ``repro-layout table1`` into one row task per
-    workload."""
+    workload.
+
+    As with :func:`compare_batch`, *store* never enters the grid
+    fingerprint — cached and uncached runs are interchangeable.
+    """
     workloads = list(workloads)
     names = [workload.name for workload in workloads]
     grid_id = grid_fingerprint(
@@ -223,7 +240,7 @@ def table1_batch(
 
     def make_row(workload: Workload) -> TaskSpec:
         def row_run(env: RunnerEnv) -> dict[str, Any]:
-            shared = _shared_profile(env, workload, config)
+            shared = _shared_profile(env, workload, config, store)
             context = shared["context"]
             program = workload.program
             default_stats = simulate(

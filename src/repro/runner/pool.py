@@ -5,7 +5,11 @@ splitting its responsibilities across the process boundary:
 
 * the **parent** (:class:`~repro.runner.engine.BatchRunner`) remains
   the only process that appends to ``checkpoint.jsonl`` or writes
-  artifact files — the *single-writer invariant*;
+  artifact files — the *single-writer invariant*.  The shared
+  :class:`~repro.store.ArtifactStore` (``--cache``) follows the same
+  rule: workers inherit it through fork but its owner-pid gate makes
+  their copies read-only, so they serve cache hits without ever
+  touching the index; only the parent persists newly built blobs;
 * each **worker** executes task bodies under the usual
   :class:`~repro.runner.guard.TaskGuard` and sends back a picklable
   :class:`WorkerResult`: the JSON payload (or a structured

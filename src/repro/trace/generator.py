@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random as _random
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -134,6 +135,33 @@ def generate_trace(graph: CallGraphModel, inp: TraceInput) -> Trace:
         trace = _generate_trace(graph, inp)
     obs.inc("trace.events_emitted", len(trace))
     return trace
+
+
+def get_or_generate_trace(
+    graph: CallGraphModel, inp: TraceInput, store: Any = None
+) -> Trace:
+    """Cache-aware :func:`generate_trace`.
+
+    With *store* (an :class:`~repro.store.ArtifactStore`, or None to
+    disable caching) a previously generated identical trace — same
+    call-graph content, same input knobs, same generator version salt
+    — is decoded from the store instead of re-run; a miss generates,
+    stores and returns.  The returned trace is byte-for-byte
+    equivalent to a fresh generation either way.
+
+    The store import is deferred to the call: :mod:`repro.store` sits
+    *above* this module in the layering (its codecs serialise traces),
+    so a module-level import would be circular.
+    """
+    if store is None:
+        return generate_trace(graph, inp)
+    from repro.store.fingerprint import trace_key
+
+    return store.get_or_build(
+        "trace",
+        trace_key(graph, inp),
+        lambda: generate_trace(graph, inp),
+    )
 
 
 def _generate_trace(graph: CallGraphModel, inp: TraceInput) -> Trace:

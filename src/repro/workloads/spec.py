@@ -14,11 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import lru_cache
+from typing import Any
 
 from repro.errors import ConfigError
 from repro.program.program import Program
 from repro.trace.callgraph import CallGraphModel, CallGraphParams, random_call_graph
-from repro.trace.generator import TraceInput, generate_trace
+from repro.trace.generator import TraceInput, get_or_generate_trace
 from repro.trace.trace import Trace
 
 
@@ -39,12 +40,18 @@ class Workload:
     def program(self) -> Program:
         return self.call_graph().program
 
-    def trace(self, which: str) -> Trace:
-        """The ``"train"`` or ``"test"`` trace (memoised)."""
+    def trace(self, which: str, store: Any = None) -> Trace:
+        """The ``"train"`` or ``"test"`` trace (memoised).
+
+        With *store* (an :class:`~repro.store.ArtifactStore`) a
+        process-level memo miss consults the persistent cache before
+        falling back to generation, and generated traces are stored
+        for future processes.
+        """
         if which == "train":
-            return _cached_trace(self.graph_params, self.train)
+            return _cached_trace(self.graph_params, self.train, store)
         if which == "test":
-            return _cached_trace(self.graph_params, self.test)
+            return _cached_trace(self.graph_params, self.test, store)
         raise ConfigError(f"unknown trace selector {which!r}")
 
     def scaled(self, factor: float) -> "Workload":
@@ -65,8 +72,35 @@ def _cached_call_graph(params: CallGraphParams) -> CallGraphModel:
     return random_call_graph(params)
 
 
-@lru_cache(maxsize=64)
+_TRACE_MEMO: dict[tuple[CallGraphParams, TraceInput], Trace] = {}
+_TRACE_MEMO_LIMIT = 64
+
+
 def _cached_trace(
-    params: CallGraphParams, inp: TraceInput
+    params: CallGraphParams,
+    inp: TraceInput,
+    store: Any = None,
 ) -> Trace:
-    return generate_trace(_cached_call_graph(params), inp)
+    """Process-level trace memo, optionally backed by a persistent
+    store.
+
+    The in-memory memo is consulted first regardless of *store* — the
+    store only matters on a memo miss, where it may satisfy the trace
+    from disk (and record fresh generations).  A plain dict rather
+    than ``lru_cache`` because store handles are unhashable.
+    """
+    key = (params, inp)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = get_or_generate_trace(
+            _cached_call_graph(params), inp, store
+        )
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.clear()
+        _TRACE_MEMO[key] = trace
+    return trace
+
+
+def clear_trace_memo() -> None:
+    """Drop the process-level trace memo (test isolation hook)."""
+    _TRACE_MEMO.clear()

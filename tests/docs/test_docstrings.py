@@ -1,0 +1,121 @@
+"""Docstring-coverage gate for ``repro.store`` and ``repro.profiles``.
+
+CI enforces the same contract with ruff's D1 selection (see the
+``per-file-ignores`` table in pyproject.toml); ruff is not a runtime
+dependency, so this stdlib AST walk keeps the gate active in tier-1
+too.  Mirroring pydocstyle's D1 scope: modules, public classes, public
+functions and methods (including ``__init__`` and other dunders) need
+docstrings; underscore-private names and functions nested inside
+functions do not.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+
+#: Packages whose docstring coverage is enforced.
+COVERED = ("store", "profiles")
+
+
+def covered_files() -> list[Path]:
+    """Every python file in the covered packages."""
+    files: list[Path] = []
+    for package in COVERED:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    assert files
+    return files
+
+
+def is_private(name: str) -> bool:
+    """Underscore-private (but dunders like __init__ are public)."""
+    return name.startswith("_") and not (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+def undocumented(path: Path) -> list[str]:
+    """Qualified names of public symbols in *path* missing docstrings."""
+    tree = ast.parse(path.read_text())
+    missing: list[str] = []
+    if ast.get_docstring(tree) is None:
+        missing.append("<module>")
+
+    def walk(body: list[ast.stmt], prefix: str) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if is_private(node.name):
+                    continue
+                qualified = f"{prefix}{node.name}"
+                if ast.get_docstring(node) is None:
+                    missing.append(qualified)
+                walk(node.body, f"{qualified}.")
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if is_private(node.name):
+                    continue
+                if ast.get_docstring(node) is None:
+                    missing.append(f"{prefix}{node.name}")
+                # Functions nested inside this one are out of scope,
+                # matching pydocstyle: do not recurse.
+
+    walk(tree.body, "")
+    return missing
+
+
+@pytest.mark.parametrize(
+    "path", covered_files(), ids=lambda p: str(p.relative_to(SRC))
+)
+def test_public_symbols_have_docstrings(path):
+    assert undocumented(path) == []
+
+
+class TestScanner:
+    """The scanner itself must match the D1 scope it claims to mirror."""
+
+    def check(self, source: str, tmp_path) -> list[str]:
+        path = tmp_path / "sample.py"
+        path.write_text(source)
+        return undocumented(path)
+
+    def test_missing_module_docstring(self, tmp_path):
+        assert self.check("x = 1\n", tmp_path) == ["<module>"]
+
+    def test_public_symbols_flagged(self, tmp_path):
+        source = (
+            '"""mod."""\n'
+            "class Thing:\n"
+            '    """doc."""\n'
+            "    def __init__(self):\n"
+            "        pass\n"
+            "    def method(self):\n"
+            "        pass\n"
+            "def helper():\n"
+            "    pass\n"
+        )
+        assert self.check(source, tmp_path) == [
+            "Thing.__init__",
+            "Thing.method",
+            "helper",
+        ]
+
+    def test_private_and_nested_exempt(self, tmp_path):
+        source = (
+            '"""mod."""\n'
+            "def _hidden():\n"
+            "    pass\n"
+            "class _Private:\n"
+            "    def method(self):\n"
+            "        pass\n"
+            "def outer():\n"
+            '    """doc."""\n'
+            "    def inner():\n"
+            "        pass\n"
+            "    return inner\n"
+        )
+        assert self.check(source, tmp_path) == []

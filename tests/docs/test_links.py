@@ -1,0 +1,65 @@
+"""The documentation checker (tools/check_docs.py) and the repo docs.
+
+Runs the real checks over the real documentation as tier-1 tests, and
+unit-tests the checker's detection logic against synthetic files so a
+regression in the tool itself cannot silently pass CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestRepositoryDocs:
+    def test_no_dead_links(self):
+        problems = []
+        for path in check_docs.markdown_files():
+            problems.extend(check_docs.check_links(path))
+        assert problems == []
+
+    def test_every_package_has_an_api_section(self):
+        assert check_docs.check_api_coverage() == []
+
+    def test_required_cross_links_present(self):
+        assert check_docs.check_cross_links() == []
+
+    def test_main_exits_zero(self, capsys):
+        assert check_docs.main() == 0
+        assert "docs ok" in capsys.readouterr().out
+
+    def test_store_package_is_covered(self):
+        """Guards the coverage check itself: the store package must be
+        discovered and therefore demanded of api.md."""
+        assert "store" in check_docs.repro_packages()
+
+
+class TestDetection:
+    def test_dead_relative_link_is_reported(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [other](missing.md) for details\n")
+        problems = check_docs.check_links(page)
+        assert len(problems) == 1
+        assert "missing.md" in problems[0]
+
+    def test_live_link_anchor_and_external_pass(self, tmp_path):
+        (tmp_path / "other.md").write_text("x\n")
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[a](other.md) [b](other.md#section) "
+            "[c](https://example.org/x) [d](#local)\n"
+        )
+        assert check_docs.check_links(page) == []
+
+    def test_code_blocks_are_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```\n[not a link](nowhere.md)\n```\n")
+        assert check_docs.check_links(page) == []

@@ -131,12 +131,12 @@ def gbsc_run(tmp_path):
         from repro.cache.simulator import simulate
         from repro.core.gbsc import GBSCPlacement
         from repro.eval.experiment import build_context
-        from repro.workloads import spec
+        from repro.workloads.spec import clear_trace_memo
         from repro.workloads.suite import by_name
 
         # Traces are memoised module-wide; force regeneration so the
         # gen_trace span lands inside this session's timing tree.
-        spec._cached_trace.cache_clear()
+        clear_trace_memo()
         workload = by_name("m88ksim").scaled(0.02)
         config = CacheConfig(size=8192, line_size=32)
         session = RunSession("gbsc-test", metrics_out=out, with_git=False)

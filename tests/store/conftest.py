@@ -1,0 +1,30 @@
+"""Shared fixtures for the artifact-store tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.spec import clear_trace_memo
+
+
+@pytest.fixture
+def tiny_workload(monkeypatch):
+    """A 2%-scale m88ksim analog, routed through CLI lookups too."""
+    from repro import cli
+    from repro.workloads import suite as suite_module
+
+    tiny = suite_module.by_name("m88ksim").scaled(0.02)
+    monkeypatch.setattr(cli, "by_name", lambda _n: tiny)
+    return tiny
+
+
+@pytest.fixture(autouse=True)
+def fresh_trace_memo():
+    """Each test sees a cold in-process trace memo.
+
+    The memo would otherwise satisfy trace requests before the
+    persistent store gets a look, masking hits and misses.
+    """
+    clear_trace_memo()
+    yield
+    clear_trace_memo()

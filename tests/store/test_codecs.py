@@ -1,0 +1,136 @@
+"""Codec round trips: decode(encode(x)) == x, corrupt bytes raise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import SerializationError
+from repro.profiles.pairdb import PairDatabase, build_pair_database
+from repro.profiles.trg import build_trgs, procedure_refs
+from repro.profiles.wcg import build_wcg
+from repro.program.procedure import ChunkId
+from repro.store.codecs import (
+    CODECS,
+    decode_pair_db,
+    decode_trace,
+    decode_trgs,
+    decode_wcg,
+    encode_pair_db,
+    encode_trace,
+    encode_trgs,
+    encode_wcg,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    from repro.workloads import suite as suite_module
+    from repro.workloads.spec import clear_trace_memo
+
+    clear_trace_memo()
+    return suite_module.by_name("m88ksim").scaled(0.02).trace("train")
+
+
+class TestTraceCodec:
+    def test_round_trip(self, trace):
+        restored = decode_trace(encode_trace(trace))
+        assert restored.program == trace.program
+        assert np.array_equal(restored.proc_indices, trace.proc_indices)
+        assert np.array_equal(restored.extent_starts, trace.extent_starts)
+        assert np.array_equal(
+            restored.extent_lengths, trace.extent_lengths
+        )
+
+    def test_truncated_blob_raises(self, trace):
+        data = encode_trace(trace)
+        with pytest.raises(SerializationError):
+            decode_trace(data[: len(data) // 2])
+
+    def test_non_npz_blob_raises(self):
+        with pytest.raises(SerializationError):
+            decode_trace(b"not a zip file")
+
+
+class TestGraphCodecs:
+    def test_wcg_round_trip(self, trace):
+        wcg = build_wcg(trace)
+        assert decode_wcg(encode_wcg(wcg)) == wcg
+
+    def test_trgs_round_trip(self, trace, paper_cache):
+        pair = build_trgs(trace, paper_cache)
+        restored = decode_trgs(encode_trgs(pair))
+        assert restored.select == pair.select
+        assert restored.place == pair.place
+        assert restored.select_stats == pair.select_stats
+        assert restored.place_stats == pair.place_stats
+        assert restored.chunk_size == pair.chunk_size
+
+    def test_wrong_format_raises(self, trace):
+        wcg_bytes = encode_wcg(build_wcg(trace))
+        with pytest.raises(SerializationError):
+            decode_trgs(wcg_bytes)
+        with pytest.raises(SerializationError):
+            decode_wcg(b'{"format":"repro/store-wcg"}')
+
+
+class TestPairDbCodec:
+    def test_round_trip(self, trace, paper_cache):
+        value = build_pair_database(
+            procedure_refs(trace),
+            trace.program.size_of,
+            2 * paper_cache.size,
+        )
+        database, stats = value
+        restored_db, restored_stats = decode_pair_db(
+            encode_pair_db(value)
+        )
+        assert restored_stats == stats
+        assert restored_db.blocks == database.blocks
+        for block in database.blocks:
+            assert restored_db.pairs_for(block) == database.pairs_for(
+                block
+            )
+
+    def test_chunk_nodes_survive(self):
+        """ChunkId nodes (set-associative runs) round-trip intact."""
+        database = PairDatabase()
+        a, b = ChunkId("f", 0), ChunkId("g", 1)
+        database.record("p", [a, b])
+        from repro.profiles.trg import TRGBuildStats
+
+        stats = TRGBuildStats(
+            refs_processed=3, avg_q_entries=1.0, evictions=0
+        )
+        restored, _ = decode_pair_db(encode_pair_db((database, stats)))
+        assert restored.count("p", a, b) == 1
+
+    def test_degenerate_single_member_pair(self):
+        """A frozenset pair that collapsed to one member decodes back
+        to the same count."""
+        from repro.profiles.trg import TRGBuildStats
+
+        database = PairDatabase()
+        database.set_pair_count("p", "r", "r", 4)
+        stats = TRGBuildStats(
+            refs_processed=1, avg_q_entries=1.0, evictions=0
+        )
+        restored, _ = decode_pair_db(encode_pair_db((database, stats)))
+        assert restored.count("p", "r", "r") == 4
+
+    def test_deterministic_bytes(self, trace, paper_cache):
+        """Identical databases encode to identical bytes — required
+        for stable content hashes in the index."""
+        value = build_pair_database(
+            procedure_refs(trace),
+            trace.program.size_of,
+            2 * paper_cache.size,
+        )
+        assert encode_pair_db(value) == encode_pair_db(value)
+
+
+class TestRegistry:
+    def test_every_kind_has_a_codec_pair(self):
+        assert set(CODECS) == {"trace", "wcg", "trg", "pairdb"}
+        for encode, decode in CODECS.values():
+            assert callable(encode) and callable(decode)

@@ -1,0 +1,112 @@
+"""Byte-identity: cached runs must change nothing but the wall clock.
+
+The cache is an optimisation layer only — the acceptance bar is that
+``compare`` output is byte-identical cold (empty store), warm
+(populated store, fresh process memo) and with caching disabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.cache.config import CacheConfig
+from repro.eval.experiment import build_context
+from repro.io import graph_to_dict
+from repro.store import ArtifactStore
+from repro.workloads.spec import clear_trace_memo
+
+
+class TestBuildContextParity:
+    def test_cold_warm_disabled_agree(self, tiny_workload, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        config = CacheConfig(size=8192, line_size=32)
+        trace = tiny_workload.trace("train")
+        cold = build_context(trace, config, store=store)
+        warm = build_context(trace, config, store=store)
+        plain = build_context(trace, config)
+        assert store.hits > 0 and store.misses > 0
+        for context in (warm, plain):
+            assert graph_to_dict(context.wcg) == graph_to_dict(cold.wcg)
+            assert graph_to_dict(context.trgs.select) == graph_to_dict(
+                cold.trgs.select
+            )
+            assert graph_to_dict(context.trgs.place) == graph_to_dict(
+                cold.trgs.place
+            )
+            assert context.popular == cold.popular
+
+    def test_stored_trace_round_trips(self, tiny_workload, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        generated = tiny_workload.trace("train", store=store)
+        clear_trace_memo()
+        restored = tiny_workload.trace("train", store=store)
+        assert store.hits >= 1
+        assert np.array_equal(
+            restored.proc_indices, generated.proc_indices
+        )
+        assert np.array_equal(
+            restored.extent_starts, generated.extent_starts
+        )
+        assert np.array_equal(
+            restored.extent_lengths, generated.extent_lengths
+        )
+
+
+class TestCliParity:
+    @pytest.fixture
+    def run(self, tiny_workload, capsys):
+        def invoke(*extra: str) -> str:
+            clear_trace_memo()
+            capsys.readouterr()
+            assert (
+                main(["compare", "m88ksim", "--fast", *extra]) == 0
+            )
+            return capsys.readouterr().out
+
+        return invoke
+
+    def test_compare_cold_warm_disabled(self, run, tmp_path):
+        cache = str(tmp_path / "store")
+        cold = run("--cache", cache)
+        warm = run("--cache", cache)
+        plain = run("--no-cache")
+        assert cold == warm == plain
+        assert "miss rate" in cold
+
+    def test_no_cache_wins_over_cache(self, run, tmp_path):
+        """``--no-cache`` disables the store even when ``--cache`` is
+        also given — nothing is written."""
+        cache = tmp_path / "store"
+        run("--cache", str(cache), "--no-cache")
+        assert not cache.exists()
+
+    def test_checkpointed_run_shares_the_store(
+        self, run, tiny_workload, tmp_path
+    ):
+        """Checkpointed batches sharing a store stay byte-identical
+        cold, warm and resumed, and agree with the direct path on
+        every miss-rate line (the two paths differ only in their
+        progress headers)."""
+        cache = str(tmp_path / "store")
+        direct = run("--cache", cache)
+        cold = run(
+            "--cache", cache, "--checkpoint", str(tmp_path / "c1")
+        )
+        warm = run(
+            "--cache", cache, "--checkpoint", str(tmp_path / "c2")
+        )
+        resumed = run(
+            "--cache",
+            cache,
+            "--checkpoint",
+            str(tmp_path / "c2"),
+            "--resume",
+        )
+        assert cold == warm == resumed
+
+        def rates(text: str) -> list[str]:
+            return [l for l in text.splitlines() if "miss rate" in l]
+
+        assert rates(direct) == rates(cold)

@@ -1,0 +1,127 @@
+"""Documentation checks: link integrity and API-reference coverage.
+
+Run from the repository root (CI's docs job does exactly this)::
+
+    python tools/check_docs.py
+
+Three checks, all stdlib-only:
+
+* every relative markdown link in ``docs/``, ``README.md`` and
+  ``CHANGES.md`` resolves to an existing file or directory;
+* every package under ``src/repro/`` has its own section in
+  ``docs/api.md``;
+* ``docs/caching.md`` is cross-linked from ``docs/architecture.md``
+  and ``README.md`` (new subsystems must be reachable from the
+  entry-point docs, not just present on disk).
+
+Prints one line per problem and exits 1 when any check fails.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links must resolve.
+LINKED_FILES = ("README.md", "CHANGES.md")
+LINKED_DIRS = ("docs",)
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link targets that are not filesystem paths.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: docs/ pages every new subsystem page must be reachable from.
+REQUIRED_CROSS_LINKS = {
+    "docs/caching.md": ("docs/architecture.md", "README.md"),
+}
+
+
+def markdown_files(repo: Path = REPO) -> list[Path]:
+    """The markdown files covered by the link checker."""
+    files = [repo / name for name in LINKED_FILES if (repo / name).exists()]
+    for directory in LINKED_DIRS:
+        files.extend(sorted((repo / directory).glob("*.md")))
+    return files
+
+
+def check_links(path: Path) -> list[str]:
+    """Unresolvable relative link targets in one markdown file."""
+    problems = []
+    in_code_block = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for target in LINK_PATTERN.findall(line):
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                try:
+                    shown = path.relative_to(REPO)
+                except ValueError:
+                    shown = path
+                problems.append(
+                    f"{shown}:{number}: dead link target {target!r}"
+                )
+    return problems
+
+
+def repro_packages(repo: Path = REPO) -> list[str]:
+    """Names of the packages under ``src/repro/``."""
+    root = repo / "src" / "repro"
+    return sorted(
+        entry.name
+        for entry in root.iterdir()
+        if entry.is_dir() and (entry / "__init__.py").exists()
+    )
+
+
+def check_api_coverage(repo: Path = REPO) -> list[str]:
+    """Packages missing their own section in ``docs/api.md``."""
+    api = (repo / "docs" / "api.md").read_text()
+    problems = []
+    for package in repro_packages(repo):
+        if f"`repro.{package}`" not in api:
+            problems.append(
+                f"docs/api.md: no section for package repro.{package}"
+            )
+    return problems
+
+
+def check_cross_links(repo: Path = REPO) -> list[str]:
+    """Subsystem pages not linked from the required entry points."""
+    problems = []
+    for page, sources in REQUIRED_CROSS_LINKS.items():
+        name = Path(page).name
+        for source in sources:
+            if name not in (repo / source).read_text():
+                problems.append(f"{source}: does not link to {name}")
+    return problems
+
+
+def main() -> int:
+    """Run every check; print problems; return a process exit code."""
+    problems = []
+    for path in markdown_files():
+        problems.extend(check_links(path))
+    problems.extend(check_api_coverage())
+    problems.extend(check_cross_links())
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    print(f"docs ok: {len(markdown_files())} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
