@@ -14,9 +14,16 @@ Two independent halves:
   for batch-runner checkpoint directories, :func:`audit_checkpoint`,
   and for artifact-store directories, :func:`audit_store` (the
   ``cache/*`` rule family).
-* **A determinism linter** — an AST walk over ``src/repro`` and
-  ``benchmarks/`` enforcing the project's reproducibility contract
-  (:func:`run_linter`, rules in :mod:`repro.analysis.rules`).
+* **A conformance analyzer** — a non-executing pass over ``src/repro``
+  and ``benchmarks/`` enforcing the project's contracts
+  (:func:`run_linter` / :func:`run_linter_detailed`).  Per-file rules
+  in :mod:`repro.analysis.rules` cover the determinism contract
+  (``det/*``); whole-program rules cover the layering table
+  (``arch/*``, :mod:`repro.analysis.layering` over the import graph
+  of :mod:`repro.analysis.imports`), fork/IO safety (``conc/*``,
+  :mod:`repro.analysis.concsafety`) and fast-path/scalar-twin parity
+  (``parity/*``, :mod:`repro.analysis.parity`).  Findings render as
+  text, plain JSON or SARIF 2.1.0 (:mod:`repro.analysis.sarif`).
 
 Both are wired into the CLI (``repro-layout check`` / ``repro-layout
 lint``) and into CI via ``tests/analysis``.
@@ -40,13 +47,25 @@ from repro.analysis.manifest_audit import (
     audit_run_path,
     load_run_manifest,
 )
+from repro.analysis.imports import ImportEdge, ImportGraph, build_import_graph
 from repro.analysis.linter import (
     LintRule,
+    LintRun,
+    ProjectContext,
+    ProjectRule,
     all_rules,
     lint_file,
     lint_source,
     register_rule,
+    rule_descriptions,
     run_linter,
+    run_linter_detailed,
+)
+from repro.analysis.sarif import (
+    findings_to_json,
+    findings_to_sarif,
+    format_stats,
+    render_sarif,
 )
 from repro.analysis.placement_audit import (
     audit_nodes,
@@ -66,10 +85,16 @@ from repro.analysis.store_audit import audit_store, is_store_dir
 
 __all__ = [
     "Finding",
+    "ImportEdge",
+    "ImportGraph",
     "LintRule",
+    "LintRun",
     "Location",
+    "ProjectContext",
+    "ProjectRule",
     "Severity",
     "all_rules",
+    "build_import_graph",
     "audit_checkpoint",
     "audit_graph",
     "audit_layout",
@@ -86,14 +111,20 @@ __all__ = [
     "audit_store",
     "audit_trgs",
     "audit_working_set",
+    "findings_to_json",
+    "findings_to_sarif",
     "format_findings",
+    "format_stats",
     "is_checkpoint_journal",
     "is_store_dir",
     "lint_file",
     "lint_source",
     "load_run_manifest",
     "register_rule",
+    "render_sarif",
     "require_clean",
+    "rule_descriptions",
     "run_linter",
+    "run_linter_detailed",
     "sort_findings",
 ]

@@ -1,0 +1,244 @@
+"""Whole-program import graph of the ``repro`` package.
+
+The ``arch/*`` conformance rules need to see every import edge in the
+tree at once — a per-file visitor cannot detect a cycle or tell a
+sanctioned lazy upward import from a new violation hiding behind the
+same pattern.  This module builds that graph from a parsed
+:class:`~repro.analysis.linter.ProjectContext`:
+
+* **static** edges — module-level imports, the ones that execute on
+  first import and therefore define the layering;
+* **lazy** edges — function-local imports, tracked separately because
+  they are the sanctioned mechanism for the few documented upward
+  references (``repro.profiles`` reaching into ``repro.store
+  .fingerprint`` for cache keys) and must stay allowlisted, not
+  invisible.
+
+Imports guarded by ``if TYPE_CHECKING:`` never execute and are
+excluded entirely.  ``from repro import obs``-style imports are
+resolved to the submodule they actually bind when that submodule is
+part of the scanned tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.linter import ProjectContext, SourceModule
+
+
+@dataclass(frozen=True, slots=True)
+class ImportEdge:
+    """One import statement, resolved to project-module granularity."""
+
+    importer: str
+    imported: str
+    line: int
+    lazy: bool
+
+
+def _function_node_ids(tree: ast.Module) -> set[int]:
+    """ids of AST nodes nested inside any function or lambda body."""
+    inside: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            for sub in ast.walk(node):
+                if sub is not node:
+                    inside.add(id(sub))
+    return inside
+
+
+def _type_checking_node_ids(tree: ast.Module) -> set[int]:
+    """ids of AST nodes inside ``if TYPE_CHECKING:`` blocks."""
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = (
+            test.id
+            if isinstance(test, ast.Name)
+            else test.attr
+            if isinstance(test, ast.Attribute)
+            else None
+        )
+        if name == "TYPE_CHECKING":
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    guarded.add(id(sub))
+    return guarded
+
+
+def _resolve_relative(sm: SourceModule, node: ast.ImportFrom) -> str | None:
+    """Absolute module path of a relative ``from . import`` statement."""
+    if sm.module is None:
+        return None
+    parts = sm.module.split(".")
+    # A module's level-1 anchor is its package; __init__ *is* the
+    # package, so it drops one component less.
+    anchor = len(parts) - node.level
+    if sm.path.stem == "__init__":
+        anchor += 1
+    if anchor < 1:
+        return None
+    base = parts[:anchor]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def _iter_module_edges(
+    sm: SourceModule, known_modules: set[str]
+) -> Iterator[ImportEdge]:
+    if sm.module is None:
+        return
+    in_function = _function_node_ids(sm.tree)
+    in_typing = _type_checking_node_ids(sm.tree)
+    for node in ast.walk(sm.tree):
+        if id(node) in in_typing:
+            continue
+        lazy = id(node) in in_function
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield ImportEdge(
+                        sm.module, alias.name, node.lineno, lazy
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                module = _resolve_relative(sm, node)
+            else:
+                module = node.module
+            if module is None or not (
+                module == "repro" or module.startswith("repro.")
+            ):
+                continue
+            for alias in node.names:
+                # ``from repro.x import y`` binds submodule repro.x.y
+                # when y is a module of the tree, else attribute of
+                # repro.x itself.
+                candidate = f"{module}.{alias.name}"
+                target = (
+                    candidate if candidate in known_modules else module
+                )
+                yield ImportEdge(sm.module, target, node.lineno, lazy)
+
+
+class ImportGraph:
+    """The resolved import edges of a scanned project tree."""
+
+    def __init__(self, edges: list[ImportEdge], modules: set[str]) -> None:
+        self.edges = edges
+        self.modules = modules
+
+    def static_edges(self) -> list[ImportEdge]:
+        return [edge for edge in self.edges if not edge.lazy]
+
+    def lazy_edges(self) -> list[ImportEdge]:
+        return [edge for edge in self.edges if edge.lazy]
+
+    def package_edges(self, lazy: bool = False) -> dict[str, set[str]]:
+        """Static (or lazy) edges aggregated to top-level sub-packages.
+
+        Keys and values are the first path component below ``repro``
+        (``"cache"``, ``"cli"``, ...; the root package itself appears
+        as ``"<root>"``).  Self-edges are dropped — this is the
+        golden-snapshot granularity.
+        """
+
+        def top(module: str) -> str:
+            parts = module.split(".")
+            return parts[1] if len(parts) > 1 else "<root>"
+
+        aggregated: dict[str, set[str]] = {}
+        for edge in self.edges:
+            if edge.lazy is not lazy:
+                continue
+            a, b = top(edge.importer), top(edge.imported)
+            if a != b:
+                aggregated.setdefault(a, set()).add(b)
+        return aggregated
+
+    def cycles(self) -> list[list[str]]:
+        """Module-level static import cycles, as sorted module lists.
+
+        Only edges whose target is part of the scanned tree count —
+        an import of an unscanned module cannot close a cycle we can
+        see.  Each strongly connected component of size > 1 is
+        reported once.
+        """
+        graph: dict[str, list[str]] = {m: [] for m in self.modules}
+        for edge in self.static_edges():
+            if edge.imported in graph and edge.imported != edge.importer:
+                graph[edge.importer].append(edge.imported)
+        for targets in graph.values():
+            targets.sort()
+
+        # Iterative Tarjan: deterministic SCCs without recursion-depth
+        # limits on deep import chains.
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = 0
+        components: list[list[str]] = []
+        for root in sorted(graph):
+            if root in index:
+                continue
+            work = [(root, iter(graph[root]))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, targets = work[-1]
+                advanced = False
+                for target in targets:
+                    if target not in index:
+                        index[target] = lowlink[target] = counter
+                        counter += 1
+                        stack.append(target)
+                        on_stack.add(target)
+                        work.append((target, iter(graph[target])))
+                        advanced = True
+                        break
+                    if target in on_stack:
+                        lowlink[node] = min(
+                            lowlink[node], index[target]
+                        )
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(
+                        lowlink[parent], lowlink[node]
+                    )
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        components.append(sorted(component))
+        return sorted(components)
+
+    def imports_of(self, module: str) -> list[ImportEdge]:
+        return [e for e in self.edges if e.importer == module]
+
+
+def build_import_graph(project: ProjectContext) -> ImportGraph:
+    """Build the import graph of every named module in *project*."""
+    known = set(project.modules)
+    edges: list[ImportEdge] = []
+    for sm in project.files:
+        edges.extend(_iter_module_edges(sm, known))
+    edges.sort(key=lambda e: (e.importer, e.imported, e.line, e.lazy))
+    return ImportGraph(edges, known)

@@ -1,25 +1,40 @@
-"""A small AST linter enforcing reproduction-specific determinism rules.
+"""A source linter enforcing reproduction-specific conformance rules.
 
 General-purpose linters cannot know this project's contract: every
-experiment must be bit-reproducible from its seeds.  The rules in
-:mod:`repro.analysis.rules` encode the ways that contract has been (or
-could be) silently broken — module-level RNG draws, mutable default
-arguments, float equality in metric code, iteration over unordered
-sets, container mutation during iteration — and this module provides
-the machinery to run them over source trees: a rule registry, per-file
-AST walking, and line-comment suppression.
+experiment must be bit-reproducible from its seeds, artifacts have a
+single atomic writer, and the package layering keeps profile code
+ignorant of the layers above it.  The rules in
+:mod:`repro.analysis.rules` (per-file determinism checks) and the
+``arch``/``conc``/``parity`` families (whole-program passes in
+:mod:`repro.analysis.layering`, :mod:`repro.analysis.concsafety` and
+:mod:`repro.analysis.parity`) encode the ways those contracts have
+been (or could be) silently broken, and this module provides the
+machinery to run them over source trees: a rule registry, per-file
+AST walking, a parsed-project context for cross-module rules, and
+line-comment suppression.
+
+Two rule scopes share one registry:
+
+* :class:`LintRule` subclasses see one module at a time
+  (``check_module``), which is all a determinism check needs;
+* :class:`ProjectRule` subclasses see the whole parsed tree at once
+  (``check_project`` over a :class:`ProjectContext`), which is what
+  an import-graph or call-reachability pass needs.
 
 Suppressing a finding is explicit and local::
 
     value = random.random()  # lint: disable=det/unseeded-random
 
 which is the "designated seeding site" escape hatch: the marker names
-the rule it silences and survives reformatting.
+the rule it silences and survives reformatting.  Project-scope
+findings anchored to a source line honour the same marker.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -31,7 +46,7 @@ DISABLE_MARKER = "lint: disable="
 
 
 class LintRule:
-    """Base class for lint rules.
+    """Base class for per-file lint rules.
 
     Subclasses set ``rule_id`` / ``description`` and implement
     :meth:`check_module`; :meth:`applies_to` restricts a rule to a
@@ -63,6 +78,113 @@ class LintRule:
         )
 
 
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed source file of the project under analysis.
+
+    ``module`` is the dotted import name (``repro.cache.fast``) when
+    the file sits inside a package — computed by walking parent
+    directories as long as they contain ``__init__.py`` — and ``None``
+    for free-standing scripts (benchmarks), which whole-program rules
+    skip.
+    """
+
+    path: Path
+    module: str | None
+    tree: ast.Module
+    source: str
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+class ProjectContext:
+    """Everything a whole-program rule may look at.
+
+    Carries the parsed modules of the scanned tree plus the discovered
+    repository anchors: ``repro_root`` (the directory of the ``repro``
+    package, when the scan includes it) and ``tests_root`` (the
+    repository's ``tests/`` directory, used by the ``parity/*`` test
+    cross-reference).  Both are best-effort — fixture trees that
+    mirror the ``src/repro`` + ``tests`` layout resolve exactly like
+    the real repository.
+    """
+
+    def __init__(
+        self,
+        files: Sequence[SourceModule],
+        tests_root: Path | None = None,
+    ) -> None:
+        self.files = list(files)
+        self.modules: dict[str, SourceModule] = {
+            sm.module: sm for sm in self.files if sm.module is not None
+        }
+        self.repro_root = self._find_repro_root()
+        self.tests_root = (
+            tests_root if tests_root is not None else self._find_tests_root()
+        )
+
+    def _find_repro_root(self) -> Path | None:
+        for sm in self.files:
+            if sm.module is None:
+                continue
+            parts = sm.module.split(".")
+            if parts[0] != "repro":
+                continue
+            # repro/a/b.py is repro.a.b (climb 1 dir per sub-package);
+            # package __init__ files sit one directory deeper.
+            resolved = sm.path.resolve()
+            depth = len(parts) - (1 if resolved.stem == "__init__" else 2)
+            if depth < 0:
+                continue
+            return resolved.parents[depth]
+        return None
+
+    def _find_tests_root(self) -> Path | None:
+        if self.repro_root is None:
+            return None
+        repo = self.repro_root.parent
+        if repo.name == "src":
+            repo = repo.parent
+        tests = repo / "tests"
+        return tests if tests.is_dir() else None
+
+    def test_sources(self) -> list[tuple[Path, str]]:
+        """``(path, source)`` for every test module under ``tests/``."""
+        if self.tests_root is None:
+            return []
+        sources = []
+        for path in sorted(self.tests_root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            try:
+                sources.append((path, path.read_text(encoding="utf-8")))
+            except OSError:
+                continue
+        return sources
+
+
+class ProjectRule(LintRule):
+    """Base class for whole-program (multi-file) rules.
+
+    Subclasses implement :meth:`check_project` over a
+    :class:`ProjectContext`; :meth:`check_module` is intentionally
+    unused (``lint_source`` skips project rules, which cannot run
+    without a project).
+    """
+
+    def check_module(
+        self, tree: ast.Module, path: str
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, type[LintRule]] = {}
 
 
@@ -76,56 +198,84 @@ def register_rule(cls: type[LintRule]) -> type[LintRule]:
     return cls
 
 
-def all_rules() -> list[LintRule]:
-    """Fresh instances of every registered rule, in id order."""
-    # Importing the rules module populates the registry on first use.
+def _load_rule_modules() -> None:
+    """Import every module that registers rules (idempotent)."""
+    from repro.analysis import concsafety, layering, parity  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
 
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule, in id order."""
+    _load_rule_modules()
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
 
+def rule_descriptions() -> dict[str, str]:
+    """Registered rule id -> one-line description (for SARIF/docs)."""
+    return {rule.rule_id: rule.description for rule in all_rules()}
+
+
 def select_rules(select: Iterable[str] | None = None) -> list[LintRule]:
-    """Rules restricted to *select* ids (all rules when ``None``)."""
+    """Rules restricted to *select* ids (all rules when ``None``).
+
+    Entries may be exact ids or ``fnmatch`` family globs
+    (``"arch/*"``); a pattern matching no registered rule is an error.
+    """
     rules = all_rules()
     if select is None:
         return rules
-    wanted = set(select)
     known = {rule.rule_id for rule in rules}
-    unknown = wanted - known
-    if unknown:
-        raise AnalysisError(
-            f"unknown lint rule id(s): {', '.join(sorted(unknown))}"
-        )
+    wanted: set[str] = set()
+    for pattern in select:
+        matched = {rule_id for rule_id in known
+                   if fnmatchcase(rule_id, pattern)}
+        if not matched:
+            raise AnalysisError(f"unknown lint rule id(s): {pattern}")
+        wanted |= matched
     return [rule for rule in rules if rule.rule_id in wanted]
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    rules: Sequence[LintRule] | None = None,
-) -> list[Finding]:
-    """Lint one module's source text; returns unsuppressed findings."""
-    active = list(rules) if rules is not None else all_rules()
+def _module_name(path: Path) -> str | None:
+    """Dotted import name of *path*, or ``None`` outside a package."""
+    resolved = path.resolve()
+    parts = [resolved.stem]
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if len(parts) == 1 and resolved.stem != "__init__":
+        return None
+    if parts[0] == "__init__":
+        parts.pop(0)
+        if not parts:
+            return None
+    return ".".join(reversed(parts))
+
+
+def _parse_module(source: str, path: Path) -> tuple[ast.Module | None,
+                                                    Finding | None]:
     try:
-        tree = ast.parse(source, filename=path)
+        return ast.parse(source, filename=str(path)), None
     except SyntaxError as error:
-        return [
-            Finding(
-                rule="lint/syntax-error",
-                severity=Severity.ERROR,
-                message=f"cannot parse: {error.msg}",
-                location=Location(file=path, line=error.lineno),
-            )
-        ]
-    findings: list[Finding] = []
-    for rule in active:
-        if rule.applies_to(path):
-            findings.extend(rule.check_module(tree, path))
-    lines = source.splitlines()
+        return None, Finding(
+            rule="lint/syntax-error",
+            severity=Severity.ERROR,
+            message=f"cannot parse: {error.msg}",
+            location=Location(file=str(path), line=error.lineno),
+        )
+
+
+def _apply_suppression(
+    findings: Iterable[Finding], lines_by_file: dict[str, list[str]]
+) -> list[Finding]:
+    """Drop findings whose source line carries a disable marker."""
 
     def suppressed(finding: Finding) -> bool:
-        line_no = finding.location.line
-        if line_no is None or not 1 <= line_no <= len(lines):
+        file, line_no = finding.location.file, finding.location.line
+        if file is None or line_no is None:
+            return False
+        lines = lines_by_file.get(file)
+        if lines is None or not 1 <= line_no <= len(lines):
             return False
         text = lines[line_no - 1]
         marker = text.rfind(DISABLE_MARKER)
@@ -139,10 +289,32 @@ def lint_source(
     return [f for f in findings if not suppressed(f)]
 
 
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[LintRule] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; returns unsuppressed findings.
+
+    Project-scope rules are skipped — they need a whole tree; use
+    :func:`run_linter` for those.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    active = [r for r in active if not isinstance(r, ProjectRule)]
+    tree, parse_finding = _parse_module(source, Path(path))
+    if parse_finding is not None:
+        return [parse_finding]
+    findings: list[Finding] = []
+    for rule in active:
+        if rule.applies_to(path):
+            findings.extend(rule.check_module(tree, path))
+    return _apply_suppression(findings, {path: source.splitlines()})
+
+
 def lint_file(
     path: str | Path, rules: Sequence[LintRule] | None = None
 ) -> list[Finding]:
-    """Lint one Python file."""
+    """Lint one Python file (per-file rules only)."""
     file_path = Path(path)
     try:
         source = file_path.read_text(encoding="utf-8")
@@ -167,13 +339,82 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise AnalysisError(f"lint path does not exist: {path}")
 
 
+@dataclass
+class LintRun:
+    """The outcome of one :func:`run_linter_detailed` pass."""
+
+    findings: list[Finding]
+    files_scanned: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+
+def run_linter_detailed(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    tests_root: str | Path | None = None,
+) -> LintRun:
+    """Lint *paths* with per-file and project rules; keep run stats.
+
+    Every file is read and parsed exactly once; per-file rules run on
+    each parsed module, then project rules run over the assembled
+    :class:`ProjectContext`.  *tests_root* overrides the discovered
+    ``tests/`` directory (fixture trees; defaults to the sibling of
+    the scanned ``src/`` root).
+    """
+    rules = select_rules(select)
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    findings: list[Finding] = []
+    sources: list[SourceModule] = []
+    lines_by_file: dict[str, list[str]] = {}
+    files_scanned = 0
+    for file_path in iter_python_files(paths):
+        files_scanned += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise AnalysisError(
+                f"cannot read {file_path}: {error}"
+            ) from error
+        lines_by_file[str(file_path)] = source.splitlines()
+        tree, parse_finding = _parse_module(source, file_path)
+        if parse_finding is not None:
+            findings.append(parse_finding)
+            continue
+        sources.append(
+            SourceModule(
+                path=file_path,
+                module=_module_name(file_path),
+                tree=tree,
+                source=source,
+            )
+        )
+        for rule in file_rules:
+            if rule.applies_to(str(file_path)):
+                findings.extend(rule.check_module(tree, str(file_path)))
+
+    if project_rules:
+        project = ProjectContext(
+            sources,
+            tests_root=Path(tests_root) if tests_root is not None else None,
+        )
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
+
+    return LintRun(
+        findings=_apply_suppression(findings, lines_by_file),
+        files_scanned=files_scanned,
+        rules_run=[rule.rule_id for rule in rules],
+    )
+
+
 def run_linter(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
+    tests_root: str | Path | None = None,
 ) -> list[Finding]:
     """Lint every Python file under *paths* with the selected rules."""
-    rules = select_rules(select)
-    findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, rules))
-    return findings
+    return run_linter_detailed(
+        paths, select=select, tests_root=tests_root
+    ).findings

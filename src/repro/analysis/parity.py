@@ -1,0 +1,265 @@
+"""The ``parity/*`` fast-path/scalar-twin conformance rules.
+
+The reproduction keeps a scalar reference implementation next to every
+vectorized kernel and a parity test exercising the pair (ROADMAP:
+"fast paths keep their references").  :mod:`repro.fastpath` makes the
+pairing machine-readable — kernels declare their twin with
+``@fast_path(scalar="dotted.path")`` — and the rules here verify the
+declarations **statically**, by parsing, never importing:
+
+* ``parity/unregistered`` — a function that is recognisably a
+  vectorized kernel (defined in a ``*.fast`` module, or named
+  ``*_fast``) carries no ``@fast_path`` marker;
+* ``parity/unresolved-scalar`` — a declared scalar twin does not
+  resolve to a function or class anywhere in the scanned tree;
+* ``parity/untested`` — no single test module under ``tests/``
+  references both halves of a declared pair by name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Location
+from repro.analysis.linter import (
+    ProjectContext,
+    ProjectRule,
+    SourceModule,
+    register_rule,
+)
+
+#: Decorator names recognised as the fast-path marker.
+_MARKER_NAMES = frozenset({"fast_path"})
+
+
+@dataclass(frozen=True, slots=True)
+class FastPathDecl:
+    """One ``@fast_path`` declaration found in the scanned tree."""
+
+    module: str
+    qualname: str
+    scalar: str | None
+    line: int
+    path: str
+
+    @property
+    def name(self) -> str:
+        """Fully qualified fast-path name (module + qualname)."""
+        return f"{self.module}.{self.qualname}"
+
+
+def _marker_scalar(decorator: ast.expr) -> tuple[bool, str | None]:
+    """(is a fast_path marker, declared scalar string or None)."""
+    if not isinstance(decorator, ast.Call):
+        return False, None
+    func = decorator.func
+    name = (
+        func.id if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute)
+        else None
+    )
+    if name not in _MARKER_NAMES:
+        return False, None
+    for keyword in decorator.keywords:
+        if keyword.arg == "scalar" and isinstance(
+            keyword.value, ast.Constant
+        ) and isinstance(keyword.value.value, str):
+            return True, keyword.value.value
+    return True, None
+
+
+def collect_declarations(project: ProjectContext) -> list[FastPathDecl]:
+    """Every ``@fast_path`` declaration in the scanned tree."""
+    declarations: list[FastPathDecl] = []
+    for sm in project.files:
+        if sm.module is None:
+            continue
+        for node, qualname in _defs_with_qualnames(sm):
+            for decorator in node.decorator_list:
+                marked, scalar = _marker_scalar(decorator)
+                if marked:
+                    declarations.append(
+                        FastPathDecl(
+                            module=sm.module,
+                            qualname=qualname,
+                            scalar=scalar,
+                            line=node.lineno,
+                            path=str(sm.path),
+                        )
+                    )
+    declarations.sort(key=lambda d: (d.path, d.line))
+    return declarations
+
+
+def _defs_with_qualnames(
+    sm: SourceModule,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef,
+                    str]]:
+    for node in sm.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            yield node, node.name
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        yield item, f"{node.name}.{item.name}"
+
+
+def _resolves(project: ProjectContext, dotted: str) -> bool:
+    """Whether *dotted* names a def/class in the scanned tree."""
+    parts = dotted.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        module = ".".join(parts[:split])
+        sm = project.modules.get(module)
+        if sm is None:
+            continue
+        remainder = parts[split:]
+        names = {q for _, q in _defs_with_qualnames(sm)}
+        return ".".join(remainder) in names
+    return False
+
+
+def _looks_vectorized(sm: SourceModule, name: str) -> bool:
+    """Heuristic: is a public def recognisably a vectorized kernel?"""
+    if name.startswith("_"):
+        return False
+    if name.endswith("_fast"):
+        return True
+    return (
+        sm.module is not None
+        and sm.module.rsplit(".", 1)[-1] == "fast"
+    )
+
+
+@register_rule
+class UnregisteredFastPathRule(ProjectRule):
+    """Flag vectorized kernels that carry no ``@fast_path`` marker."""
+
+    rule_id = "parity/unregistered"
+    description = (
+        "public functions in *.fast modules (or named *_fast) are "
+        "vectorized kernels and must declare their scalar twin with "
+        "@fast_path(scalar=...)"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for sm in project.files:
+            if sm.module is None:
+                continue
+            for node in sm.tree.body:
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not _looks_vectorized(sm, node.name):
+                    continue
+                marked = any(
+                    _marker_scalar(decorator)[0]
+                    for decorator in node.decorator_list
+                )
+                if marked:
+                    continue
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"{node.name}() looks like a vectorized "
+                        "kernel but declares no scalar twin; add "
+                        "@fast_path(scalar=\"<dotted reference>\")"
+                    ),
+                    location=Location(
+                        file=str(sm.path),
+                        line=node.lineno,
+                        obj=f"{sm.module}.{node.name}",
+                    ),
+                )
+
+
+@register_rule
+class UnresolvedScalarRule(ProjectRule):
+    """Flag ``@fast_path`` markers whose twin does not resolve."""
+
+    rule_id = "parity/unresolved-scalar"
+    description = (
+        "the scalar= path of every @fast_path marker must name a "
+        "function or class defined in the scanned tree"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for decl in collect_declarations(project):
+            if decl.scalar is None:
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"@fast_path on {decl.name} has no literal "
+                        "scalar= string; the twin must be statically "
+                        "resolvable"
+                    ),
+                    location=Location(
+                        file=decl.path, line=decl.line, obj=decl.name
+                    ),
+                )
+            elif not _resolves(project, decl.scalar):
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"scalar twin {decl.scalar!r} declared by "
+                        f"{decl.name} does not resolve to a function "
+                        "or class in the scanned tree"
+                    ),
+                    location=Location(
+                        file=decl.path, line=decl.line, obj=decl.name
+                    ),
+                )
+
+
+@register_rule
+class UntestedFastPathRule(ProjectRule):
+    """Flag declared pairs no test module exercises together."""
+
+    rule_id = "parity/untested"
+    description = (
+        "every @fast_path pair needs a test module under tests/ that "
+        "references both the kernel and its scalar twin by name"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        declarations = [
+            d for d in collect_declarations(project)
+            if d.scalar is not None
+        ]
+        if not declarations:
+            return
+        tests = project.test_sources()
+        for decl in declarations:
+            kernel_name = decl.qualname.rsplit(".", 1)[-1]
+            scalar_name = decl.scalar.rsplit(".", 1)[-1]
+            covered = any(
+                kernel_name in source and scalar_name in source
+                for _, source in tests
+            )
+            if not covered:
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"no test module references both {kernel_name} "
+                        f"and its scalar twin {scalar_name}; add a "
+                        "parity test driving the pair on shared inputs"
+                    ),
+                    location=Location(
+                        file=decl.path, line=decl.line, obj=decl.name
+                    ),
+                )

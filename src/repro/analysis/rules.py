@@ -16,9 +16,10 @@ bit-reproducible from their seeds and independent of hash ordering:
 * ``det/dict-mutation`` — no mutating a dict (or any container) while
   iterating over it; wrap the iterable in ``list(...)`` first.
 * ``det/wallclock`` — no raw wall-clock reads (``time.time()``,
-  ``time.perf_counter()``, ...) outside :mod:`repro.obs`; timing flows
-  through the observability layer so experiment code stays a pure
-  function of its inputs.
+  ``time.perf_counter()``, ``time.monotonic_ns()``,
+  ``datetime.datetime.now()`` / ``utcnow()``, ``date.today()``, ...)
+  outside :mod:`repro.obs`; timing flows through the observability
+  layer so experiment code stays a pure function of its inputs.
 
 Rules only fire on *syntactically certain* violations — a name that
 merely happens to hold a set is never flagged — so the tree stays
@@ -350,6 +351,13 @@ _WALLCLOCK_FUNCS = frozenset(
     }
 )
 
+#: Wall-clock constructors per :mod:`datetime` class.  ``fromtimestamp``
+#: et al. are pure functions of their arguments and stay legal.
+_DATETIME_WALLCLOCK = {
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
 
 @register_rule
 class WallclockRule(LintRule):
@@ -370,28 +378,43 @@ class WallclockRule(LintRule):
         self, tree: ast.Module, path: str
     ) -> Iterator[Finding]:
         time_aliases: set[str] = set()
+        dt_module_aliases: set[str] = set()
+        # Local name -> datetime class ("datetime"/"date") it binds.
+        dt_class_aliases: dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "time":
                         time_aliases.add(alias.asname or "time")
-            elif isinstance(node, ast.ImportFrom) and node.module == "time":
-                for alias in node.names:
-                    if alias.name in _WALLCLOCK_FUNCS:
-                        yield self.finding(
-                            node,
-                            path,
-                            f"'from time import {alias.name}' binds a "
-                            "wall-clock reader; use repro.obs.clock",
-                        )
+                    elif alias.name == "datetime":
+                        dt_module_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALLCLOCK_FUNCS:
+                            yield self.finding(
+                                node,
+                                path,
+                                f"'from time import {alias.name}' binds "
+                                "a wall-clock reader; use "
+                                "repro.obs.clock",
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in _DATETIME_WALLCLOCK:
+                            dt_class_aliases[
+                                alias.asname or alias.name
+                            ] = alias.name
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
             if (
-                isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Name)
-                and func.value.id in time_aliases
+                isinstance(base, ast.Name)
+                and base.id in time_aliases
                 and func.attr in _WALLCLOCK_FUNCS
             ):
                 yield self.finding(
@@ -399,6 +422,34 @@ class WallclockRule(LintRule):
                     path,
                     f"time.{func.attr}() reads the wall clock; use "
                     "repro.obs.clock (or a span) instead",
+                )
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in dt_class_aliases
+                and func.attr
+                in _DATETIME_WALLCLOCK[dt_class_aliases[base.id]]
+            ):
+                cls = dt_class_aliases[base.id]
+                yield self.finding(
+                    node,
+                    path,
+                    f"datetime.{cls}.{func.attr}() reads the wall "
+                    "clock; stamp results outside experiment code or "
+                    "use repro.obs.clock",
+                )
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in dt_module_aliases
+                and base.attr in _DATETIME_WALLCLOCK
+                and func.attr in _DATETIME_WALLCLOCK[base.attr]
+            ):
+                yield self.finding(
+                    node,
+                    path,
+                    f"datetime.{base.attr}.{func.attr}() reads the "
+                    "wall clock; stamp results outside experiment "
+                    "code or use repro.obs.clock",
                 )
 
 

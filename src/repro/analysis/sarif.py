@@ -1,0 +1,161 @@
+"""SARIF 2.1.0 serialisation of lint findings.
+
+CI systems and code-review UIs ingest the Static Analysis Results
+Interchange Format natively, so ``repro-layout lint --format sarif``
+emits one ``sarif-2.1.0`` log per run: a single ``run`` whose
+``tool.driver`` lists every rule that executed (id + short
+description) and whose ``results`` carry one entry per finding with
+the stable ``ruleId``, the mapped level and the source location.
+
+The emitter is deliberately minimal — only properties the findings
+actually carry — and pure: :func:`findings_to_sarif` builds plain
+dicts, the caller decides where the JSON goes.  ``repro`` severities
+map onto SARIF levels one-to-one (``error``/``warning``; ``INFO``
+becomes ``note``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Mapping, Sequence
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+
+#: The SARIF schema this emitter targets.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _result(finding: Finding) -> dict:
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    location = finding.location
+    if location.file is not None:
+        physical: dict = {
+            "artifactLocation": {"uri": location.file.replace("\\", "/")}
+        }
+        if location.line is not None:
+            physical["region"] = {"startLine": location.line}
+        result["locations"] = [{"physicalLocation": physical}]
+    if location.obj is not None:
+        result["properties"] = {"object": location.obj}
+    return result
+
+
+def findings_to_sarif(
+    findings: Sequence[Finding],
+    rule_descriptions: Mapping[str, str] | None = None,
+    tool_name: str = "repro-layout lint",
+) -> dict:
+    """Build a SARIF 2.1.0 log dict from *findings*.
+
+    *rule_descriptions* (rule id -> one-line description) populates
+    ``tool.driver.rules``; rule ids appearing only in findings (e.g.
+    the synthetic ``lint/syntax-error``) are added with an empty
+    description so every result's ``ruleId`` is declared.
+    """
+    descriptions = dict(rule_descriptions or {})
+    for finding in findings:
+        descriptions.setdefault(finding.rule, "")
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": descriptions[rule_id] or rule_id},
+        }
+        for rule_id in sorted(descriptions)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding)
+                    for finding in sort_findings(findings)
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rule_descriptions: Mapping[str, str] | None = None,
+) -> str:
+    """The SARIF log as pretty-printed JSON text."""
+    return json.dumps(
+        findings_to_sarif(findings, rule_descriptions),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Plain-JSON rendering: a list of finding dicts, sorted."""
+    return json.dumps(
+        [
+            {
+                "rule": f.rule,
+                "severity": f.severity.value,
+                "message": f.message,
+                "file": f.location.file,
+                "line": f.location.line,
+                "object": f.location.obj,
+            }
+            for f in sort_findings(findings)
+        ],
+        indent=2,
+    )
+
+
+def format_stats(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    rules_run: Sequence[str],
+) -> str:
+    """Human-readable run statistics for ``lint --stats``.
+
+    Reports files scanned, rules executed grouped by family (the
+    prefix before ``/``), and per-rule finding counts when any exist.
+    """
+    families = Counter(
+        rule_id.split("/", 1)[0] for rule_id in rules_run
+    )
+    family_text = ", ".join(
+        f"{name}={count}" for name, count in sorted(families.items())
+    )
+    lines = [
+        f"files scanned: {files_scanned}",
+        f"rules run: {len(rules_run)} ({family_text})"
+        if families
+        else "rules run: 0",
+    ]
+    by_rule = Counter(f.rule for f in findings)
+    errors = sum(
+        1 for f in findings if f.severity is Severity.ERROR
+    )
+    lines.append(
+        f"findings: {len(findings)} ({errors} error(s))"
+    )
+    for rule_id, count in sorted(by_rule.items()):
+        lines.append(f"  {rule_id}: {count}")
+    return "\n".join(lines)

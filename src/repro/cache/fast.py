@@ -21,8 +21,10 @@ from repro import obs
 from repro.cache.config import CacheConfig
 from repro.cache.stats import MissStats
 from repro.errors import ConfigError
+from repro.fastpath import fast_path
 
 
+@fast_path(scalar="repro.cache.direct.DirectMappedCache")
 def count_direct_mapped_misses(
     lines: np.ndarray, config: CacheConfig
 ) -> int:
@@ -51,6 +53,7 @@ def count_direct_mapped_misses(
     return int(miss.sum())
 
 
+@fast_path(scalar="repro.cache.direct.DirectMappedCache")
 def simulate_direct_mapped(
     lines: np.ndarray, fetches: int, config: CacheConfig
 ) -> MissStats:

@@ -691,9 +691,17 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import sys
     from pathlib import Path
 
-    from repro.analysis import format_findings, run_linter
+    from repro.analysis import (
+        findings_to_json,
+        format_findings,
+        format_stats,
+        render_sarif,
+        rule_descriptions,
+        run_linter_detailed,
+    )
     from repro.errors import AnalysisError
 
     paths = args.paths
@@ -705,9 +713,36 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 f"({', '.join(_DEFAULT_LINT_PATHS)}) exist here"
             )
     select = args.select.split(",") if args.select else None
-    findings = run_linter(paths, select=select)
-    print(format_findings(findings))
-    return 1 if findings else 0
+    run = run_linter_detailed(paths, select=select)
+
+    if args.format == "sarif":
+        descriptions = rule_descriptions()
+        payload = render_sarif(
+            run.findings,
+            {
+                rule_id: descriptions.get(rule_id, "")
+                for rule_id in run.rules_run
+            },
+        )
+    elif args.format == "json":
+        payload = findings_to_json(run.findings)
+    else:
+        payload = format_findings(run.findings)
+
+    if args.output:
+        from repro.io import atomic_write_text
+
+        atomic_write_text(args.output, payload + "\n")
+        stats_stream = sys.stdout
+    else:
+        print(payload)
+        stats_stream = sys.stderr
+    if args.stats:
+        print(
+            format_stats(run.findings, run.files_scanned, run.rules_run),
+            file=stats_stream,
+        )
+    return 1 if run.findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -900,7 +935,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run the determinism linter over Python sources",
+        help="run the conformance analyzer over Python sources",
     )
     lint.add_argument(
         "paths",
@@ -912,7 +947,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--select",
         default=None,
-        help="comma-separated rule ids to run (default: all rules)",
+        help="comma-separated rule ids or globs to run, e.g. "
+        "'arch/*,det/wallclock' (default: all rules)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        help="write the findings payload to this file (atomically) "
+        "instead of stdout",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print run statistics (files scanned, rules run, "
+        "finding counts); goes to stderr unless --output is given",
     )
     lint.set_defaults(func=cmd_lint)
 

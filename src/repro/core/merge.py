@@ -31,6 +31,7 @@ import numpy as np
 from repro import obs
 from repro.cache.config import CacheConfig
 from repro.errors import PlacementError
+from repro.fastpath import fast_path
 from repro.profiles.graph import WeightedGraph
 from repro.program.procedure import DEFAULT_CHUNK_SIZE, ChunkId
 from repro.program.program import Program
@@ -163,6 +164,7 @@ def offset_costs_reference(
     return costs
 
 
+@fast_path(scalar="repro.core.merge.offset_costs_reference")
 def offset_costs_fast(
     n1: MergeNode,
     n2: MergeNode,

@@ -25,6 +25,7 @@ from repro.cache.config import CacheConfig
 from repro.core.linearize import linearize
 from repro.core.merge import MergeNode, best_offset
 from repro.errors import PlacementError
+from repro.fastpath import fast_path
 from repro.placement.base import PlacementContext
 from repro.profiles.graph import WeightedGraph
 from repro.profiles.pairdb import PairDatabase
@@ -46,6 +47,7 @@ def _set_mask(
     return mask
 
 
+@fast_path(scalar="repro.core.setassoc.sa_offset_costs_reference")
 def sa_offset_costs(
     n1: MergeNode,
     n2: MergeNode,

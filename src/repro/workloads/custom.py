@@ -128,5 +128,10 @@ def workload_to_dict(workload: Workload) -> dict[str, Any]:
 
 
 def save_workload(workload: Workload, path: str | Path) -> None:
+    """Write a workload spec atomically (temp + fsync + replace)."""
+    # Lazily imported: repro.io sits above workloads in the layering
+    # table (see LAZY_ALLOWLIST in repro.analysis.layering).
+    from repro.io import atomic_write_text
+
     text = json.dumps(workload_to_dict(workload), indent=2, sort_keys=True)
-    Path(path).write_text(text + "\n")
+    atomic_write_text(Path(path), text + "\n")

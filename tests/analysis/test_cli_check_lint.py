@@ -93,3 +93,88 @@ class TestLint:
 
         src = str(__import__("pathlib").Path(repro.__file__).parent)
         assert main(["lint", src]) == 0
+
+
+VIOLATION = "import random\n\nx = random.random()\n"
+
+
+class TestLintFormats:
+    def test_select_accepts_family_globs(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        assert main(["lint", str(tmp_path), "--select", "arch/*"]) == 0
+        assert (
+            main(["lint", str(tmp_path), "--select", "det/*"]) == 1
+        )
+
+    def test_json_format_emits_finding_records(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "det/unseeded-random"
+        assert payload[0]["severity"] == "error"
+
+    def test_sarif_format_parses_and_carries_findings(
+        self, capsys, tmp_path
+    ):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        assert main(["lint", str(tmp_path), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"det/unseeded-random"}
+        declared = {
+            rule["id"]
+            for rule in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert "det/unseeded-random" in declared
+
+    def test_output_writes_payload_file(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        out = tmp_path / "artifacts" / "lint.sarif"
+        out.parent.mkdir()
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--format",
+                    "sarif",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 1
+        )
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"]
+        # Payload went to the file, not stdout.
+        assert "runs" not in capsys.readouterr().out
+
+    def test_stats_go_to_stderr_without_output(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "files scanned: 1" in captured.err
+        assert "rules run:" in captured.err
+        assert "no findings" in captured.out
+
+    def test_stats_go_to_stdout_with_output(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        out = tmp_path / "lint.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--format",
+                    "json",
+                    "--output",
+                    str(out),
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "files scanned: 1" in captured.out
+        assert json.loads(out.read_text()) == []

@@ -1,0 +1,207 @@
+"""The ``conc/*`` fork-safety rules on fixture trees."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import run_linter
+
+
+def write_tree(root, files):
+    for relative, body in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+    return root
+
+
+def conc_findings(tmp_path, files):
+    write_tree(tmp_path, files)
+    return run_linter([tmp_path], select=["conc/*"])
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestRawWriteRule:
+    def test_bare_open_write_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/maker.py": """
+                def emit(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+            """,
+        })
+        assert rules_of(findings) == {"conc/raw-write"}
+
+    def test_write_text_method_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/maker.py": """
+                from pathlib import Path
+
+                def emit(path, text):
+                    Path(path).write_text(text)
+            """,
+        })
+        assert rules_of(findings) == {"conc/raw-write"}
+
+    def test_read_mode_open_is_clean(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/maker.py": """
+                def load(path):
+                    with open(path) as handle:
+                        return handle.read()
+
+                def load_binary(path):
+                    with open(path, "rb") as handle:
+                        return handle.read()
+            """,
+        })
+        assert findings == []
+
+    def test_allowlisted_streaming_module_is_clean(self, tmp_path):
+        # repro.obs.sinks carries a RAW_WRITE_ALLOWLIST entry.
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/obs/__init__.py": "",
+            "repro/obs/sinks.py": """
+                def start(path):
+                    return open(path, "w")
+            """,
+        })
+        assert findings == []
+
+
+class TestGlobalMutationRule:
+    def test_module_dict_write_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/memo.py": """
+                _CACHE = {}
+
+                def put(key, value):
+                    _CACHE[key] = value
+            """,
+        })
+        assert rules_of(findings) == {"conc/global-mutation"}
+
+    def test_global_reassignment_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/state.py": """
+                _MODE = None
+
+                def set_mode(mode):
+                    global _MODE
+                    _MODE = mode
+            """,
+        })
+        assert rules_of(findings) == {"conc/global-mutation"}
+
+    def test_allowlisted_state_is_clean(self, tmp_path):
+        # (repro.obs.runtime, _STATE) is the sanctioned switch.
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/obs/__init__.py": "",
+            "repro/obs/runtime.py": """
+                _STATE = None
+
+                def enable(state):
+                    global _STATE
+                    _STATE = state
+            """,
+        })
+        assert findings == []
+
+    def test_local_shadowing_is_clean(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/memo.py": """
+                _CACHE = {}
+
+                def rebuild(items):
+                    _CACHE = {}
+                    for key, value in items:
+                        _CACHE[key] = value
+                    return _CACHE
+            """,
+        })
+        assert findings == []
+
+
+class TestWorkerWriteRule:
+    def test_io_writer_reachable_from_worker_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/helpers.py": """
+                from repro.io import atomic_write_text
+
+                def persist(task):
+                    atomic_write_text("out.json", str(task))
+            """,
+            "repro/io.py": "def atomic_write_text(path, text): ...\n",
+            "repro/runner/__init__.py": "",
+            "repro/runner/pool.py": """
+                from repro.helpers import persist
+
+                def execute_task(task):
+                    return persist(task)
+            """,
+        })
+        assert "conc/worker-write" in rules_of(findings)
+        finding = next(
+            f for f in findings if f.rule == "conc/worker-write"
+        )
+        assert "repro.helpers.persist" in finding.message
+
+    def test_journal_append_on_local_instance_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/runner/__init__.py": "",
+            "repro/runner/journal.py": """
+                class CheckpointJournal:
+                    def append(self, record): ...
+            """,
+            "repro/runner/pool.py": """
+                from repro.runner.journal import CheckpointJournal
+
+                def execute_task(task):
+                    journal = CheckpointJournal()
+                    journal.append(task)
+            """,
+        })
+        assert "conc/worker-write" in rules_of(findings)
+
+    def test_pure_worker_is_clean(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/runner/__init__.py": "",
+            "repro/runner/pool.py": """
+                def execute_task(task):
+                    return task * 2
+            """,
+        })
+        assert findings == []
+
+    def test_unreachable_writer_is_clean(self, tmp_path):
+        # The writer exists but no worker entry point can reach it.
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/helpers.py": """
+                from repro.io import atomic_write_text
+
+                def persist(task):
+                    atomic_write_text("out.json", str(task))
+            """,
+            "repro/io.py": "def atomic_write_text(path, text): ...\n",
+            "repro/runner/__init__.py": "",
+            "repro/runner/pool.py": """
+                def execute_task(task):
+                    return task * 2
+            """,
+        })
+        assert findings == []

@@ -168,6 +168,59 @@ class TestWallclock:
             "det/wallclock"
         }
 
+    def test_time_ns_variants_flagged(self):
+        assert lint(
+            """
+            import time
+
+            a = time.monotonic_ns()
+            b = time.process_time_ns()
+            """
+        ) == {"det/wallclock"}
+
+    def test_datetime_now_and_utcnow_flagged(self):
+        assert lint(
+            """
+            import datetime
+
+            a = datetime.datetime.now()
+            b = datetime.datetime.utcnow()
+            """
+        ) == {"det/wallclock"}
+
+    def test_datetime_class_alias_flagged(self):
+        assert lint(
+            """
+            from datetime import datetime
+
+            stamp = datetime.now()
+            """
+        ) == {"det/wallclock"}
+
+    def test_date_today_flagged(self):
+        assert lint(
+            """
+            from datetime import date
+
+            day = date.today()
+            """
+        ) == {"det/wallclock"}
+
+    def test_datetime_pure_constructors_allowed(self):
+        assert (
+            lint(
+                """
+                import datetime
+                from datetime import datetime as DateTime
+
+                a = datetime.datetime(2024, 1, 1)
+                b = DateTime.fromtimestamp(0)
+                c = datetime.timedelta(seconds=3)
+                """
+            )
+            == set()
+        )
+
     def test_sleep_and_struct_time_allowed(self):
         assert (
             lint(
@@ -242,8 +295,11 @@ class TestHarness:
         assert rules_of(findings) == {"det/mutable-default"}
 
     def test_every_registered_rule_has_fixture_coverage(self):
-        """The fixtures above must cover the whole registry, so a new
-        rule cannot land without a firing test."""
+        """Every registered rule must have a firing fixture test, so a
+        new rule cannot land without one.  Per-file det/* rules are
+        covered above; the whole-program families live in
+        test_arch_rules.py, test_concsafety.py and
+        test_parity_rules.py."""
         covered = {
             "det/unseeded-random",
             "det/mutable-default",
@@ -251,5 +307,19 @@ class TestHarness:
             "det/set-iteration",
             "det/dict-mutation",
             "det/wallclock",
+            # tests/analysis/test_arch_rules.py
+            "arch/cycle",
+            "arch/upward-import",
+            "arch/lazy-upward-import",
+            "arch/stale-allowlist",
+            "arch/unmapped-module",
+            # tests/analysis/test_concsafety.py
+            "conc/raw-write",
+            "conc/global-mutation",
+            "conc/worker-write",
+            # tests/analysis/test_parity_rules.py
+            "parity/unregistered",
+            "parity/unresolved-scalar",
+            "parity/untested",
         }
         assert {rule.rule_id for rule in all_rules()} == covered

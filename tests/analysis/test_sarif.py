@@ -1,0 +1,139 @@
+"""SARIF/JSON rendering and run statistics."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import (
+    Finding,
+    Location,
+    Severity,
+    findings_to_json,
+    findings_to_sarif,
+    format_stats,
+    render_sarif,
+    rule_descriptions,
+)
+from repro.analysis.linter import run_linter_detailed
+
+FINDINGS = [
+    Finding(
+        rule="det/wallclock",
+        severity=Severity.ERROR,
+        message="time.time() reads the wall clock",
+        location=Location(file="src/repro/x.py", line=12),
+    ),
+    Finding(
+        rule="arch/stale-allowlist",
+        severity=Severity.WARNING,
+        message="dead sanction",
+        location=Location(file="src/repro/analysis/layering.py",
+                          obj="a -> b"),
+    ),
+    Finding(
+        rule="cache/misc",
+        severity=Severity.INFO,
+        message="informational",
+    ),
+]
+
+
+class TestSarifShape:
+    def test_log_carries_schema_version_and_single_run(self):
+        log = findings_to_sarif(FINDINGS)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        assert len(log["runs"]) == 1
+
+    def test_every_finding_becomes_a_result(self):
+        results = findings_to_sarif(FINDINGS)["runs"][0]["results"]
+        assert len(results) == len(FINDINGS)
+        assert {r["ruleId"] for r in results} == {
+            f.rule for f in FINDINGS
+        }
+
+    def test_severity_maps_to_sarif_levels(self):
+        results = findings_to_sarif(FINDINGS)["runs"][0]["results"]
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels["det/wallclock"] == "error"
+        assert levels["arch/stale-allowlist"] == "warning"
+        assert levels["cache/misc"] == "note"
+
+    def test_locations_carry_uri_and_line(self):
+        results = findings_to_sarif(FINDINGS)["runs"][0]["results"]
+        located = next(
+            r for r in results if r["ruleId"] == "det/wallclock"
+        )
+        physical = located["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert physical["region"]["startLine"] == 12
+        bare = next(r for r in results if r["ruleId"] == "cache/misc")
+        assert "locations" not in bare
+
+    def test_driver_declares_every_result_rule(self):
+        log = findings_to_sarif(
+            FINDINGS, {"det/wallclock": "no wall-clock reads"}
+        )
+        driver = log["runs"][0]["tool"]["driver"]
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert {f.rule for f in FINDINGS} <= declared
+        by_id = {rule["id"]: rule for rule in driver["rules"]}
+        assert (
+            by_id["det/wallclock"]["shortDescription"]["text"]
+            == "no wall-clock reads"
+        )
+
+    def test_render_is_valid_json_round_trip(self):
+        text = render_sarif(FINDINGS, rule_descriptions())
+        assert json.loads(text) == findings_to_sarif(
+            FINDINGS, rule_descriptions()
+        )
+
+    def test_seeded_violation_run_round_trips(self, tmp_path):
+        module = tmp_path / "seeded.py"
+        module.write_text(textwrap.dedent("""
+            import time
+            from random import choice
+
+            def f(xs=[]):
+                return time.time()
+        """))
+        run = run_linter_detailed([tmp_path])
+        assert run.findings
+        log = findings_to_sarif(run.findings, rule_descriptions())
+        results = log["runs"][0]["results"]
+        assert len(results) == len(run.findings)
+        assert {r["ruleId"] for r in results} == {
+            f.rule for f in run.findings
+        }
+
+
+class TestJsonFormat:
+    def test_findings_serialise_with_all_fields(self):
+        payload = json.loads(findings_to_json(FINDINGS))
+        assert len(payload) == len(FINDINGS)
+        wallclock = next(
+            item for item in payload if item["rule"] == "det/wallclock"
+        )
+        assert wallclock["severity"] == "error"
+        assert wallclock["file"] == "src/repro/x.py"
+        assert wallclock["line"] == 12
+
+
+class TestStats:
+    def test_stats_report_families_and_counts(self):
+        text = format_stats(
+            FINDINGS,
+            files_scanned=7,
+            rules_run=["det/wallclock", "det/unseeded-random",
+                       "arch/cycle"],
+        )
+        assert "files scanned: 7" in text
+        assert "rules run: 3 (arch=1, det=2)" in text
+        assert "findings: 3 (1 error(s))" in text
+        assert "det/wallclock: 1" in text
+
+    def test_clean_run_stats(self):
+        text = format_stats([], files_scanned=3, rules_run=["det/x"])
+        assert "findings: 0 (0 error(s))" in text

@@ -1,0 +1,52 @@
+"""The fast-path registry: declaration, lookup and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fastpath import fast_path, fast_path_registry, scalar_twin_of
+
+
+def test_decoration_registers_and_annotates():
+    @fast_path(scalar="tests.test_fastpath.reference")
+    def kernel(xs):
+        return xs
+
+    name = f"{kernel.__module__}.{kernel.__qualname__}"
+    assert fast_path_registry()[name] == "tests.test_fastpath.reference"
+    assert scalar_twin_of(kernel) == "tests.test_fastpath.reference"
+
+
+def test_registry_returns_a_copy():
+    snapshot = fast_path_registry()
+    snapshot["bogus"] = "entry"
+    assert "bogus" not in fast_path_registry()
+
+
+def test_scalar_must_be_a_dotted_string():
+    with pytest.raises(ConfigError):
+        fast_path(scalar="notdotted")
+    with pytest.raises(ConfigError):
+        fast_path(scalar="")
+
+
+def test_conflicting_reregistration_is_rejected():
+    @fast_path(scalar="tests.a.ref")
+    def twin_conflict(xs):
+        return xs
+
+    with pytest.raises(ConfigError):
+        fast_path(scalar="tests.b.other")(twin_conflict)
+
+
+def test_identical_reregistration_is_idempotent():
+    @fast_path(scalar="tests.a.ref")
+    def twin_same(xs):
+        return xs
+
+    assert fast_path(scalar="tests.a.ref")(twin_same) is twin_same
+
+
+def test_undecorated_callable_has_no_twin():
+    assert scalar_twin_of(len) is None

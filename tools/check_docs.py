@@ -4,7 +4,8 @@ Run from the repository root (CI's docs job does exactly this)::
 
     python tools/check_docs.py
 
-Three checks, all stdlib-only:
+Five checks, all stdlib-only (the docs CI job installs nothing, so
+source files are *parsed*, never imported):
 
 * every relative markdown link in ``docs/``, ``README.md`` and
   ``CHANGES.md`` resolves to an existing file or directory;
@@ -12,13 +13,19 @@ Three checks, all stdlib-only:
   ``docs/api.md``;
 * ``docs/caching.md`` is cross-linked from ``docs/architecture.md``
   and ``README.md`` (new subsystems must be reachable from the
-  entry-point docs, not just present on disk).
+  entry-point docs, not just present on disk);
+* the layering table in ``docs/architecture.md`` mirrors
+  ``repro.analysis.layering.LAYERS`` rank-for-rank;
+* every registered lint rule id (``rule_id = "..."`` in the analysis
+  rule modules) appears in both ``docs/api.md`` and
+  ``docs/architecture.md``.
 
 Prints one line per problem and exits 1 when any check fails.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -107,6 +114,101 @@ def check_cross_links(repo: Path = REPO) -> list[str]:
     return problems
 
 
+#: Rows of a two-column markdown table: | rank | `a`, `b` |
+_TABLE_ROW = re.compile(r"^\|\s*(\d+)\s*\|(.+)\|\s*$")
+
+#: Backtick-quoted names inside a table cell.
+_CELL_NAME = re.compile(r"`([^`]+)`")
+
+#: Lint-rule id assignments in the analysis rule modules.
+_RULE_ID = re.compile(r"^\s*rule_id\s*=\s*[\"']([^\"']+)[\"']", re.M)
+
+#: Analysis modules that register lint rules.
+RULE_MODULES = (
+    "src/repro/analysis/rules.py",
+    "src/repro/analysis/layering.py",
+    "src/repro/analysis/concsafety.py",
+    "src/repro/analysis/parity.py",
+)
+
+
+def declared_layers(repo: Path = REPO) -> list[tuple[str, ...]]:
+    """The ``LAYERS`` table, read by parsing, never importing."""
+    source = (repo / "src/repro/analysis/layering.py").read_text()
+    for node in ast.parse(source).body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            targets = [node.target.id]
+        if "LAYERS" in targets and node.value is not None:
+            return list(ast.literal_eval(node.value))
+    raise SystemExit(
+        "src/repro/analysis/layering.py: LAYERS assignment not found"
+    )
+
+
+def documented_layers(repo: Path = REPO) -> list[tuple[str, ...]]:
+    """The rank table rows of ``docs/architecture.md``, in order."""
+    rows: list[tuple[int, tuple[str, ...]]] = []
+    for line in (repo / "docs/architecture.md").read_text().splitlines():
+        match = _TABLE_ROW.match(line)
+        if match is None:
+            continue
+        names = tuple(_CELL_NAME.findall(match.group(2)))
+        if names:
+            rows.append((int(match.group(1)), names))
+    return [names for _, names in sorted(rows, key=lambda row: row[0])]
+
+
+def check_layering_table(repo: Path = REPO) -> list[str]:
+    """Drift between ``LAYERS`` and the architecture.md mirror."""
+    declared = declared_layers(repo)
+    documented = documented_layers(repo)
+    if declared == documented:
+        return []
+    problems = []
+    for rank in range(max(len(declared), len(documented))):
+        code = declared[rank] if rank < len(declared) else None
+        docs = documented[rank] if rank < len(documented) else None
+        if code != docs:
+            problems.append(
+                "docs/architecture.md: layering rank "
+                f"{rank} is {docs!r} but "
+                f"repro.analysis.layering.LAYERS has {code!r}"
+            )
+    return problems
+
+
+def registered_rule_ids(repo: Path = REPO) -> list[str]:
+    """Every ``rule_id`` declared by the analysis rule modules."""
+    ids: set[str] = set()
+    for relative in RULE_MODULES:
+        path = repo / relative
+        if not path.exists():
+            raise SystemExit(f"{relative}: rule module missing")
+        ids.update(_RULE_ID.findall(path.read_text()))
+    return sorted(ids)
+
+
+def check_rule_docs(repo: Path = REPO) -> list[str]:
+    """Registered rule ids absent from the reference docs."""
+    problems = []
+    for doc in ("docs/api.md", "docs/architecture.md"):
+        text = (repo / doc).read_text()
+        for rule_id in registered_rule_ids(repo):
+            if rule_id not in text:
+                problems.append(
+                    f"{doc}: registered lint rule {rule_id!r} is "
+                    "undocumented"
+                )
+    return problems
+
+
 def main() -> int:
     """Run every check; print problems; return a process exit code."""
     problems = []
@@ -114,6 +216,8 @@ def main() -> int:
         problems.extend(check_links(path))
     problems.extend(check_api_coverage())
     problems.extend(check_cross_links())
+    problems.extend(check_layering_table())
+    problems.extend(check_rule_docs())
     for problem in problems:
         print(problem)
     if problems:
