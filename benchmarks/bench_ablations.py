@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import FAST, scaled_suite, write_report
+from benchmarks.conftest import FAST, record_bench, scaled_suite, write_report
 from repro.cache.config import CacheConfig, PAPER_CACHE
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -47,6 +47,10 @@ def test_ablation_chunk_size(benchmark):
     lines = ["chunk-size ablation (vortex, GBSC):"]
     lines += [f"  {size:>5} B: {rate:.4%}" for size, rate in rates.items()]
     write_report("ablations", "\n".join(lines))
+    record_bench(
+        "ablations:chunk-size",
+        {f"chunk{size}": rate for size, rate in rates.items()},
+    )
     # Every chunking beats no placement at all (full-scale runs only).
     if FAST:
         return

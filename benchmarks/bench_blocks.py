@@ -15,7 +15,7 @@ and measures the composition:
 
 from __future__ import annotations
 
-from benchmarks.conftest import FAST, scaled_suite, write_report
+from benchmarks.conftest import FAST, record_bench, scaled_suite, write_report
 from repro.blocks.cfg import random_cfg
 from repro.blocks.placement import apply_reorders, reorder_all
 from repro.blocks.trace import blockify_trace
@@ -81,6 +81,13 @@ def test_block_positioning_composes_with_gbsc(benchmark):
     ]
     lines += [f"  {name:<30} {rate:.4%}" for name, rate in rates.items()]
     write_report("blocks", "\n".join(lines))
+    record_bench(
+        "blocks:perl",
+        {
+            name.replace(" + ", "_").replace(" ", "_"): rate
+            for name, rate in rates.items()
+        },
+    )
 
     # Repositioning helps under both procedure layouts, and the
     # composition is the best configuration of all four.

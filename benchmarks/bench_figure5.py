@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import RUNS, cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    RUNS,
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.core.gbsc import GBSCPlacement
 from repro.eval.randomization import perturbation_sweep, summarize
 from repro.eval.reporting import format_figure5_panel
@@ -74,6 +80,15 @@ def test_figure5_panel(benchmark, workload):
     gbsc = by_name["GBSC"]
     ph = by_name["PH"]
     hkc = by_name["HKC"]
+    record_bench(
+        f"figure5:{workload.name}",
+        {
+            "gbsc_median": gbsc.median,
+            "ph_median": ph.median,
+            "hkc_median": hkc.median,
+            "gbsc_unperturbed": gbsc.unperturbed,
+        },
+    )
 
     # Distribution-shape assertions need a meaningful sample; smoke
     # runs (REPRO_FAST / tiny REPRO_RUNS) only regenerate the data.

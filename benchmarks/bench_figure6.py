@@ -10,7 +10,13 @@ linear in the misses; the WCG metric is a poor predictor.
 
 from __future__ import annotations
 
-from benchmarks.conftest import FAST, cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    FAST,
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import PAPER_CACHE
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -80,6 +86,10 @@ def test_figure6_correlation(benchmark):
             list(zip(miss_rates, wcg_metrics)),
             r_wcg,
         ),
+    )
+
+    record_bench(
+        "figure6:go", {"r_trg": r_trg, "r_wcg": r_wcg, "layouts": LAYOUTS}
     )
 
     # Figure 6's shape: strong linear correlation for the TRG metric,

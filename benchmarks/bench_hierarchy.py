@@ -10,7 +10,13 @@ direct-mapped L1 plus a 64 KB 4-way L2.
 
 from __future__ import annotations
 
-from benchmarks.conftest import FAST, cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    FAST,
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import CacheConfig, PAPER_CACHE
 from repro.cache.hierarchy import simulate_hierarchy
 from repro.core.gbsc import GBSCPlacement
@@ -46,6 +52,15 @@ def test_placement_helps_both_levels(benchmark):
 
     default_l1, default_l2 = rows["default"]
     gbsc_l1, gbsc_l2 = rows["GBSC"]
+    record_bench(
+        "hierarchy:vortex",
+        {
+            "default_l1_miss_rate": default_l1.miss_rate,
+            "gbsc_l1_miss_rate": gbsc_l1.miss_rate,
+            "default_l2_misses": default_l2.misses,
+            "gbsc_l2_misses": gbsc_l2.misses,
+        },
+    )
     # Fewer L1 misses means a smaller L2 reference stream by
     # construction; assert the composition end to end.
     assert gbsc_l1.misses < default_l1.misses

@@ -11,7 +11,13 @@ reduction GBSC's single greedy pass already captures.
 
 from __future__ import annotations
 
-from benchmarks.conftest import FAST, cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    FAST,
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import PAPER_CACHE
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -59,6 +65,15 @@ def test_optimizer_vs_gbsc(benchmark):
 
     gbsc_metric, gbsc_rate = rows["GBSC"]
     seeded_metric, seeded_rate = rows["TRG-opt (from GBSC)"]
+    record_bench(
+        "optimizer:m88ksim",
+        {
+            "gbsc_metric": gbsc_metric,
+            "gbsc_miss_rate": gbsc_rate,
+            "seeded_metric": seeded_metric,
+            "seeded_miss_rate": seeded_rate,
+        },
+    )
     # Descent seeded from GBSC can only improve the training metric.
     assert seeded_metric <= gbsc_metric + 1e-6
     # And GBSC's greedy pass must already be competitive: descent

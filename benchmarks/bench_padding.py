@@ -10,7 +10,12 @@ size must change nothing, since the cache mapping is preserved).
 
 from __future__ import annotations
 
-from benchmarks.conftest import cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import PAPER_CACHE
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -49,6 +54,14 @@ def test_one_line_padding_changes_miss_rate(benchmark):
                 "(cache mapping preserved)",
             ]
         ),
+    )
+    record_bench(
+        "padding:perl",
+        {
+            "base_miss_rate": base,
+            "padded_miss_rate": padded,
+            "relative_change": relative,
+        },
     )
     # The paper saw a 42% relative change; we require a material one.
     assert relative > 0.10

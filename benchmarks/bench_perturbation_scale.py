@@ -10,7 +10,14 @@ vortex analog and regenerates both observations.
 
 from __future__ import annotations
 
-from benchmarks.conftest import FAST, RUNS, cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    FAST,
+    RUNS,
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.core.gbsc import GBSCPlacement
 from repro.eval.randomization import perturbation_sweep
 
@@ -46,6 +53,13 @@ def test_perturbation_scale_sensitivity(benchmark):
             f"spread {spread:.4%}"
         )
     write_report("perturbation_scale", "\n".join(lines))
+    record_bench(
+        "perturbation-scale:vortex",
+        {
+            f"s{scale}_median": result.median
+            for scale, result in outcomes.items()
+        },
+    )
 
     # s = 0: no noise, every run identical.
     zero = outcomes[0.0]

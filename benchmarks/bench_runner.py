@@ -19,9 +19,16 @@ import os
 
 import pytest
 
-from benchmarks.conftest import RUNS, RESULTS_DIR, scaled_suite, write_report
+from benchmarks.conftest import (
+    RUNS,
+    RESULTS_DIR,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import PAPER_CACHE
 from repro.obs.clock import monotonic
+from repro.obs.perf import host_fingerprint
 from repro.runner import BatchRunner
 from repro.runner.grids import compare_batch, table1_batch
 
@@ -89,12 +96,16 @@ def test_pool_speedup(tmp_path_factory):
         "cpu_count": cores,
         "threshold": SPEEDUP_THRESHOLD,
         "threshold_enforced": enforced,
+        "host": host_fingerprint(),
         "compare": compare,
         "table1": table1,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_runner.json").write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    record_bench(
+        "runner-pool", {"compare": compare, "table1": table1}
     )
     write_report(
         "runner",

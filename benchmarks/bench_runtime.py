@@ -13,7 +13,12 @@ import random
 
 import pytest
 
-from benchmarks.conftest import cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import CacheConfig
 from repro.core.gbsc import GBSCPlacement
 from repro.core.merge import (
@@ -63,6 +68,10 @@ def test_merge_cost_fast_scaling_in_cache_lines(benchmark, lines):
     config = CacheConfig(size=lines * 32, line_size=32)
     n1, n2, graph, program = _merge_inputs(30, config)
     benchmark(offset_costs_fast, n1, n2, graph, program, config)
+    record_bench(
+        f"runtime:merge-fast-lines{lines}",
+        {"mean_s": benchmark.stats.stats.mean},
+    )
 
 
 @pytest.mark.parametrize("procs", [10, 30, 60])
@@ -87,6 +96,13 @@ def test_full_gbsc_placement_runtime(benchmark):
     context = cached_context(workload)
     result = benchmark.pedantic(
         lambda: GBSCPlacement().place(context), rounds=1, iterations=2
+    )
+    record_bench(
+        "runtime:gbsc-perl",
+        {
+            "mean_s": benchmark.stats.stats.mean,
+            "text_size": result.text_size,
+        },
     )
     write_report(
         "runtime",

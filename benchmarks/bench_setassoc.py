@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import FAST, cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    FAST,
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import PAPER_CACHE, PAPER_CACHE_2WAY
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -56,6 +62,13 @@ def test_two_way_placement(benchmark, workload):
     lines = [f"{workload.name} on the 2-way 8 KB LRU cache:"]
     lines += [f"  {name:<22} {rate:.4%}" for name, rate in rates.items()]
     write_report("setassoc", "\n".join(lines))
+    record_bench(
+        f"setassoc:{workload.name}",
+        {
+            name.replace("@", "_at_").replace("-", "_").lower(): rate
+            for name, rate in rates.items()
+        },
+    )
 
     # Associativity removes conflict misses by itself ...
     assert rates["default"] < rates["default@direct-mapped"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import FAST, scaled_suite, write_report
+from benchmarks.conftest import FAST, record_bench, scaled_suite, write_report
 from repro.cache.config import PAPER_CACHE
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -104,6 +104,15 @@ def test_splitting_plus_gbsc(benchmark, name):
                 f"cold bytes segregated: {split.cold_bytes}",
             ]
         ),
+    )
+    record_bench(
+        f"splitting:{workload.name}",
+        {
+            "default_miss_rate": default_rate,
+            "gbsc_miss_rate": plain_rate,
+            "split_miss_rate": split_rate,
+            "cold_bytes": split.cold_bytes,
+        },
     )
     # Splitting composes: it never undoes the GBSC win over default,
     # stays within noise of plain GBSC everywhere, and delivers a

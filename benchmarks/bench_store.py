@@ -20,8 +20,9 @@ import subprocess
 import sys
 from pathlib import Path
 
-from benchmarks.conftest import RESULTS_DIR, write_report
+from benchmarks.conftest import RESULTS_DIR, record_bench, write_report
 from repro.obs.clock import monotonic
+from repro.obs.perf import host_fingerprint
 
 #: Required cold/warm speedup for the table1 grid on local disk.
 SPEEDUP_THRESHOLD = 3.0
@@ -113,6 +114,7 @@ def test_store_speedup(tmp_path_factory):
         "fstype": fstype,
         "threshold": SPEEDUP_THRESHOLD,
         "threshold_enforced": enforced,
+        "host": host_fingerprint(),
         "table1": table1,
         "compare": compare,
     }
@@ -120,6 +122,7 @@ def test_store_speedup(tmp_path_factory):
     (RESULTS_DIR / "BENCH_store.json").write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n"
     )
+    record_bench("store", {"table1": table1, "compare": compare})
     write_report(
         "store",
         "\n".join(

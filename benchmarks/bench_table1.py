@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import cached_context, scaled_suite, write_report
+from benchmarks.conftest import (
+    cached_context,
+    record_bench,
+    scaled_suite,
+    write_report,
+)
 from repro.cache.config import PAPER_CACHE
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -55,6 +60,17 @@ def test_table1_row(benchmark, workload):
         write_report("table1", TABLE1_HEADER)
         _printed_header = True
     write_report("table1", format_table1_row(row))
+    record_bench(
+        f"table1:{workload.name}",
+        {
+            "default_miss_rate": row.default_miss_rate,
+            "avg_q_size": row.avg_q_size,
+            "popular_count": row.popular_count,
+            "popular_size": row.popular_size,
+            "train_events": row.train_events,
+            "test_events": row.test_events,
+        },
+    )
 
     # Shape assertions mirroring Table 1's structure:
     # a small popular subset dominates execution ...
@@ -91,6 +107,10 @@ def test_m88ksim_train_test_same(benchmark):
     lines = ["m88ksim, train/test same input:"]
     lines += [f"  {name:<6} {rate:.4%}" for name, rate in rates.items()]
     write_report("table1", "\n".join(lines))
+    record_bench(
+        "table1:m88ksim-train-test",
+        {name.lower(): rate for name, rate in rates.items()},
+    )
 
     # The headline shape: GBSC is the best of the three on the
     # training input itself.

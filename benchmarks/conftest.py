@@ -56,6 +56,30 @@ def write_report(name: str, text: str) -> None:
     print(f"\n{text}")
 
 
+def record_bench(bench: str, metrics: dict) -> None:
+    """Append one bench result to the history ledger.
+
+    Every bench module funnels its headline numbers through here, so
+    ``benchmarks/results/HISTORY.jsonl`` accumulates one record per
+    bench per session (bench id, flat numeric metrics, git describe,
+    host fingerprint) and ``repro-layout perf check`` can gate the
+    latest records against ``benchmarks/baselines.json``.  The ledger
+    survives :func:`fresh_results_dir` on purpose: history only works
+    if it outlives the session that wrote it.
+
+    Fast (``REPRO_FAST=1``) sessions run quarter-length traces, so
+    their numbers live under a distinct ``<bench>:fast`` id — fast and
+    full results must never be compared to each other, and the
+    committed baselines gate the fast ids CI actually runs.
+    """
+    from repro.obs.perf import append_record, bench_record
+
+    if FAST:
+        bench = f"{bench}:fast"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    append_record(RESULTS_DIR / "HISTORY.jsonl", bench_record(bench, metrics))
+
+
 _context_cache: dict[tuple[str, bool], PlacementContext] = {}
 
 

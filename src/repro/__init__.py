@@ -51,6 +51,7 @@ from repro.errors import (
     ConfigError,
     LayoutError,
     ObservabilityError,
+    PerfError,
     PlacementError,
     ProgramError,
     ReproError,
@@ -98,6 +99,7 @@ __all__ = [
     "LayoutError",
     "MissStats",
     "ObservabilityError",
+    "PerfError",
     "PAPER_CACHE",
     "PAPER_CACHE_2WAY",
     "PettisHansenPlacement",

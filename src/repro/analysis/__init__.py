@@ -12,8 +12,9 @@ Two independent halves:
   :func:`audit_offset_costs`, for the observability layer's
   JSONL run files — :func:`audit_manifest` / :func:`audit_run_path` —
   for batch-runner checkpoint directories, :func:`audit_checkpoint`,
-  and for artifact-store directories, :func:`audit_store` (the
-  ``cache/*`` rule family).
+  for artifact-store directories, :func:`audit_store` (the
+  ``cache/*`` rule family), and for benchmark history ledgers,
+  :func:`audit_perf_history` (the ``perf/*`` rule family).
 * **A conformance analyzer** — a non-executing pass over ``src/repro``
   and ``benchmarks/`` enforcing the project's contracts
   (:func:`run_linter` / :func:`run_linter_detailed`).  Per-file rules
@@ -81,10 +82,12 @@ from repro.analysis.profile_audit import (
     audit_trgs,
     audit_working_set,
 )
+from repro.analysis.perf_audit import PERF_RULES, audit_perf_history
 from repro.analysis.store_audit import audit_store, is_store_dir
 
 __all__ = [
     "Finding",
+    "PERF_RULES",
     "ImportEdge",
     "ImportGraph",
     "LintRule",
@@ -105,6 +108,7 @@ __all__ = [
     "audit_offset_realisation",
     "audit_pair_db",
     "audit_partition",
+    "audit_perf_history",
     "audit_placement",
     "audit_profiles",
     "audit_run_path",

@@ -47,6 +47,9 @@ RAW_WRITE_ALLOWLIST: dict[str, str] = {
     "repro.obs.sinks":
         "streaming JSONL span sink; one line per finished span, "
         "terminated by the manifest record",
+    "repro.obs.perf.history":
+        "append-only benchmark ledger; rewriting the file would "
+        "falsify history, and the obs layer may not import repro.io",
 }
 
 #: Sanctioned module-level mutable state: (module, name) -> why.

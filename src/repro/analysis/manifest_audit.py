@@ -348,12 +348,17 @@ def audit_run_path(path: str | Path) -> list[Finding]:
     routed to :func:`~repro.analysis.store_audit.audit_store`, so a
     run directory with an embedded ``--cache`` store gets the
     ``cache/*`` rules applied in the same ``check`` invocation.
+    Benchmark history ledgers (format ``repro/perf-history``) are
+    routed to :func:`~repro.analysis.perf_audit.audit_perf_history`
+    (the ``perf/*`` rules).
     """
     from repro.analysis.checkpoint_audit import (
         audit_checkpoint,
         is_checkpoint_journal,
     )
+    from repro.analysis.perf_audit import audit_perf_history
     from repro.analysis.store_audit import audit_store, is_store_dir
+    from repro.obs.perf.history import is_history_file
 
     target = Path(path)
     if target.is_dir():
@@ -382,6 +387,8 @@ def audit_run_path(path: str | Path) -> list[Finding]:
         return findings
     if target.exists() and is_checkpoint_journal(target):
         return audit_checkpoint(target)
+    if target.exists() and is_history_file(target):
+        return audit_perf_history(target)
     if not target.exists():
         return [
             _finding(

@@ -1,0 +1,259 @@
+"""Auditing benchmark history ledgers (the ``perf/*`` rule family).
+
+The ledger (:mod:`repro.obs.perf.history`) is append-only JSONL that
+accumulates across machines and months, so unlike a single run file it
+*will* eventually contain lines written by older code, copied between
+hosts, or truncated mid-append.  This auditor reads it leniently —
+every defective line becomes a finding, parsing continues — and cross-
+checks what regression gating depends on:
+
+``perf/history-parse``
+    A ledger line is not JSON, not an object, or carries the wrong
+    format/version stamp; or a record lacks a bench id / numeric
+    metrics.  Error severity: gating cannot trust such a ledger.
+``perf/host-mismatch``
+    Consecutive records of the same bench were taken on different host
+    fingerprints (cpu count / platform / python).  Warning severity:
+    the numbers are real but not comparable, which is precisely the
+    silent way benchmark trajectories lie.
+``perf/baseline-missing``
+    Only checked when a baselines path is given: the committed
+    baselines file is absent or unparseable (error — nothing gates
+    anything), or a bench recorded in the ledger has no baseline entry
+    (warning — an unguarded bench can regress invisibly).
+
+Routing: ``repro-layout check`` recognises ledgers among ``.jsonl``
+artifacts via :func:`repro.obs.perf.history.is_history_file`;
+``repro-layout perf check`` calls this directly with the baselines
+path and layers tolerance gating on top.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.errors import AnalysisError, PerfError
+from repro.obs.perf.baseline import load_baselines
+from repro.obs.perf.history import HISTORY_FORMAT, HISTORY_VERSION
+
+#: The rule ids this auditor can report.  ``tools/check_docs.py``
+#: parses this tuple and requires every id to be documented in both
+#: ``docs/api.md`` and ``docs/architecture.md``.
+PERF_RULES = (
+    "perf/history-parse",
+    "perf/baseline-missing",
+    "perf/host-mismatch",
+)
+
+
+def _finding(
+    rule: str,
+    message: str,
+    severity: Severity = Severity.ERROR,
+    file: str | None = None,
+    line: int | None = None,
+    obj: str | None = None,
+) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=severity,
+        message=message,
+        location=Location(file=file, line=line, obj=obj),
+    )
+
+
+def _parse_ledger(
+    path: Path, findings: list[Finding]
+) -> list[dict[str, Any]]:
+    """Lenient line-by-line parse; defects become findings."""
+    file = str(path)
+    records: list[dict[str, Any]] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        raise AnalysisError(f"cannot read {path}: {error}") from error
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            findings.append(
+                _finding(
+                    "perf/history-parse",
+                    f"unparseable ledger line: {error.msg}",
+                    file=file,
+                    line=lineno,
+                )
+            )
+            continue
+        if not isinstance(record, dict):
+            findings.append(
+                _finding(
+                    "perf/history-parse",
+                    "ledger record is not an object",
+                    file=file,
+                    line=lineno,
+                )
+            )
+            continue
+        if record.get("format") != HISTORY_FORMAT:
+            findings.append(
+                _finding(
+                    "perf/history-parse",
+                    f"unexpected format {record.get('format')!r} "
+                    f"(want {HISTORY_FORMAT!r})",
+                    file=file,
+                    line=lineno,
+                )
+            )
+            continue
+        if record.get("version") != HISTORY_VERSION:
+            findings.append(
+                _finding(
+                    "perf/history-parse",
+                    f"unsupported ledger version "
+                    f"{record.get('version')!r}",
+                    file=file,
+                    line=lineno,
+                )
+            )
+            continue
+        bench = record.get("bench")
+        if not isinstance(bench, str) or not bench:
+            findings.append(
+                _finding(
+                    "perf/history-parse",
+                    "record has no bench id",
+                    file=file,
+                    line=lineno,
+                )
+            )
+            continue
+        metrics = record.get("metrics")
+        numeric = isinstance(metrics, dict) and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in metrics.values()
+        )
+        if not numeric or not metrics:
+            findings.append(
+                _finding(
+                    "perf/history-parse",
+                    f"record for bench {bench!r} has no flat numeric "
+                    "metrics map",
+                    file=file,
+                    line=lineno,
+                    obj=bench,
+                )
+            )
+            continue
+        record["_lineno"] = lineno
+        records.append(record)
+    return records
+
+
+def _audit_hosts(
+    records: list[dict[str, Any]],
+    file: str,
+    findings: list[Finding],
+) -> None:
+    """Consecutive same-bench records must share a host fingerprint."""
+    previous: dict[str, dict[str, Any]] = {}
+    for record in records:
+        bench = record["bench"]
+        host = record.get("host") or {}
+        prior = previous.get(bench)
+        if prior is not None and prior.get("host") != host:
+            findings.append(
+                _finding(
+                    "perf/host-mismatch",
+                    f"bench {bench!r} recorded on a different host "
+                    f"than its previous record (line "
+                    f"{prior['_lineno']}): {prior.get('host')!r} vs "
+                    f"{host!r}; timings are not comparable across "
+                    "hosts",
+                    severity=Severity.WARNING,
+                    file=file,
+                    line=record["_lineno"],
+                    obj=bench,
+                )
+            )
+        previous[bench] = record
+    if not records:
+        findings.append(
+            _finding(
+                "perf/history-parse",
+                "ledger contains no valid records",
+                severity=Severity.WARNING,
+                file=file,
+            )
+        )
+
+
+def _audit_baselines(
+    records: list[dict[str, Any]],
+    baselines_path: Path,
+    findings: list[Finding],
+) -> None:
+    file = str(baselines_path)
+    if not baselines_path.is_file():
+        findings.append(
+            _finding(
+                "perf/baseline-missing",
+                f"no committed baselines file at {baselines_path}; "
+                "nothing gates the recorded benches",
+                file=file,
+            )
+        )
+        return
+    try:
+        baselines = load_baselines(baselines_path)
+    except PerfError as error:
+        findings.append(
+            _finding(
+                "perf/baseline-missing",
+                f"baselines file is unusable: {error}",
+                file=file,
+            )
+        )
+        return
+    gated = set(baselines.get("benches") or {})
+    for bench in sorted({record["bench"] for record in records}):
+        if bench not in gated:
+            findings.append(
+                _finding(
+                    "perf/baseline-missing",
+                    f"bench {bench!r} is recorded in the ledger but "
+                    "has no baseline entry; it can regress unnoticed",
+                    severity=Severity.WARNING,
+                    file=file,
+                    obj=bench,
+                )
+            )
+
+
+def audit_perf_history(
+    path: str | Path, baselines: str | Path | None = None
+) -> list[Finding]:
+    """Audit a history ledger; optionally cross-check its baselines.
+
+    Returns findings for bad content; raises
+    :class:`~repro.errors.AnalysisError` only when the ledger cannot
+    be read at all (missing file, IO error) — the same contract as the
+    other artifact auditors.
+    """
+    target = Path(path)
+    if not target.is_file():
+        raise AnalysisError(f"no history ledger at {target}")
+    findings: list[Finding] = []
+    records = _parse_ledger(target, findings)
+    _audit_hosts(records, str(target), findings)
+    if baselines is not None:
+        _audit_baselines(records, Path(baselines), findings)
+    for record in records:
+        record.pop("_lineno", None)
+    return findings

@@ -22,6 +22,15 @@ narration on stderr)::
     repro-layout place train.npz -o layout.json --metrics-out run.jsonl
     repro-layout report run.jsonl       # render timings + metrics
 
+The perf lab (:mod:`repro.obs.perf`) makes runs comparable::
+
+    repro-layout perf diff A.jsonl B.jsonl      # structural manifest diff
+    repro-layout report --diff A.jsonl B.jsonl  # same, as a report mode
+    repro-layout perf record table1:fast --from-json BENCH.json
+    repro-layout perf check                     # gate vs baselines.json
+    repro-layout place t.npz -o l.json --profile --metrics-out run.jsonl
+    repro-layout perf profile run.jsonl         # hottest repro.* functions
+
 Static verification (:mod:`repro.analysis`)::
 
     repro-layout check layout.json      # audit saved artifacts
@@ -159,6 +168,12 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "-v", "--verbose", action="store_true",
         help="narrate pipeline phases and timings on stderr",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="deterministic profiling: attribute span time to repro.* "
+        "functions and publish a 'profile' manifest section (render "
+        "with 'perf profile'); off by default and invisible when off",
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -248,6 +263,7 @@ def _obs_session(
         metrics_out=getattr(args, "metrics_out", None),
         trace_out=getattr(args, "trace_out", None),
         verbose=getattr(args, "verbose", False),
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -652,6 +668,12 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
             f"{'y' if bucket['entries'] == 1 else 'ies'}  "
             f"{_format_bytes(bucket['bytes'])}"
         )
+    hit_rate = summary["hit_rate"]
+    print(
+        f"  session: {summary['hits']} hit(s), {summary['misses']} "
+        f"miss(es), hit rate "
+        f"{'n/a (no accesses)' if hit_rate is None else f'{hit_rate:.1%}'}"
+    )
     return 0
 
 
@@ -683,10 +705,181 @@ def cmd_cache_verify(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import load_run_manifest
+    from repro.errors import PerfError
     from repro.eval.reporting import format_manifest_report
 
+    if args.diff or args.other:
+        # Thin frontend over `perf diff`: report --diff A.jsonl B.jsonl
+        if not (args.diff and args.other):
+            raise PerfError(
+                "diff mode needs both: report --diff A.jsonl B.jsonl"
+            )
+        from repro.obs.perf import diff_manifests, format_diff
+
+        diff = diff_manifests(
+            load_run_manifest(args.run), load_run_manifest(args.other)
+        )
+        print(format_diff(diff))
+        return 0
     manifest = load_run_manifest(args.run)
     print(format_manifest_report(manifest, width=args.width))
+    return 0
+
+
+#: Where the benchmark harness keeps its ledger and gates.
+_DEFAULT_HISTORY = "benchmarks/results/HISTORY.jsonl"
+_DEFAULT_BASELINES = "benchmarks/baselines.json"
+
+
+def cmd_perf_record(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import PerfError
+    from repro.obs.perf import append_record, bench_record
+
+    metrics: dict = {}
+    if args.from_json:
+        try:
+            data = json.loads(Path(args.from_json).read_text())
+        except (
+            OSError,
+            UnicodeDecodeError,
+            json.JSONDecodeError,
+        ) as error:
+            raise PerfError(
+                f"cannot read metrics from {args.from_json}: {error}"
+            ) from error
+        if not isinstance(data, dict):
+            raise PerfError(
+                f"{args.from_json}: metrics payload must be a JSON object"
+            )
+        metrics.update(data)
+    for item in args.metric:
+        name, sep, value = item.partition("=")
+        if not name or not sep:
+            raise PerfError(f"bad --metric {item!r} (want NAME=VALUE)")
+        try:
+            metrics[name] = float(value)
+        except ValueError as error:
+            raise PerfError(
+                f"--metric {item!r}: value is not a number"
+            ) from error
+    record = bench_record(args.bench, metrics)
+    append_record(Path(args.history), record)
+    print(
+        f"recorded {args.bench}: {len(record['metrics'])} metric(s) "
+        f"(git {record['git'] or 'unknown'}) -> {args.history}"
+    )
+    return 0
+
+
+def cmd_perf_diff(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import PerfError
+
+    if args.history:
+        from repro.obs.perf import (
+            diff_metric_maps,
+            format_record_diff,
+            read_history,
+        )
+
+        if args.runs:
+            raise PerfError(
+                "perf diff takes either two run files or --history, "
+                "not both"
+            )
+        records = read_history(Path(args.history))
+        if args.bench:
+            records = [
+                r for r in records if r.get("bench") == args.bench
+            ]
+        if len(records) < 2:
+            scope = f" for bench {args.bench!r}" if args.bench else ""
+            raise PerfError(
+                f"{args.history}: need at least two records{scope} "
+                "to diff"
+            )
+        a, b = records[-2], records[-1]
+        if args.json:
+            payload = {
+                "a": {k: a.get(k) for k in ("bench", "git", "host")},
+                "b": {k: b.get(k) for k in ("bench", "git", "host")},
+                "metrics": diff_metric_maps(
+                    a.get("metrics") or {}, b.get("metrics") or {}
+                ),
+            }
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            print(format_record_diff(a, b))
+        return 0
+    if len(args.runs) != 2:
+        raise PerfError(
+            "perf diff takes exactly two run files "
+            "(or --history PATH for ledger records)"
+        )
+    from repro.analysis import load_run_manifest
+    from repro.obs.perf import diff_manifests, format_diff
+
+    diff = diff_manifests(
+        load_run_manifest(args.runs[0]), load_run_manifest(args.runs[1])
+    )
+    if args.json:
+        print(json.dumps(diff, sort_keys=True))
+    else:
+        print(format_diff(diff))
+    return 0
+
+
+def cmd_perf_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import audit_perf_history, format_findings
+    from repro.obs.perf import (
+        check_records,
+        format_checks,
+        latest_records,
+        load_baselines,
+        read_history,
+    )
+
+    history = Path(args.history)
+    baselines_path = Path(args.baselines)
+    findings = audit_perf_history(history, baselines=baselines_path)
+    if findings:
+        print(format_findings(findings))
+    parse_broken = any(
+        f.rule == "perf/history-parse" for f in findings
+    )
+    if parse_broken or not baselines_path.is_file():
+        # Either the ledger cannot be trusted line by line or there is
+        # nothing to gate against; the findings above say which.
+        return 1 if findings else 0
+    checks = check_records(
+        load_baselines(baselines_path),
+        latest_records(read_history(history)),
+    )
+    print(format_checks(checks))
+    failed = any(check.failed for check in checks)
+    return 1 if failed or findings else 0
+
+
+def cmd_perf_profile(args: argparse.Namespace) -> int:
+    from repro.analysis import load_run_manifest
+    from repro.errors import PerfError
+    from repro.obs.perf import format_profile
+
+    manifest = load_run_manifest(args.run)
+    profile = manifest.get("profile")
+    if profile is None:
+        raise PerfError(
+            f"{args.run}: manifest has no profile section "
+            "(run the command with --profile)"
+        )
+    print(format_profile(profile, limit=args.limit))
     return 0
 
 
@@ -928,10 +1121,96 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run file written by --metrics-out"
     )
     report.add_argument(
+        "other", nargs="?", default=None,
+        help="second run file (diff mode; requires --diff)",
+    )
+    report.add_argument(
+        "--diff", action="store_true",
+        help="structural diff of two run files instead of a report "
+        "(thin frontend over 'perf diff')",
+    )
+    report.add_argument(
         "--width", type=int, default=40,
         help="phase bar chart width in characters",
     )
     report.set_defaults(func=cmd_report)
+
+    perf = subparsers.add_parser(
+        "perf",
+        help="the perf lab: bench history ledger, manifest diffing, "
+        "regression gating, profiles",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_record = perf_sub.add_parser(
+        "record",
+        help="append one bench result (metrics + git + host "
+        "fingerprint) to the history ledger",
+    )
+    perf_record.add_argument("bench", help="bench id, e.g. table1:gcc")
+    perf_record.add_argument(
+        "--from-json", default=None, metavar="FILE",
+        help="read metrics from a JSON object file (nested keys are "
+        "flattened with dots; non-numeric leaves dropped)",
+    )
+    perf_record.add_argument(
+        "--metric", action="append", default=[], metavar="NAME=VALUE",
+        help="add one numeric metric (repeatable)",
+    )
+    perf_record.add_argument(
+        "--history", default=_DEFAULT_HISTORY, metavar="PATH",
+        help=f"ledger to append to (default: {_DEFAULT_HISTORY})",
+    )
+    perf_record.set_defaults(func=cmd_perf_record)
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="diff two run manifests, or the two most recent ledger "
+        "records with --history",
+    )
+    perf_diff.add_argument(
+        "runs", nargs="*",
+        help="exactly two JSONL run files (omit when using --history)",
+    )
+    perf_diff.add_argument(
+        "--history", nargs="?", default=None, const=_DEFAULT_HISTORY,
+        metavar="PATH",
+        help="diff the two most recent records of a history ledger "
+        f"instead of two run files (PATH defaults to {_DEFAULT_HISTORY})",
+    )
+    perf_diff.add_argument(
+        "--bench", default=None, metavar="ID",
+        help="with --history: restrict to records of one bench id",
+    )
+    perf_diff.add_argument(
+        "--json", action="store_true",
+        help="emit the diff payload as JSON instead of text",
+    )
+    perf_diff.set_defaults(func=cmd_perf_diff)
+    perf_check = perf_sub.add_parser(
+        "check",
+        help="audit the ledger (perf/* rules) and gate the latest "
+        "record per bench against committed baselines",
+    )
+    perf_check.add_argument(
+        "--history", default=_DEFAULT_HISTORY, metavar="PATH",
+        help=f"history ledger (default: {_DEFAULT_HISTORY})",
+    )
+    perf_check.add_argument(
+        "--baselines", default=_DEFAULT_BASELINES, metavar="PATH",
+        help=f"baselines file (default: {_DEFAULT_BASELINES})",
+    )
+    perf_check.set_defaults(func=cmd_perf_check)
+    perf_profile = perf_sub.add_parser(
+        "profile",
+        help="render the profile section of a --profile run manifest",
+    )
+    perf_profile.add_argument(
+        "run", help="run file written with --profile --metrics-out"
+    )
+    perf_profile.add_argument(
+        "--limit", type=int, default=25,
+        help="maximum function rows to print (default: 25)",
+    )
+    perf_profile.set_defaults(func=cmd_perf_profile)
 
     lint = subparsers.add_parser(
         "lint",

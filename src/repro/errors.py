@@ -38,6 +38,12 @@ class ObservabilityError(ReproError):
     histogram edges, writing to a closed sink)."""
 
 
+class PerfError(ReproError):
+    """The perf lab was driven with unusable inputs (a history ledger
+    that does not parse, a malformed baselines file, a manifest with no
+    profile section)."""
+
+
 class AnalysisError(ReproError):
     """The static-analysis subsystem was driven with invalid inputs
     (unauditable artifact, missing program model, unknown lint rule)."""

@@ -224,8 +224,42 @@ def format_manifest_report(
                 f"  {name:<{name_width}}  {entry.get('kind', '?'):<9}  "
                 f"{_format_metric_value(entry)}"
             )
+        hit_rate_line = _store_hit_rate_line(plain)
+        if hit_rate_line is not None:
+            lines.append(hit_rate_line)
     if worker_metrics:
         lines.append("")
         lines.append("workers:")
         _worker_lines(worker_metrics, lines)
+    profile = manifest.get("profile")
+    if isinstance(profile, Mapping):
+        functions = profile.get("functions") or {}
+        lines.append("")
+        lines.append(
+            f"profile: {len(functions)} repro.* function(s) sampled "
+            "(render with 'repro-layout perf profile')"
+        )
     return "\n".join(lines)
+
+
+def _store_hit_rate_line(
+    metrics: Mapping[str, Mapping[str, Any]]
+) -> str | None:
+    """Derived ``store.hit_rate`` from the store access counters.
+
+    Returns ``None`` when the run never touched a store; renders the
+    zero-access case explicitly rather than dividing by zero.
+    """
+    hit_entry = metrics.get("store.hit")
+    miss_entry = metrics.get("store.miss")
+    if hit_entry is None and miss_entry is None:
+        return None
+    hits = (hit_entry or {}).get("value") or 0
+    misses = (miss_entry or {}).get("value") or 0
+    accesses = hits + misses
+    if not accesses:
+        return "  store.hit_rate: n/a (no store accesses)"
+    return (
+        f"  store.hit_rate: {hits / accesses:.1%} "
+        f"({hits} of {accesses} lookups)"
+    )

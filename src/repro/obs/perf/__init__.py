@@ -1,0 +1,92 @@
+"""The perf lab: comparing observed runs instead of eyeballing them.
+
+:mod:`repro.obs` (PR 2) made single runs *visible* — spans, metrics,
+an end-of-run manifest.  This package makes runs *comparable*, which
+is what a measurement pipeline is actually for:
+
+* :mod:`repro.obs.perf.diff` — structural diffing of two run
+  manifests: the phase-timing trees are aligned node by node and
+  annotated with wall-time deltas and ratios, metric snapshots are
+  diffed instrument-wise, and config-echo drift (the classic "you
+  benchmarked two different configurations" mistake) is surfaced
+  first.  Rendered as deterministic text or JSON.
+* :mod:`repro.obs.perf.profile` — an opt-in deterministic profiler
+  (``--profile``): a :func:`sys.setprofile` hook scoped inside the
+  run's :func:`~repro.obs.span` boundaries that attributes cumulative
+  time, self time and call counts to ``repro.*`` functions, published
+  as the manifest's ``profile`` section.  Off by default; with it off
+  every artifact stays byte-identical, the same contract as the rest
+  of :mod:`repro.obs`.
+* :mod:`repro.obs.perf.history` — the benchmark history ledger:
+  every bench result appends one record (bench id, flat numeric
+  metrics, git describe, host fingerprint) to an append-only JSONL
+  file, ``benchmarks/results/HISTORY.jsonl``, turning isolated
+  ``BENCH_*.json`` snapshots into a trajectory.
+* :mod:`repro.obs.perf.baseline` — regression gating: compare the
+  latest ledger record per bench against a committed
+  ``benchmarks/baselines.json`` with per-metric direction
+  (higher/lower-is-better) and noise tolerance; drives the
+  ``repro-layout perf check`` exit code.
+
+CLI frontends: ``repro-layout perf {record,diff,check,profile}`` and
+``report --diff A.jsonl B.jsonl``.  The ``perf/*`` audit rules in
+:mod:`repro.analysis.perf_audit` verify ledgers offline.
+"""
+
+from repro.obs.perf.baseline import (
+    BASELINES_FORMAT,
+    BASELINES_VERSION,
+    MetricCheck,
+    check_records,
+    format_checks,
+    load_baselines,
+)
+from repro.obs.perf.diff import (
+    diff_manifests,
+    diff_metric_maps,
+    format_diff,
+    format_record_diff,
+)
+from repro.obs.perf.history import (
+    HISTORY_FORMAT,
+    HISTORY_NAME,
+    HISTORY_VERSION,
+    append_record,
+    bench_record,
+    flatten_metrics,
+    host_fingerprint,
+    is_history_file,
+    latest_records,
+    read_history,
+)
+from repro.obs.perf.profile import (
+    PROFILE_CLOCK,
+    Profiler,
+    format_profile,
+)
+
+__all__ = [
+    "BASELINES_FORMAT",
+    "BASELINES_VERSION",
+    "HISTORY_FORMAT",
+    "HISTORY_NAME",
+    "HISTORY_VERSION",
+    "MetricCheck",
+    "PROFILE_CLOCK",
+    "Profiler",
+    "append_record",
+    "bench_record",
+    "check_records",
+    "diff_manifests",
+    "diff_metric_maps",
+    "flatten_metrics",
+    "format_checks",
+    "format_diff",
+    "format_profile",
+    "format_record_diff",
+    "host_fingerprint",
+    "is_history_file",
+    "latest_records",
+    "load_baselines",
+    "read_history",
+]

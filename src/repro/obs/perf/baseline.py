@@ -1,0 +1,237 @@
+"""Regression gating against committed baselines.
+
+``benchmarks/baselines.json`` is a committed, human-edited file
+(format ``repro/perf-baselines``) declaring, per bench and per metric,
+what "no regression" means:
+
+.. code-block:: json
+
+    {"format": "repro/perf-baselines", "version": 1,
+     "benches": {
+       "table1:gcc": {
+         "metrics": {
+           "miss_rate": {"baseline": 0.031, "direction": "lower",
+                         "tolerance": 0.0},
+           "wall_s": {"baseline": 1.8, "direction": "lower",
+                      "tolerance": 0.5}}}}}
+
+``direction`` states which way is *better*: ``"lower"`` means lower is
+better (miss rates, wall time) so a regression is the latest value
+exceeding ``baseline * (1 + tolerance)``; ``"higher"`` means higher is
+better (hit rates, throughput) so a regression is falling below
+``baseline * (1 - tolerance)``.  ``tolerance`` is a relative noise
+band — 0.0 for deterministic metrics (simulated miss rates never
+wobble), wide for wall-clock on shared CI runners.
+
+:func:`check_records` compares the *latest* ledger record per bench
+(:func:`repro.obs.perf.history.latest_records`) against these
+declarations and returns structured :class:`MetricCheck` rows; the
+``perf check`` CLI renders them and maps any regression to exit 1
+under the established exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import PerfError
+
+BASELINES_FORMAT = "repro/perf-baselines"
+BASELINES_VERSION = 1
+
+_DIRECTIONS = ("higher", "lower")
+
+#: Check row statuses, ordered from healthy to broken.
+STATUS_OK = "ok"
+STATUS_IMPROVED = "improved"
+STATUS_MISSING = "missing"
+STATUS_REGRESSION = "regression"
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One (bench, metric) comparison against its baseline.
+
+    ``status`` is one of ``ok`` (inside the tolerance band),
+    ``improved`` (outside the band in the good direction),
+    ``regression`` (outside in the bad direction) or ``missing`` (the
+    baseline names a metric the latest record did not report — treated
+    as a failure, because silently dropping a gated metric is how
+    regressions hide).
+    """
+
+    bench: str
+    metric: str
+    status: str
+    baseline: float
+    latest: float | None
+    direction: str
+    tolerance: float
+
+    @property
+    def failed(self) -> bool:
+        return self.status in (STATUS_REGRESSION, STATUS_MISSING)
+
+    @property
+    def bound(self) -> float:
+        """The edge of the allowed band in the *bad* direction."""
+        if self.direction == "lower":
+            return self.baseline * (1.0 + self.tolerance)
+        return self.baseline * (1.0 - self.tolerance)
+
+
+def load_baselines(path: Path) -> dict[str, Any]:
+    """Parse and validate the committed baselines file, strictly.
+
+    Every defect raises :class:`~repro.errors.PerfError` with the
+    offending bench/metric named — a baseline file that half-parses
+    would gate half the suite while looking healthy.
+    """
+    if not path.is_file():
+        raise PerfError(f"baselines file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise PerfError(f"{path}: unparseable baselines file: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise PerfError(f"{path}: baselines payload is not an object")
+    if payload.get("format") != BASELINES_FORMAT:
+        raise PerfError(
+            f"{path}: unexpected format {payload.get('format')!r} "
+            f"(want {BASELINES_FORMAT!r})"
+        )
+    if payload.get("version") != BASELINES_VERSION:
+        raise PerfError(
+            f"{path}: unsupported baselines version "
+            f"{payload.get('version')!r}"
+        )
+    benches = payload.get("benches")
+    if not isinstance(benches, dict):
+        raise PerfError(f"{path}: 'benches' must be an object")
+    for bench, spec in benches.items():
+        if not isinstance(spec, dict) or not isinstance(
+            spec.get("metrics"), dict
+        ):
+            raise PerfError(
+                f"{path}: bench {bench!r} must declare a 'metrics' object"
+            )
+        for metric, rule in spec["metrics"].items():
+            where = f"{path}: bench {bench!r} metric {metric!r}"
+            if not isinstance(rule, dict):
+                raise PerfError(f"{where}: rule must be an object")
+            baseline = rule.get("baseline")
+            if isinstance(baseline, bool) or not isinstance(
+                baseline, (int, float)
+            ) or not math.isfinite(baseline):
+                raise PerfError(f"{where}: 'baseline' must be a finite number")
+            if rule.get("direction") not in _DIRECTIONS:
+                raise PerfError(
+                    f"{where}: 'direction' must be one of {_DIRECTIONS}"
+                )
+            tolerance = rule.get("tolerance", 0.0)
+            if isinstance(tolerance, bool) or not isinstance(
+                tolerance, (int, float)
+            ) or tolerance < 0:
+                raise PerfError(
+                    f"{where}: 'tolerance' must be a non-negative number"
+                )
+    return payload
+
+
+def _check_metric(
+    bench: str,
+    metric: str,
+    rule: Mapping[str, Any],
+    latest: float | None,
+) -> MetricCheck:
+    baseline = float(rule["baseline"])
+    direction = str(rule["direction"])
+    tolerance = float(rule.get("tolerance", 0.0))
+    if latest is None:
+        status = STATUS_MISSING
+    elif direction == "lower":
+        if latest > baseline * (1.0 + tolerance):
+            status = STATUS_REGRESSION
+        elif latest < baseline * (1.0 - tolerance):
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+    else:  # higher is better
+        if latest < baseline * (1.0 - tolerance):
+            status = STATUS_REGRESSION
+        elif latest > baseline * (1.0 + tolerance):
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+    return MetricCheck(
+        bench=bench,
+        metric=metric,
+        status=status,
+        baseline=baseline,
+        latest=latest,
+        direction=direction,
+        tolerance=tolerance,
+    )
+
+
+def check_records(
+    baselines: Mapping[str, Any],
+    latest: Mapping[str, Mapping[str, Any]],
+) -> list[MetricCheck]:
+    """Compare latest-per-bench ledger records against *baselines*.
+
+    *latest* is the output of
+    :func:`repro.obs.perf.history.latest_records`.  Only benches named
+    in the baselines are gated; a gated bench with no ledger record at
+    all yields ``missing`` rows for every declared metric.  Extra
+    ledger metrics with no baseline are ignored (record first, gate
+    once the noise floor is known).  Rows come back sorted by (bench,
+    metric) so renderings are deterministic.
+    """
+    checks: list[MetricCheck] = []
+    benches = baselines.get("benches") or {}
+    for bench in sorted(benches):
+        rules = benches[bench].get("metrics") or {}
+        record = latest.get(bench)
+        metrics = (record or {}).get("metrics") or {}
+        for metric in sorted(rules):
+            value = metrics.get(metric)
+            numeric = (
+                float(value)
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                else None
+            )
+            checks.append(
+                _check_metric(bench, metric, rules[metric], numeric)
+            )
+    return checks
+
+
+def format_checks(checks: list[MetricCheck]) -> str:
+    """Deterministic text table of check rows plus a verdict line."""
+    lines = []
+    for check in checks:
+        latest = "-" if check.latest is None else f"{check.latest:.6g}"
+        arrow = "<=" if check.direction == "lower" else ">="
+        lines.append(
+            f"[{check.status:>10}] {check.bench}  {check.metric}: "
+            f"latest={latest} (want {arrow} {check.bound:.6g}; "
+            f"baseline={check.baseline:.6g}, "
+            f"tol={check.tolerance:.6g}, {check.direction} is better)"
+        )
+    failed = sum(1 for check in checks if check.failed)
+    if not checks:
+        lines.append("no gated metrics (empty baselines)")
+    elif failed:
+        lines.append(
+            f"FAIL: {failed} of {len(checks)} gated metrics regressed "
+            "or went missing"
+        )
+    else:
+        lines.append(f"OK: {len(checks)} gated metrics within tolerance")
+    return "\n".join(lines)

@@ -1,0 +1,488 @@
+"""Structural diffing of two run manifests.
+
+A run manifest (:func:`repro.obs.build_manifest`) is three comparable
+surfaces: the config echo, the phase-timing tree and the metric
+snapshot.  :func:`diff_manifests` aligns all three — timing trees node
+by node (children matched by name and occurrence, so a repeated
+``workload`` span diffs against its positional counterpart), metrics
+instrument by instrument, config key by key — and annotates every
+aligned pair with the delta and the b/a ratio.
+
+Config drift is surfaced first in the text rendering: a timing diff
+between two runs of *different configurations* is the single most
+common way to fool yourself with benchmarks, so the tool leads with
+it instead of burying it.
+
+Both renderings are deterministic: the JSON form is the diff payload
+through ``json.dumps(sort_keys=True)``, the text form iterates only
+sorted or order-preserved structures and contains no timestamps, so
+diffing the same two manifests twice is byte-identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.session import format_duration
+
+DIFF_FORMAT = "repro/manifest-diff"
+DIFF_VERSION = 1
+
+#: Alignment status of one diffed node/instrument/key.
+_BOTH = "both"
+_A_ONLY = "a-only"
+_B_ONLY = "b-only"
+
+
+def _ratio(a: float | None, b: float | None) -> float | None:
+    """b over a, or ``None`` when undefined (missing side, zero base)."""
+    if a is None or b is None or a == 0:
+        return None
+    return b / a
+
+
+def _number(value: Any) -> float | None:
+    """*value* as a float when it is a real number, else ``None``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Config drift
+# ----------------------------------------------------------------------
+
+
+def _diff_config(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Key-level drift between two config echoes."""
+    added = {key: b[key] for key in sorted(b) if key not in a}
+    removed = {key: a[key] for key in sorted(a) if key not in b}
+    changed = {
+        key: [a[key], b[key]]
+        for key in sorted(a)
+        if key in b and a[key] != b[key]
+    }
+    return {"added": added, "removed": removed, "changed": changed}
+
+
+# ----------------------------------------------------------------------
+# Timing trees
+# ----------------------------------------------------------------------
+
+
+def _align_children(
+    a_nodes: list[Mapping[str, Any]],
+    b_nodes: list[Mapping[str, Any]],
+) -> list[tuple[Mapping[str, Any] | None, Mapping[str, Any] | None]]:
+    """Pair children by (name, occurrence index), preserving a-order.
+
+    The n-th ``workload`` span of run a diffs against the n-th of run
+    b; unmatched nodes from either side are kept as one-sided pairs
+    (b-only nodes appended after a's order, in b order).
+    """
+    pairs: list[
+        tuple[Mapping[str, Any] | None, Mapping[str, Any] | None]
+    ] = []
+    b_by_name: dict[str, list[Mapping[str, Any]]] = {}
+    for node in b_nodes:
+        b_by_name.setdefault(str(node.get("name", "?")), []).append(node)
+    taken: dict[str, int] = {}
+    for node in a_nodes:
+        name = str(node.get("name", "?"))
+        index = taken.get(name, 0)
+        matches = b_by_name.get(name, [])
+        if index < len(matches):
+            pairs.append((node, matches[index]))
+            taken[name] = index + 1
+        else:
+            pairs.append((node, None))
+    for name, matches in b_by_name.items():
+        for node in matches[taken.get(name, 0):]:
+            pairs.append((None, node))
+    return pairs
+
+
+def _diff_timing_node(
+    a: Mapping[str, Any] | None, b: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """One aligned node of the timing-tree diff (recursive)."""
+    source = a if a is not None else b
+    assert source is not None
+    a_duration = _number(a.get("duration")) if a is not None else None
+    b_duration = _number(b.get("duration")) if b is not None else None
+    status = _BOTH if a is not None and b is not None else (
+        _A_ONLY if b is None else _B_ONLY
+    )
+    node: dict[str, Any] = {
+        "name": str(source.get("name", "?")),
+        "status": status,
+        "a": a_duration,
+        "b": b_duration,
+        "delta": (
+            b_duration - a_duration
+            if a_duration is not None and b_duration is not None
+            else None
+        ),
+        "ratio": _ratio(a_duration, b_duration),
+    }
+    errors = [
+        side.get("error")
+        for side in (a, b)
+        if side is not None and side.get("error")
+    ]
+    if errors:
+        node["errors"] = sorted(set(str(e) for e in errors))
+    def _children(side: Mapping[str, Any] | None) -> list[Mapping[str, Any]]:
+        if side is None:
+            return []
+        return [
+            child
+            for child in (side.get("children") or [])
+            if isinstance(child, Mapping)
+        ]
+
+    a_children = _children(a)
+    b_children = _children(b)
+    children = [
+        _diff_timing_node(pair_a, pair_b)
+        for pair_a, pair_b in _align_children(a_children, b_children)
+    ]
+    if children:
+        node["children"] = children
+    return node
+
+
+# ----------------------------------------------------------------------
+# Metric snapshots
+# ----------------------------------------------------------------------
+
+
+def _histogram_summary(entry: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "count": _number(entry.get("count")),
+        "sum": _number(entry.get("sum")),
+    }
+
+
+def _diff_metric(
+    a: Mapping[str, Any] | None, b: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """Diff one instrument; kind clashes are reported, not merged."""
+    a_kind = a.get("kind") if a is not None else None
+    b_kind = b.get("kind") if b is not None else None
+    if a is not None and b is not None and a_kind != b_kind:
+        return {
+            "status": "kind-mismatch",
+            "a_kind": a_kind,
+            "b_kind": b_kind,
+        }
+    kind = a_kind if a_kind is not None else b_kind
+    status = _BOTH if a is not None and b is not None else (
+        _A_ONLY if b is None else _B_ONLY
+    )
+    if kind == "histogram":
+        a_summary = _histogram_summary(a) if a is not None else None
+        b_summary = _histogram_summary(b) if b is not None else None
+        entry: dict[str, Any] = {
+            "kind": kind,
+            "status": status,
+            "a": a_summary,
+            "b": b_summary,
+        }
+        if a_summary is not None and b_summary is not None:
+            entry["delta"] = {
+                field: (
+                    b_summary[field] - a_summary[field]
+                    if a_summary[field] is not None
+                    and b_summary[field] is not None
+                    else None
+                )
+                for field in ("count", "sum")
+            }
+        return entry
+    a_value = _number(a.get("value")) if a is not None else None
+    b_value = _number(b.get("value")) if b is not None else None
+    return {
+        "kind": kind,
+        "status": status,
+        "a": a_value,
+        "b": b_value,
+        "delta": (
+            b_value - a_value
+            if a_value is not None and b_value is not None
+            else None
+        ),
+        "ratio": _ratio(a_value, b_value),
+    }
+
+
+def diff_metric_maps(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> dict[str, dict[str, Any]]:
+    """Diff two *flat* ``name -> number`` maps (history records).
+
+    Shares the delta/ratio vocabulary with the manifest diff so ledger
+    records and manifests render the same way.
+    """
+    out: dict[str, dict[str, Any]] = {}
+    for name in sorted(set(a) | set(b)):
+        a_value = _number(a.get(name))
+        b_value = _number(b.get(name))
+        status = _BOTH if name in a and name in b else (
+            _A_ONLY if name not in b else _B_ONLY
+        )
+        out[name] = {
+            "status": status,
+            "a": a_value,
+            "b": b_value,
+            "delta": (
+                b_value - a_value
+                if a_value is not None and b_value is not None
+                else None
+            ),
+            "ratio": _ratio(a_value, b_value),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# The top-level diff
+# ----------------------------------------------------------------------
+
+
+def diff_manifests(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Structural diff of two parsed run manifests.
+
+    Returns a JSON-serialisable payload (format
+    ``repro/manifest-diff``): identity of both runs, config drift, the
+    aligned timing tree with per-node deltas/ratios, and the
+    instrument-wise metric diff.  Purely a function of its inputs —
+    no clock reads — so the same pair of manifests always yields the
+    same payload.
+    """
+    a_metrics = a.get("metrics") or {}
+    b_metrics = b.get("metrics") or {}
+    metric_names = sorted(
+        set(a_metrics) | set(b_metrics)
+    )
+    a_elapsed = _number(a.get("elapsed"))
+    b_elapsed = _number(b.get("elapsed"))
+    a_timings = [
+        t for t in (a.get("timings") or []) if isinstance(t, Mapping)
+    ]
+    b_timings = [
+        t for t in (b.get("timings") or []) if isinstance(t, Mapping)
+    ]
+    return {
+        "format": DIFF_FORMAT,
+        "version": DIFF_VERSION,
+        "commands": [a.get("command"), b.get("command")],
+        "git": [a.get("git"), b.get("git")],
+        "elapsed": {
+            "a": a_elapsed,
+            "b": b_elapsed,
+            "delta": (
+                b_elapsed - a_elapsed
+                if a_elapsed is not None and b_elapsed is not None
+                else None
+            ),
+            "ratio": _ratio(a_elapsed, b_elapsed),
+        },
+        "config": _diff_config(
+            a.get("config") or {}, b.get("config") or {}
+        ),
+        "timings": [
+            _diff_timing_node(pair_a, pair_b)
+            for pair_a, pair_b in _align_children(a_timings, b_timings)
+        ],
+        "metrics": {
+            name: _diff_metric(
+                a_metrics.get(name), b_metrics.get(name)
+            )
+            for name in metric_names
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+
+
+def _format_ratio(ratio: float | None) -> str:
+    return f"{ratio:.2f}x" if ratio is not None else "n/a"
+
+
+def _format_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _timing_diff_lines(
+    node: Mapping[str, Any], depth: int, out: list[str]
+) -> None:
+    indent = "  " * depth
+    name = node["name"]
+    status = node.get("status")
+    if status == _A_ONLY:
+        out.append(
+            f"  {indent}{name} [a only]: "
+            f"{format_duration(node.get('a') or 0.0)}"
+        )
+    elif status == _B_ONLY:
+        out.append(
+            f"  {indent}{name} [b only]: "
+            f"{format_duration(node.get('b') or 0.0)}"
+        )
+    else:
+        delta = node.get("delta") or 0.0
+        sign = "+" if delta >= 0 else "-"
+        suffix = ""
+        if node.get("errors"):
+            suffix = f"  [error: {', '.join(node['errors'])}]"
+        out.append(
+            f"  {indent}{name}: "
+            f"{format_duration(node.get('a') or 0.0)} -> "
+            f"{format_duration(node.get('b') or 0.0)}  "
+            f"({sign}{format_duration(abs(delta))}, "
+            f"{_format_ratio(node.get('ratio'))}){suffix}"
+        )
+    for child in node.get("children") or ():
+        _timing_diff_lines(child, depth + 1, out)
+
+
+def _metric_diff_line(name: str, entry: Mapping[str, Any]) -> str:
+    status = entry.get("status")
+    if status == "kind-mismatch":
+        return (
+            f"  {name}: kind mismatch "
+            f"({entry.get('a_kind')} vs {entry.get('b_kind')})"
+        )
+    kind = entry.get("kind")
+    label = f"  {kind}" if kind else ""
+    if kind == "histogram":
+        a = entry.get("a") or {}
+        b = entry.get("b") or {}
+        if status == _A_ONLY:
+            return f"  {name}  histogram  [a only] count={_format_value((a or {}).get('count'))}"
+        if status == _B_ONLY:
+            return f"  {name}  histogram  [b only] count={_format_value((b or {}).get('count'))}"
+        delta = entry.get("delta") or {}
+        return (
+            f"  {name}  histogram  "
+            f"count {_format_value(a.get('count'))} -> "
+            f"{_format_value(b.get('count'))} "
+            f"(delta {_format_value(delta.get('count'))}), "
+            f"sum {_format_value(a.get('sum'))} -> "
+            f"{_format_value(b.get('sum'))} "
+            f"(delta {_format_value(delta.get('sum'))})"
+        )
+    if status == _A_ONLY:
+        return f"  {name}{label}  [a only] {_format_value(entry.get('a'))}"
+    if status == _B_ONLY:
+        return f"  {name}{label}  [b only] {_format_value(entry.get('b'))}"
+    return (
+        f"  {name}{label}  "
+        f"{_format_value(entry.get('a'))} -> "
+        f"{_format_value(entry.get('b'))}  "
+        f"({_format_value(entry.get('delta'))}, "
+        f"{_format_ratio(entry.get('ratio'))})"
+    )
+
+
+def format_diff(diff: Mapping[str, Any]) -> str:
+    """Deterministic text rendering of a manifest diff payload."""
+    commands = diff.get("commands") or [None, None]
+    git = diff.get("git") or [None, None]
+
+    def identity(index: int) -> str:
+        label = str(commands[index] or "?")
+        if git[index]:
+            label += f" (git {git[index]})"
+        return label
+
+    lines = [f"manifest diff: a={identity(0)} vs b={identity(1)}"]
+    elapsed = diff.get("elapsed") or {}
+    if elapsed.get("a") is not None or elapsed.get("b") is not None:
+        delta = elapsed.get("delta")
+        if delta is not None:
+            sign = "+" if delta >= 0 else "-"
+            lines.append(
+                f"elapsed: {format_duration(elapsed.get('a') or 0.0)} -> "
+                f"{format_duration(elapsed.get('b') or 0.0)}  "
+                f"({sign}{format_duration(abs(delta))}, "
+                f"{_format_ratio(elapsed.get('ratio'))})"
+            )
+        else:
+            lines.append(
+                f"elapsed: {_format_value(elapsed.get('a'))} -> "
+                f"{_format_value(elapsed.get('b'))}"
+            )
+
+    config = diff.get("config") or {}
+    drift_lines: list[str] = []
+    for key, (a_value, b_value) in sorted(
+        (config.get("changed") or {}).items()
+    ):
+        drift_lines.append(f"  {key}: a={a_value!r} b={b_value!r}")
+    for key, value in sorted((config.get("removed") or {}).items()):
+        drift_lines.append(f"  only in a: {key}={value!r}")
+    for key, value in sorted((config.get("added") or {}).items()):
+        drift_lines.append(f"  only in b: {key}={value!r}")
+    if drift_lines:
+        lines.append("")
+        lines.append(
+            "config drift (the runs were NOT configured identically):"
+        )
+        lines.extend(drift_lines)
+
+    timings = diff.get("timings") or []
+    if timings:
+        lines.append("")
+        lines.append("timings (a -> b):")
+        for node in timings:
+            _timing_diff_lines(node, 0, lines)
+
+    metrics = diff.get("metrics") or {}
+    if metrics:
+        lines.append("")
+        lines.append("metrics (a -> b):")
+        for name in sorted(metrics):
+            lines.append(_metric_diff_line(name, metrics[name]))
+    return "\n".join(lines)
+
+
+def format_record_diff(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> str:
+    """Text diff of two history-ledger records (same vocabulary).
+
+    Renders the record identities (bench id, git, host cpu count) and
+    the flat metric map diff — the ``perf diff --history`` output.
+    """
+    lines = [
+        "record diff: "
+        f"a={a.get('bench', '?')} (git {a.get('git') or '?'}) vs "
+        f"b={b.get('bench', '?')} (git {b.get('git') or '?'})"
+    ]
+    a_host = a.get("host") or {}
+    b_host = b.get("host") or {}
+    if a_host != b_host:
+        lines.append(
+            "host drift (numbers are NOT comparable across hosts): "
+            f"a={a_host!r} b={b_host!r}"
+        )
+    lines.append("metrics (a -> b):")
+    diffed = diff_metric_maps(
+        a.get("metrics") or {}, b.get("metrics") or {}
+    )
+    for name in sorted(diffed):
+        lines.append(_metric_diff_line(name, diffed[name]))
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Opt-in deterministic profiling hooks (``--profile``).
+
+A :func:`sys.setprofile` hook that attributes cumulative time, self
+time and call counts to ``repro.*`` Python functions, *scoped inside
+the run's span boundaries*: samples are only taken while at least one
+:func:`repro.obs.span` is open, so the profile answers "where did the
+measured phases spend their time" rather than drowning the signal in
+CLI argument parsing and interpreter start-up.
+
+The contract matches the rest of :mod:`repro.obs`:
+
+* **Off by default, invisible when off.**  Nothing installs a hook
+  unless the run was started with ``profile=True``; with it off every
+  artifact — manifests included — is byte-identical to a build without
+  this module (the manifest ``profile`` section is *absent*, not
+  empty).
+* **Deterministic structure.**  The function table is keyed by
+  ``module.qualname`` and emitted sorted, so two profiles of the same
+  run differ only in the measured float values, never in shape.
+
+Mechanics worth knowing (they are where profilers usually go wrong):
+
+* A shadow stack mirrors the Python call stack.  ``return`` events for
+  frames that were entered *before* the hook was installed, or while
+  no span was open, find no matching shadow entry and are ignored — we
+  match by frame identity, never by blind popping.
+* ``return`` fires on exception unwind too, so an aborted phase still
+  yields a consistent profile.
+* Recursion is handled with per-key active counts: a function's
+  elapsed time is added to its cumulative bucket only when its
+  outermost activation returns, so ``fib(30)`` is not charged
+  exponentially.
+* Self time is elapsed minus time in *tracked* Python children;
+  C-function time (``c_call``/``c_return`` are ignored) stays in the
+  caller's self time, which is exactly where a vectorization effort
+  wants to see it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Mapping
+
+from repro.errors import PerfError
+from repro.obs.clock import monotonic
+from repro.obs.session import format_duration
+from repro.obs.tracer import Tracer
+
+#: The clock the profiler samples — same monotonic source as spans, so
+#: profile times and span durations are directly comparable.
+PROFILE_CLOCK = "monotonic"
+
+#: Only functions from modules with this prefix (or exactly the root
+#: package) are attributed; everything else is tracked solely so its
+#: time can be subtracted from its caller's self time.
+_PACKAGE = "repro"
+
+
+class Profiler:
+    """Span-scoped deterministic profiler for one run.
+
+    Usage (what :class:`repro.obs.RunSession` does with ``profile=True``)::
+
+        profiler = Profiler(state.tracer)
+        profiler.install()
+        ...  # the run
+        profiler.uninstall()
+        manifest_section = profiler.snapshot()
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        # Shadow stack entries: [frame, key-or-None, start, child_time].
+        self._stack: list[list[Any]] = []
+        # key -> [calls, cumulative, self]
+        self._stats: dict[str, list[float]] = {}
+        # key -> currently-active (possibly recursive) activations
+        self._active: dict[str, int] = {}
+        self._installed = False
+        self._previous: Any = None
+
+    # ------------------------------------------------------------------
+    # Hook lifecycle
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Install the profile hook (idempotent)."""
+        if self._installed:
+            return
+        self._previous = sys.getprofile()
+        sys.setprofile(self._hook)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Remove the hook, restoring whatever was there before."""
+        if not self._installed:
+            return
+        sys.setprofile(self._previous)
+        self._previous = None
+        self._installed = False
+        self._stack.clear()
+        self._active.clear()
+
+    # ------------------------------------------------------------------
+    # The hook
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(frame: Any) -> str | None:
+        """``module.qualname`` for repro functions, ``None`` otherwise."""
+        module = frame.f_globals.get("__name__")
+        if not isinstance(module, str):
+            return None
+        if module != _PACKAGE and not module.startswith(_PACKAGE + "."):
+            return None
+        code = frame.f_code
+        qualname = getattr(code, "co_qualname", None) or code.co_name
+        return f"{module}.{qualname}"
+
+    def _hook(self, frame: Any, event: str, arg: Any) -> None:
+        if event == "call":
+            # Scope gate: sample only while a span is open.
+            if self._tracer.depth <= 0:
+                return
+            key = self._key(frame)
+            self._stack.append([frame, key, monotonic(), 0.0])
+            if key is not None:
+                self._active[key] = self._active.get(key, 0) + 1
+        elif event == "return":
+            # Match by frame identity; unmatched returns belong to
+            # frames entered before install or outside any span.
+            if not self._stack or self._stack[-1][0] is not frame:
+                return
+            _, key, start, child_time = self._stack.pop()
+            elapsed = monotonic() - start
+            if self._stack:
+                self._stack[-1][3] += elapsed
+            if key is None:
+                return
+            stats = self._stats.setdefault(key, [0, 0.0, 0.0])
+            stats[0] += 1
+            stats[2] += max(elapsed - child_time, 0.0)
+            remaining = self._active.get(key, 1) - 1
+            self._active[key] = remaining
+            if remaining <= 0:
+                stats[1] += elapsed
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The manifest ``profile`` section: deterministic structure.
+
+        ``{"clock": ..., "functions": {key: {"calls", "cum", "self"}}}``
+        with function keys sorted.  Values are raw seconds; rendering
+        (and any rounding) is :func:`format_profile`'s job.
+        """
+        return {
+            "clock": PROFILE_CLOCK,
+            "functions": {
+                key: {
+                    "calls": int(self._stats[key][0]),
+                    "cum": self._stats[key][1],
+                    "self": self._stats[key][2],
+                }
+                for key in sorted(self._stats)
+            },
+        }
+
+
+def format_profile(
+    profile: Mapping[str, Any], limit: int = 25
+) -> str:
+    """Text table of a manifest ``profile`` section, hottest first.
+
+    Rows sort by cumulative time descending (ties broken by name so
+    output is deterministic); *limit* caps the table, with a trailing
+    line noting how many rows were elided.
+    """
+    functions = profile.get("functions")
+    if not isinstance(functions, Mapping):
+        raise PerfError("manifest has no usable profile section")
+    rows = sorted(
+        functions.items(),
+        key=lambda item: (-float(item[1].get("cum", 0.0)), item[0]),
+    )
+    lines = [
+        f"profile ({profile.get('clock', '?')} clock, "
+        f"{len(rows)} functions):",
+        f"  {'cum':>10} {'self':>10} {'calls':>8}  function",
+    ]
+    for key, stats in rows[:limit]:
+        lines.append(
+            f"  {format_duration(float(stats.get('cum', 0.0))):>10} "
+            f"{format_duration(float(stats.get('self', 0.0))):>10} "
+            f"{int(stats.get('calls', 0)):>8}  {key}"
+        )
+    elided = len(rows) - limit
+    if elided > 0:
+        lines.append(f"  ... {elided} more functions elided")
+    if not rows:
+        lines.append("  (no samples: no spans were open, or nothing ran)")
+    return "\n".join(lines)

@@ -63,6 +63,7 @@ class RunSession:
         trace_out: str | Path | None = None,
         verbose: bool = False,
         with_git: bool = True,
+        profile: bool = False,
     ) -> None:
         self.command = command
         self.config = dict(config) if config else {}
@@ -79,6 +80,14 @@ class RunSession:
         )
         if self._metrics_sink or self._trace_sink or verbose:
             self.state.tracer.add_listener(self._on_span_end)
+        # The profiler import is deferred so the common unprofiled path
+        # never touches repro.obs.perf at all.
+        self.profiler = None
+        if profile:
+            from repro.obs.perf.profile import Profiler
+
+            self.profiler = Profiler(self.state.tracer)
+            self.profiler.install()
 
     # ------------------------------------------------------------------
     # Span streaming
@@ -114,12 +123,17 @@ class RunSession:
         """
         if self.manifest is not None:
             return self.manifest
+        profile = None
+        if self.profiler is not None:
+            self.profiler.uninstall()
+            profile = self.profiler.snapshot()
         manifest = build_manifest(
             command=self.command,
             state=self.state,
             config=self.config,
             git=git_revision() if self._with_git else None,
             unix_time=wall_time(),
+            profile=profile,
         )
         if self._metrics_sink is not None:
             self._metrics_sink.emit(manifest)

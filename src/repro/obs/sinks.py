@@ -74,9 +74,15 @@ def build_manifest(
     config: Mapping[str, Any] | None = None,
     git: str | None = None,
     unix_time: float | None = None,
+    profile: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble the end-of-run manifest from an observability state."""
-    return {
+    """Assemble the end-of-run manifest from an observability state.
+
+    The ``profile`` section exists only when a profile snapshot is
+    passed — an unprofiled run's manifest is byte-identical to one
+    built before profiling existed.
+    """
+    manifest = {
         "type": "manifest",
         "format": MANIFEST_FORMAT,
         "version": MANIFEST_VERSION,
@@ -88,3 +94,6 @@ def build_manifest(
         "timings": [root.to_dict() for root in state.tracer.roots],
         "metrics": state.registry.snapshot(),
     }
+    if profile is not None:
+        manifest["profile"] = dict(profile)
+    return manifest

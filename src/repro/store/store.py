@@ -239,7 +239,12 @@ class ArtifactStore:
     # -- maintenance ---------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """Persistent contents summary: entries, bytes, per-kind split."""
+        """Persistent contents summary: entries, bytes, per-kind split.
+
+        Also carries this session's access counters and the derived
+        ``hit_rate`` (``None`` until something was actually looked
+        up, so a fresh handle reports "no accesses" rather than 0%).
+        """
         self._refresh()
         kinds: dict[str, dict[str, int]] = {}
         total = 0
@@ -251,11 +256,15 @@ class ArtifactStore:
             )
             bucket["entries"] += 1
             bucket["bytes"] += size
+        accesses = self.hits + self.misses
         return {
             "root": str(self.root),
             "entries": len(self._index),
             "bytes": total,
             "kinds": {kind: kinds[kind] for kind in sorted(kinds)},
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / accesses if accesses else None,
         }
 
     def record_metrics(self) -> None:

@@ -82,9 +82,9 @@ GOLDEN_STATIC = {
 #: Golden package-level lazy (function-local) edges.  Every upward
 #: entry here is carried by a LAZY_ALLOWLIST justification.
 GOLDEN_LAZY = {
-    "analysis": {"io"},
-    "cli": {"analysis", "errors", "eval", "io", "placement", "runner",
-            "store", "workloads"},
+    "analysis": {"io", "obs"},
+    "cli": {"analysis", "errors", "eval", "io", "obs", "placement",
+            "runner", "store", "workloads"},
     "eval": {"store"},
     "profiles": {"store"},
     "trace": {"store"},

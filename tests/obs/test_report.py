@@ -119,6 +119,64 @@ class TestFormatManifestReport:
         # ...but still renders the pipeline's own counters.
         assert any("cache.sim.misses" in line for line in flat)
 
+    def test_exception_terminated_span_is_flagged(self, manifest):
+        """A phase that died mid-run renders with its error attached
+        instead of masquerading as a completed phase."""
+        manifest["timings"][0]["children"][0]["error"] = "TraceError"
+        manifest["timings"][0]["error"] = "TraceError"
+        text = format_manifest_report(manifest)
+        flagged = [l for l in text.splitlines() if "[error: TraceError]" in l]
+        assert len(flagged) == 2
+        assert any("build_context" in line for line in flagged)
+        assert any("build_wcg" in line for line in flagged)
+
+    def test_real_aborted_run_reports_its_error(self, tmp_path):
+        """End to end: a span body that raises still yields a manifest
+        whose report shows the failed phase."""
+        from repro import obs
+        from repro.obs import RunSession, runtime
+
+        previous = runtime.current()
+        session = RunSession("r", with_git=False)
+        try:
+            with pytest.raises(ValueError):
+                with obs.span("doomed"):
+                    raise ValueError("boom")
+            manifest = session.finish()
+        finally:
+            runtime.restore(previous)
+        text = format_manifest_report(manifest)
+        assert "doomed" in text
+        assert "[error: ValueError]" in text
+
+    def test_store_hit_rate_is_derived(self, manifest):
+        manifest["metrics"]["store.hit"] = {"kind": "counter", "value": 3}
+        manifest["metrics"]["store.miss"] = {"kind": "counter", "value": 1}
+        text = format_manifest_report(manifest)
+        assert "store.hit_rate: 75.0% (3 of 4 lookups)" in text
+
+    def test_store_hit_rate_guards_zero_accesses(self, manifest):
+        manifest["metrics"]["store.hit"] = {"kind": "counter", "value": 0}
+        manifest["metrics"]["store.miss"] = {"kind": "counter", "value": 0}
+        text = format_manifest_report(manifest)
+        assert "store.hit_rate: n/a (no store accesses)" in text
+
+    def test_no_hit_rate_line_without_store_counters(self, manifest):
+        assert "store.hit_rate" not in format_manifest_report(manifest)
+
+    def test_profile_section_is_summarised(self, manifest):
+        manifest["profile"] = {
+            "clock": "monotonic",
+            "functions": {
+                "repro.core.gbsc.place": {
+                    "calls": 1, "cum": 0.5, "self": 0.2,
+                }
+            },
+        }
+        text = format_manifest_report(manifest)
+        assert "profile: 1 repro.* function(s) sampled" in text
+        assert "perf profile" in text
+
 
 class TestReportCommand:
     def test_renders_run_file(self, tmp_path, capsys, manifest):

@@ -1,0 +1,198 @@
+"""Regression gating (``repro.obs.perf.baseline``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PerfError
+from repro.obs.perf import (
+    BASELINES_FORMAT,
+    BASELINES_VERSION,
+    check_records,
+    format_checks,
+    load_baselines,
+)
+
+
+def baselines_payload(**rules: dict) -> dict:
+    return {
+        "format": BASELINES_FORMAT,
+        "version": BASELINES_VERSION,
+        "benches": {"bench": {"metrics": rules}},
+    }
+
+
+def write_baselines(tmp_path, payload: dict):
+    path = tmp_path / "baselines.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def latest_for(**metrics: float) -> dict:
+    return {"bench": {"bench": "bench", "metrics": metrics}}
+
+
+class TestLoadBaselines:
+    def test_round_trip(self, tmp_path):
+        payload = baselines_payload(
+            m={"baseline": 1.0, "direction": "lower", "tolerance": 0.1}
+        )
+        assert load_baselines(write_baselines(tmp_path, payload)) == payload
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PerfError, match="not found"):
+            load_baselines(tmp_path / "baselines.json")
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.update(format="x"), "unexpected format"),
+            (lambda p: p.update(version=99), "unsupported baselines version"),
+            (lambda p: p.update(benches=[]), "'benches' must be an object"),
+            (
+                lambda p: p["benches"].update(bad={}),
+                "must declare a 'metrics' object",
+            ),
+            (
+                lambda p: p["benches"]["bench"]["metrics"].update(m2=3),
+                "rule must be an object",
+            ),
+            (
+                lambda p: p["benches"]["bench"]["metrics"]["m"].update(
+                    baseline="fast"
+                ),
+                "'baseline' must be a finite number",
+            ),
+            (
+                lambda p: p["benches"]["bench"]["metrics"]["m"].update(
+                    direction="sideways"
+                ),
+                "'direction' must be one of",
+            ),
+            (
+                lambda p: p["benches"]["bench"]["metrics"]["m"].update(
+                    tolerance=-0.1
+                ),
+                "'tolerance' must be a non-negative number",
+            ),
+        ],
+    )
+    def test_every_defect_raises_with_location(
+        self, tmp_path, mutate, message
+    ):
+        payload = baselines_payload(
+            m={"baseline": 1.0, "direction": "lower", "tolerance": 0.0}
+        )
+        mutate(payload)
+        with pytest.raises(PerfError, match=message):
+            load_baselines(write_baselines(tmp_path, payload))
+
+    def test_unparseable_json(self, tmp_path):
+        path = tmp_path / "baselines.json"
+        path.write_text("{nope")
+        with pytest.raises(PerfError, match="unparseable"):
+            load_baselines(path)
+
+
+class TestCheckRecords:
+    @staticmethod
+    def check_one(rule: dict, latest: float | None):
+        baselines = baselines_payload(m=rule)
+        records = latest_for(m=latest) if latest is not None else {}
+        (check,) = check_records(baselines, records)
+        return check
+
+    @pytest.mark.parametrize(
+        "direction, latest, status",
+        [
+            # lower is better, baseline 1.0, tolerance 0.1 → band
+            # [0.9, 1.1]; above regresses, below improves.
+            ("lower", 1.05, "ok"),
+            ("lower", 1.2, "regression"),
+            ("lower", 0.5, "improved"),
+            # higher is better: the band flips.
+            ("higher", 0.95, "ok"),
+            ("higher", 0.5, "regression"),
+            ("higher", 1.5, "improved"),
+        ],
+    )
+    def test_direction_and_tolerance_semantics(
+        self, direction, latest, status
+    ):
+        rule = {"baseline": 1.0, "direction": direction, "tolerance": 0.1}
+        check = self.check_one(rule, latest)
+        assert check.status == status
+        assert check.failed == (status == "regression")
+
+    def test_zero_tolerance_is_exact(self):
+        rule = {"baseline": 1.0, "direction": "lower", "tolerance": 0.0}
+        assert self.check_one(rule, 1.0).status == "ok"
+        assert self.check_one(rule, 1.0000001).status == "regression"
+
+    def test_bench_without_record_yields_missing_rows(self):
+        rule = {"baseline": 1.0, "direction": "lower", "tolerance": 0.0}
+        check = self.check_one(rule, None)
+        assert check.status == "missing"
+        assert check.failed
+        assert check.latest is None
+
+    def test_metric_dropped_from_record_is_missing(self):
+        baselines = baselines_payload(
+            gone={"baseline": 1.0, "direction": "lower"}
+        )
+        (check,) = check_records(baselines, latest_for(other=2.0))
+        assert check.status == "missing"
+
+    def test_extra_ledger_metrics_are_ignored(self):
+        baselines = baselines_payload(
+            m={"baseline": 1.0, "direction": "lower"}
+        )
+        checks = check_records(baselines, latest_for(m=1.0, extra=9.9))
+        assert [c.metric for c in checks] == ["m"]
+
+    def test_rows_sorted_by_bench_then_metric(self):
+        baselines = {
+            "format": BASELINES_FORMAT,
+            "version": BASELINES_VERSION,
+            "benches": {
+                "z": {"metrics": {"b": {"baseline": 1, "direction": "lower"},
+                                  "a": {"baseline": 1, "direction": "lower"}}},
+                "a": {"metrics": {"m": {"baseline": 1, "direction": "lower"}}},
+            },
+        }
+        checks = check_records(baselines, {})
+        assert [(c.bench, c.metric) for c in checks] == [
+            ("a", "m"), ("z", "a"), ("z", "b")
+        ]
+
+    def test_bound_property(self):
+        lower = self.check_one(
+            {"baseline": 2.0, "direction": "lower", "tolerance": 0.5}, 1.0
+        )
+        assert lower.bound == 3.0
+        higher = self.check_one(
+            {"baseline": 2.0, "direction": "higher", "tolerance": 0.5}, 1.0
+        )
+        assert higher.bound == 1.0
+
+
+class TestFormatChecks:
+    def test_verdict_lines(self):
+        rule = {"baseline": 1.0, "direction": "lower", "tolerance": 0.1}
+        ok = check_records(baselines_payload(m=rule), latest_for(m=1.0))
+        assert "OK: 1 gated metrics within tolerance" in format_checks(ok)
+        bad = check_records(baselines_payload(m=rule), latest_for(m=2.0))
+        text = format_checks(bad)
+        assert "FAIL: 1 of 1 gated metrics regressed" in text
+        assert "[regression]" in text
+        assert "lower is better" in text
+
+    def test_empty_baselines(self):
+        assert "no gated metrics" in format_checks([])
+
+    def test_deterministic(self):
+        rule = {"baseline": 1.0, "direction": "higher", "tolerance": 0.0}
+        checks = check_records(baselines_payload(m=rule), latest_for(m=0.5))
+        assert format_checks(checks) == format_checks(checks)

@@ -1,0 +1,171 @@
+"""Structural manifest diffing (``repro.obs.perf.diff``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.perf import diff_manifests, diff_metric_maps, format_diff
+from repro.obs.perf.diff import DIFF_FORMAT, DIFF_VERSION, format_record_diff
+
+
+class TestDiffManifests:
+    def test_payload_identity_and_elapsed(self, manifest_pair):
+        a, b = manifest_pair
+        diff = diff_manifests(a, b)
+        assert diff["format"] == DIFF_FORMAT
+        assert diff["version"] == DIFF_VERSION
+        assert diff["commands"] == ["place", "place"]
+        assert diff["git"] == ["aaa1111", "bbb2222"]
+        assert diff["elapsed"] == {
+            "a": 2.0, "b": 3.0, "delta": 1.0, "ratio": 1.5
+        }
+
+    def test_config_drift(self, manifest_pair):
+        diff = diff_manifests(*manifest_pair)
+        assert diff["config"] == {
+            "added": {"seed": 7},
+            "removed": {},
+            "changed": {"runs": [5, 9]},
+        }
+
+    def test_timing_nodes_align_by_name_and_occurrence(
+        self, manifest_pair
+    ):
+        diff = diff_manifests(*manifest_pair)
+        by_name = {}
+        for node in diff["timings"]:
+            by_name.setdefault(node["name"], []).append(node)
+        (context,) = by_name["build_context"]
+        assert context["status"] == "both"
+        assert context["delta"] == 0.5
+        assert context["ratio"] == 1.5
+        (child,) = context["children"]
+        assert child["name"] == "build_wcg"
+        assert child["delta"] == pytest.approx(0.2)
+        # Two 'simulate' spans in a, one in b: first pairs, second is
+        # a-only; b's extra 'report' span comes back b-only.
+        first, second = by_name["simulate"]
+        assert (first["status"], first["delta"]) == ("both", 0.0)
+        assert (second["status"], second["b"]) == ("a-only", None)
+        (report,) = by_name["report"]
+        assert (report["status"], report["a"]) == ("b-only", None)
+
+    def test_metric_deltas_by_kind(self, manifest_pair):
+        metrics = diff_manifests(*manifest_pair)["metrics"]
+        assert metrics["cache.sim.misses"]["delta"] == 50
+        assert metrics["cache.sim.misses"]["ratio"] == 1.5
+        assert metrics["queue.depth"]["delta"] == -2
+        histogram = metrics["gap.sizes"]
+        assert histogram["kind"] == "histogram"
+        assert histogram["delta"] == {"count": 2, "sum": 400}
+        assert metrics["a.only"]["status"] == "a-only"
+        assert metrics["b.only"]["status"] == "b-only"
+
+    def test_kind_mismatch_is_reported_not_merged(self):
+        a = {"metrics": {"m": {"kind": "counter", "value": 1}}}
+        b = {"metrics": {"m": {"kind": "gauge", "value": 1}}}
+        entry = diff_manifests(a, b)["metrics"]["m"]
+        assert entry == {
+            "status": "kind-mismatch",
+            "a_kind": "counter",
+            "b_kind": "gauge",
+        }
+
+    def test_zero_base_ratio_is_none(self):
+        a = {"elapsed": 0.0}
+        b = {"elapsed": 1.0}
+        assert diff_manifests(a, b)["elapsed"]["ratio"] is None
+
+    def test_error_annotations_survive(self):
+        a = {"timings": [{"name": "phase", "duration": 1.0}]}
+        b = {
+            "timings": [
+                {"name": "phase", "duration": 2.0, "error": "ValueError"}
+            ]
+        }
+        (node,) = diff_manifests(a, b)["timings"]
+        assert node["errors"] == ["ValueError"]
+
+    def test_diff_is_byte_deterministic(self, manifest_pair):
+        a, b = manifest_pair
+        first = json.dumps(diff_manifests(a, b), sort_keys=True)
+        second = json.dumps(diff_manifests(a, b), sort_keys=True)
+        assert first == second
+        assert format_diff(diff_manifests(a, b)) == format_diff(
+            diff_manifests(a, b)
+        )
+
+
+class TestFormatDiff:
+    def test_leads_with_identity_and_config_drift(self, manifest_pair):
+        text = format_diff(diff_manifests(*manifest_pair))
+        lines = text.splitlines()
+        assert lines[0].startswith(
+            "manifest diff: a=place (git aaa1111) vs b=place (git bbb2222)"
+        )
+        drift = text.index("config drift")
+        assert drift < text.index("timings (a -> b):")
+        assert "runs: a=5 b=9" in text
+        assert "only in b: seed=7" in text
+
+    def test_marks_one_sided_spans(self, manifest_pair):
+        text = format_diff(diff_manifests(*manifest_pair))
+        assert "simulate [a only]:" in text
+        assert "report [b only]:" in text
+
+    def test_no_drift_section_for_identical_configs(self, manifest_pair):
+        a, _ = manifest_pair
+        text = format_diff(diff_manifests(a, a))
+        assert "config drift" not in text
+
+    def test_histogram_row(self, manifest_pair):
+        text = format_diff(diff_manifests(*manifest_pair))
+        assert (
+            "gap.sizes  histogram  count 3 -> 5 (delta 2), "
+            "sum 300 -> 700 (delta 400)" in text
+        )
+
+
+class TestDiffMetricMaps:
+    def test_flat_map_diff(self):
+        diffed = diff_metric_maps(
+            {"miss_rate": 0.04, "gone": 1.0},
+            {"miss_rate": 0.05, "new": 2.0},
+        )
+        assert diffed["miss_rate"]["delta"] == 0.05 - 0.04
+        assert diffed["miss_rate"]["ratio"] == 0.05 / 0.04
+        assert diffed["gone"]["status"] == "a-only"
+        assert diffed["new"]["status"] == "b-only"
+        assert list(diffed) == sorted(diffed)
+
+
+class TestFormatRecordDiff:
+    @staticmethod
+    def record(git: str, host: dict, **metrics: float) -> dict:
+        return {
+            "bench": "table1:gcc",
+            "git": git,
+            "host": host,
+            "metrics": metrics,
+        }
+
+    def test_warns_on_host_drift(self):
+        host_a = {"cpu_count": 1}
+        host_b = {"cpu_count": 8}
+        text = format_record_diff(
+            self.record("aaa", host_a, miss_rate=0.04),
+            self.record("bbb", host_b, miss_rate=0.05),
+        )
+        assert "host drift" in text
+        assert "NOT comparable" in text
+
+    def test_same_host_has_no_warning(self):
+        host = {"cpu_count": 1}
+        text = format_record_diff(
+            self.record("aaa", host, miss_rate=0.04),
+            self.record("bbb", host, miss_rate=0.05),
+        )
+        assert "host drift" not in text
+        assert "miss_rate" in text

@@ -1,0 +1,159 @@
+"""Opt-in deterministic profiling (``repro.obs.perf.profile``)."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro import obs
+from repro.errors import PerfError
+from repro.obs import RunSession
+from repro.obs.perf import PROFILE_CLOCK, Profiler, format_profile
+from repro.obs.perf.history import flatten_metrics
+from repro.obs.runtime import Observability
+
+
+def make_profiler() -> Profiler:
+    return Profiler(Observability().tracer)
+
+
+class TestProfilerLifecycle:
+    def test_install_uninstall_restores_previous_hook(self):
+        sentinel = lambda *a: None  # noqa: E731
+        sys.setprofile(sentinel)
+        profiler = make_profiler()
+        profiler.install()
+        assert sys.getprofile() is not sentinel
+        profiler.uninstall()
+        assert sys.getprofile() is sentinel
+        sys.setprofile(None)
+
+    def test_install_is_idempotent(self):
+        profiler = make_profiler()
+        profiler.install()
+        profiler.install()
+        profiler.uninstall()
+        profiler.uninstall()
+        assert sys.getprofile() is None
+
+
+class TestProfilerSampling:
+    def test_samples_only_inside_spans(self):
+        session = RunSession("r", with_git=False, profile=True)
+        # Outside any span: the scope gate drops the sample.
+        flatten_metrics({"x": 1})
+        with obs.span("phase"):
+            flatten_metrics({"x": 1, "nested": {"y": 2}})
+        manifest = session.finish()
+        functions = manifest["profile"]["functions"]
+        key = "repro.obs.perf.history.flatten_metrics"
+        assert key in functions
+        # One top-level call inside the span plus one recursive call
+        # for the nested mapping; the unscoped call is not counted.
+        assert functions[key]["calls"] == 2
+        assert functions[key]["cum"] >= functions[key]["self"] >= 0
+
+    def test_recursion_charges_cum_once(self):
+        session = RunSession("r", with_git=False, profile=True)
+        with obs.span("phase"):
+            deep = {"a": {"b": {"c": {"d": 1.0}}}}
+            flatten_metrics(deep)
+        manifest = session.finish()
+        stats = manifest["profile"]["functions"][
+            "repro.obs.perf.history.flatten_metrics"
+        ]
+        assert stats["calls"] == 4
+        # Cumulative counts the outermost activation once, so self
+        # (summed over all activations) cannot exceed it by much more
+        # than clock jitter — the exponential-double-charge bug would
+        # make cum several times self here.
+        assert stats["cum"] <= stats["self"] * 4
+
+    def test_non_repro_functions_are_not_attributed(self):
+        session = RunSession("r", with_git=False, profile=True)
+        with obs.span("phase"):
+            json.dumps({"x": 1})
+        manifest = session.finish()
+        for key in manifest["profile"]["functions"]:
+            assert key == "repro" or key.startswith("repro.")
+
+    def test_snapshot_structure_is_sorted(self):
+        session = RunSession("r", with_git=False, profile=True)
+        with obs.span("phase"):
+            flatten_metrics({"x": 1})
+        profile = session.finish()["profile"]
+        assert profile["clock"] == PROFILE_CLOCK
+        keys = list(profile["functions"])
+        assert keys == sorted(keys)
+        for stats in profile["functions"].values():
+            assert set(stats) == {"calls", "cum", "self"}
+
+
+class TestOffModeIdentity:
+    def test_manifest_has_no_profile_key_when_off(self):
+        session = RunSession("r", with_git=False)
+        with obs.span("phase"):
+            flatten_metrics({"x": 1})
+        manifest = session.finish()
+        assert "profile" not in manifest
+
+    def test_no_hook_installed_when_off(self):
+        assert sys.getprofile() is None
+        session = RunSession("r", with_git=False)
+        assert sys.getprofile() is None
+        session.finish()
+
+    def test_off_mode_manifests_are_byte_identical(self, tmp_path):
+        """Two unprofiled runs differ only in measured times, and the
+        *set of keys* matches a run made before this module existed —
+        the 'profile' section is absent, not empty."""
+
+        def run(path):
+            session = RunSession(
+                "r", config={"k": 1}, metrics_out=path, with_git=False
+            )
+            with obs.span("phase"):
+                obs.inc("events")
+            return session.finish()
+
+        a = run(tmp_path / "a.jsonl")
+        b = run(tmp_path / "b.jsonl")
+        assert sorted(a) == sorted(b)
+        assert "profile" not in a
+
+
+class TestFormatProfile:
+    @staticmethod
+    def profile(count: int) -> dict:
+        return {
+            "clock": PROFILE_CLOCK,
+            "functions": {
+                f"repro.mod.fn{i:03}": {
+                    "calls": 1,
+                    "cum": float(count - i),
+                    "self": 0.5,
+                }
+                for i in range(count)
+            },
+        }
+
+    def test_hottest_first_with_elision(self):
+        text = format_profile(self.profile(30), limit=25)
+        lines = text.splitlines()
+        assert "30 functions" in lines[0]
+        assert "repro.mod.fn000" in lines[2]  # hottest row first
+        assert lines[-1] == "  ... 5 more functions elided"
+
+    def test_empty_profile_notes_no_samples(self):
+        text = format_profile({"functions": {}})
+        assert "no samples" in text
+
+    def test_missing_functions_section_raises(self):
+        with pytest.raises(PerfError, match="no usable profile"):
+            format_profile({"clock": PROFILE_CLOCK})
+
+    def test_deterministic(self):
+        profile = self.profile(5)
+        assert format_profile(profile) == format_profile(profile)

@@ -27,6 +27,12 @@ class TestStats:
         assert main(["cache", "stats", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_fresh_handle_reports_no_accesses(self, populated, capsys):
+        assert main(["cache", "stats", str(populated.root)]) == 0
+        out = capsys.readouterr().out
+        assert "session: 0 hit(s), 0 miss(es)" in out
+        assert "hit rate n/a (no accesses)" in out
+
 
 class TestVerify:
     def test_clean_store_exits_0(self, populated, capsys):

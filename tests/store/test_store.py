@@ -142,6 +142,27 @@ class TestStatsAndGc:
         assert stats["kinds"]["wcg"] == {"entries": 2, "bytes": 7}
         assert stats["kinds"]["trg"] == {"entries": 1, "bytes": 2}
 
+    def test_stats_hit_rate_none_until_first_lookup(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.put(DIGEST, "wcg", b"payload")
+        assert store.stats()["hit_rate"] is None
+
+    def test_stats_hit_rate_derived_from_counters(self, tmp_path):
+        from repro.profiles.graph import WeightedGraph
+
+        store = ArtifactStore(tmp_path / "s")
+
+        def build():
+            graph = WeightedGraph()
+            graph.add_edge("a", "b", 1.0)
+            return graph
+
+        store.get_or_build("wcg", {"trace": "1"}, build)  # miss
+        store.get_or_build("wcg", {"trace": "1"}, build)  # hit
+        stats = store.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+        assert stats["hit_rate"] == 0.5
+
     def test_gc_drops_entries_with_missing_blobs(self, tmp_path):
         store = ArtifactStore(tmp_path / "s")
         store.put(DIGEST, "wcg", b"payload")

@@ -17,8 +17,9 @@ source files are *parsed*, never imported):
 * the layering table in ``docs/architecture.md`` mirrors
   ``repro.analysis.layering.LAYERS`` rank-for-rank;
 * every registered lint rule id (``rule_id = "..."`` in the analysis
-  rule modules) appears in both ``docs/api.md`` and
-  ``docs/architecture.md``.
+  rule modules) and every perf audit rule id (the ``PERF_RULES``
+  tuple in ``repro.analysis.perf_audit``) appears in both
+  ``docs/api.md`` and ``docs/architecture.md``.
 
 Prints one line per problem and exits 1 when any check fails.
 """
@@ -45,6 +46,7 @@ EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
 #: docs/ pages every new subsystem page must be reachable from.
 REQUIRED_CROSS_LINKS = {
     "docs/caching.md": ("docs/architecture.md", "README.md"),
+    "docs/performance.md": ("docs/architecture.md", "README.md"),
 }
 
 
@@ -184,14 +186,38 @@ def check_layering_table(repo: Path = REPO) -> list[str]:
     return problems
 
 
+def perf_rule_ids(repo: Path = REPO) -> list[str]:
+    """The ``PERF_RULES`` tuple, read by parsing, never importing."""
+    source = (repo / "src/repro/analysis/perf_audit.py").read_text()
+    for node in ast.parse(source).body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            targets = [node.target.id]
+        if "PERF_RULES" in targets and node.value is not None:
+            return list(ast.literal_eval(node.value))
+    raise SystemExit(
+        "src/repro/analysis/perf_audit.py: PERF_RULES assignment "
+        "not found"
+    )
+
+
 def registered_rule_ids(repo: Path = REPO) -> list[str]:
-    """Every ``rule_id`` declared by the analysis rule modules."""
+    """Every rule id the analyzers can report: the ``rule_id``
+    declarations of the lint rule modules plus the perf auditor's
+    ``PERF_RULES``."""
     ids: set[str] = set()
     for relative in RULE_MODULES:
         path = repo / relative
         if not path.exists():
             raise SystemExit(f"{relative}: rule module missing")
         ids.update(_RULE_ID.findall(path.read_text()))
+    ids.update(perf_rule_ids(repo))
     return sorted(ids)
 
 
