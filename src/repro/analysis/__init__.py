@@ -13,8 +13,10 @@ Two independent halves:
   JSONL run files — :func:`audit_manifest` / :func:`audit_run_path` —
   for batch-runner checkpoint directories, :func:`audit_checkpoint`,
   for artifact-store directories, :func:`audit_store` (the
-  ``cache/*`` rule family), and for benchmark history ledgers,
-  :func:`audit_perf_history` (the ``perf/*`` rule family).
+  ``cache/*`` rule family), for benchmark history ledgers,
+  :func:`audit_perf_history` (the ``perf/*`` rule family), and for
+  post-crash trees, :func:`audit_crash_scene` (the ``chaos/*`` rule
+  family, driven by :mod:`repro.chaos.campaign`).
 * **A conformance analyzer** — a non-executing pass over ``src/repro``
   and ``benchmarks/`` enforcing the project's contracts
   (:func:`run_linter` / :func:`run_linter_detailed`).  Per-file rules
@@ -82,10 +84,16 @@ from repro.analysis.profile_audit import (
     audit_trgs,
     audit_working_set,
 )
+from repro.analysis.crash_audit import (
+    CHAOS_RULES,
+    audit_crash_scene,
+    find_stale_tmp,
+)
 from repro.analysis.perf_audit import PERF_RULES, audit_perf_history
 from repro.analysis.store_audit import audit_store, is_store_dir
 
 __all__ = [
+    "CHAOS_RULES",
     "Finding",
     "PERF_RULES",
     "ImportEdge",
@@ -99,6 +107,7 @@ __all__ = [
     "all_rules",
     "build_import_graph",
     "audit_checkpoint",
+    "audit_crash_scene",
     "audit_graph",
     "audit_layout",
     "audit_layout_payload",
@@ -115,6 +124,7 @@ __all__ = [
     "audit_store",
     "audit_trgs",
     "audit_working_set",
+    "find_stale_tmp",
     "findings_to_json",
     "findings_to_sarif",
     "format_findings",

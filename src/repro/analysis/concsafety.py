@@ -1,6 +1,6 @@
 """The ``conc/*`` fork-safety and IO-safety rules.
 
-Three whole-program passes machine-check the single-writer contract
+Four whole-program passes machine-check the single-writer contract
 the batch runner is built on (PRs 3-5):
 
 * ``conc/raw-write`` — every file write in ``src/repro`` goes through
@@ -22,6 +22,12 @@ the batch runner is built on (PRs 3-5):
   functions, ``self`` methods and locally constructed instances —
   deliberately conservative, so dynamic dispatch (task-body closures)
   is out of scope by design.
+* ``conc/unregistered-write-site`` — every call of the three atomic
+  write primitives outside :mod:`repro.io` must pass a literal
+  ``site=`` registered in
+  :data:`repro.chaos.sites.WRITE_SITES`.  The registry is what makes
+  crash campaigns addressable ("tear the store index replace"); an
+  untagged writer is a durable surface fault injection cannot reach.
 """
 
 from __future__ import annotations
@@ -65,6 +71,12 @@ GLOBAL_MUTATION_ALLOWLIST: dict[tuple[str, str], str] = {
         "import-time rule registration only",
     ("repro.fastpath", "_REGISTRY"):
         "import-time fast-path registration only",
+    ("repro.chaos.sites", "_PLAN"):
+        "process-wide io fault hook; installed/uninstalled via "
+        "context managers, single-threaded by design",
+    ("repro.chaos.sites", "_RECORDER"):
+        "campaign enumeration recorder; scoped by the recording() "
+        "context manager, never shared with forked workers",
 }
 
 #: Method names of project classes that persist state; resolved via
@@ -593,3 +605,125 @@ class WorkerWriteRule(ProjectRule):
                     yield finding(
                         node, f"{cls}.{callee.attr}()"
                     )
+
+
+#: The atomic write primitives that take a ``site=`` tag.  The named
+#: convenience savers (``save_layout`` & co) tag their own sites
+#: inside ``repro.io`` and need no caller-side tag.
+_SITE_PRIMITIVES = frozenset(
+    {"atomic_writer", "atomic_write_text", "atomic_write_bytes"}
+)
+
+#: The module holding the write-site registry.
+_SITE_REGISTRY_MODULE = "repro.chaos.sites"
+
+
+def _registered_write_sites(
+    project: ProjectContext,
+) -> frozenset[str] | None:
+    """The literal keys of ``WRITE_SITES``, or ``None`` when the
+    registry module is not in the scanned tree (fixture subsets skip
+    unknown-id validation but still require a literal tag)."""
+    sm = project.modules.get(_SITE_REGISTRY_MODULE)
+    if sm is None:
+        return None
+    for stmt in sm.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "WRITE_SITES"
+            for t in targets
+        ):
+            continue
+        try:
+            value = ast.literal_eval(stmt.value)
+        except ValueError:
+            return None
+        if isinstance(value, dict):
+            return frozenset(
+                key for key in value if isinstance(key, str)
+            )
+    return None
+
+
+@register_rule
+class UnregisteredWriteSiteRule(ProjectRule):
+    """Flag atomic-writer calls missing a registered ``site=`` tag."""
+
+    rule_id = "conc/unregistered-write-site"
+    description = (
+        "calls of repro.io's atomic write primitives outside repro.io "
+        "must pass a literal site= registered in "
+        "repro.chaos.sites.WRITE_SITES, so crash campaigns can "
+        "address every durable write symbolically"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        registry = _registered_write_sites(project)
+        for sm in project.files:
+            module = sm.module
+            if module is None or not module.startswith("repro"):
+                continue
+            if module == "repro.io":
+                # The primitives live here; the defaults and the
+                # site-forwarding helpers are the registry's anchors.
+                continue
+            for node in ast.walk(sm.tree):
+                problem = self._call_problem(node, registry)
+                if problem is None:
+                    continue
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=problem,
+                    location=Location(
+                        file=str(sm.path),
+                        line=getattr(node, "lineno", None),
+                        obj=module,
+                    ),
+                )
+
+    @staticmethod
+    def _call_problem(
+        node: ast.AST, registry: frozenset[str] | None
+    ) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        callee = node.func
+        name = (
+            callee.id if isinstance(callee, ast.Name)
+            else callee.attr if isinstance(callee, ast.Attribute)
+            else None
+        )
+        if name not in _SITE_PRIMITIVES:
+            return None
+        site: ast.expr | None = None
+        for keyword in node.keywords:
+            if keyword.arg == "site":
+                site = keyword.value
+        if site is None:
+            return (
+                f"{name}() call passes no site=; tag the write with a "
+                "registered id from repro.chaos.sites.WRITE_SITES"
+            )
+        if not (
+            isinstance(site, ast.Constant)
+            and isinstance(site.value, str)
+        ):
+            return (
+                f"{name}() call passes a non-literal site=; the tag "
+                "must be a string literal so the registry stays "
+                "statically checkable"
+            )
+        if registry is not None and site.value not in registry:
+            return (
+                f"{name}() call tags unregistered write site "
+                f"{site.value!r}; add it to "
+                "repro.chaos.sites.WRITE_SITES"
+            )
+        return None

@@ -13,7 +13,12 @@ so a single module can be pinned below its package: ``cache.config``
 (pure geometry, imports nothing but ``errors``) sits at the bottom so
 ``program.layout`` may consume cache geometry without the cache
 *simulators* — which need ``program`` and ``trace`` — dropping below
-them.
+them.  ``chaos.plan``/``chaos.sites`` use the same trick: the fault
+hook must sit *below* every writer it instruments (``io``, ``obs``,
+``store``, ``runner``), while the campaign driver in the ``chaos``
+package proper sits near the top, above ``runner`` and ``analysis``
+which it orchestrates.  ``resilience`` (pure policy over ``errors``)
+shares the bottom utility rank.
 
 Lazy (function-local) imports are the sanctioned escape hatch for the
 few documented upward references, each carried by an explicit
@@ -41,7 +46,14 @@ from repro.analysis.linter import (
 #: ``<root>`` is the ``repro`` package __init__ (re-exports, top).
 LAYERS: tuple[tuple[str, ...], ...] = (
     ("errors",),
-    ("obs", "fastpath", "cache.config"),
+    (
+        "obs",
+        "fastpath",
+        "cache.config",
+        "resilience",
+        "chaos.plan",
+        "chaos.sites",
+    ),
     ("program",),
     ("trace",),
     ("workloads",),
@@ -54,6 +66,7 @@ LAYERS: tuple[tuple[str, ...], ...] = (
     ("eval",),
     ("runner",),
     ("analysis",),
+    ("chaos",),
     ("cli", "<root>"),
 )
 

@@ -11,7 +11,11 @@ are cheap to verify offline and expensive to discover the hard way:
   store itself treats as a miss and rebuilds;
 * no blob file sits in ``objects/`` without an index entry
   (``cache/orphan-blob``, a warning: orphans waste space but cannot
-  corrupt results; ``cache gc`` removes them).
+  corrupt results; ``cache gc`` removes them).  Quarantined blobs
+  (``objects/quarantine/``) and stranded ``*.tmp`` files from
+  interrupted atomic writes are likewise warnings
+  (``cache/quarantined``, ``cache/tmp-file``) — both are expected
+  crash residue that ``cache gc`` reclaims, never silent corruption.
 
 Routed through ``repro-layout check`` (store directories directly, or
 run directories containing one) and ``repro-layout cache verify``.
@@ -26,6 +30,7 @@ from typing import Any
 
 from repro.analysis.findings import Finding, Location, Severity
 from repro.store import ENTRY_FIELDS, INDEX_NAME, STORE_FORMAT, STORE_VERSION
+from repro.store.store import QUARANTINE_DIR
 
 
 def _finding(
@@ -188,7 +193,12 @@ def audit_store(path: str | Path) -> list[Finding]:
 
     objects = root / "objects"
     if objects.is_dir():
+        quarantine = root / QUARANTINE_DIR
+        quarantined = 0
         for blob in sorted(objects.glob("*/*")):
+            if blob.parent == quarantine:
+                quarantined += 1
+                continue
             relative = blob.relative_to(root).as_posix()
             if relative not in referenced:
                 findings.append(
@@ -200,4 +210,27 @@ def audit_store(path: str | Path) -> list[Finding]:
                         file=str(blob),
                     )
                 )
+        if quarantined:
+            findings.append(
+                _finding(
+                    "cache/quarantined",
+                    f"{quarantined} blob(s) held in {QUARANTINE_DIR} "
+                    "after repeated content-hash failures (inspect, "
+                    "then `repro-layout cache gc` to purge)",
+                    severity=Severity.WARNING,
+                    file=str(quarantine),
+                )
+            )
+    for stale in sorted(root.rglob("*.tmp")):
+        findings.append(
+            _finding(
+                "cache/tmp-file",
+                f"stranded temp file "
+                f"{stale.relative_to(root).as_posix()} from an "
+                "interrupted write (`repro-layout cache gc` sweeps "
+                "it)",
+                severity=Severity.WARNING,
+                file=str(stale),
+            )
+        )
     return findings

@@ -1,0 +1,52 @@
+"""repro.chaos — deterministic I/O fault injection and crash campaigns.
+
+Three pieces, layered so the hook sits below the writers it
+instruments:
+
+* :mod:`repro.chaos.plan` — the io fault schedule
+  (:class:`IoInjection` / :class:`IoFaultPlan`), the ``io`` section of
+  the faultplan v2 format;
+* :mod:`repro.chaos.sites` — the write-site registry
+  (:data:`WRITE_SITES`) and the process-wide :func:`fire` hook every
+  durable writer calls;
+* :mod:`repro.chaos.campaign` — the crash-campaign driver behind
+  ``repro-layout chaos run``: enumerate crash points in a real batch,
+  inject one fault per point, and verify the recovery contract
+  (audit-clean store, byte-identical resumed report, parseable
+  ledgers, no orphan temp files after gc).
+
+This package init exports only the plan and registry layers;
+``campaign`` imports the runner stack and is imported lazily by the
+CLI so that ``import repro.io`` (which registers its write sites) does
+not drag the whole runner in.
+"""
+
+from repro.chaos.plan import (
+    IO_ERROR_KINDS,
+    IO_POINTS,
+    IoFaultPlan,
+    IoInjection,
+)
+from repro.chaos.sites import (
+    WRITE_SITES,
+    active,
+    fire,
+    install,
+    installed,
+    recording,
+    uninstall,
+)
+
+__all__ = [
+    "IO_ERROR_KINDS",
+    "IO_POINTS",
+    "IoFaultPlan",
+    "IoInjection",
+    "WRITE_SITES",
+    "active",
+    "fire",
+    "install",
+    "installed",
+    "recording",
+    "uninstall",
+]

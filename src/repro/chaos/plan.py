@@ -1,0 +1,225 @@
+"""Deterministic I/O fault schedules — the faultplan ``io`` section.
+
+The runner's :class:`repro.runner.FaultPlan` injects failures at *task*
+boundaries (start/finish/artifact).  This module extends the same idea
+one layer down, to individual filesystem operations: an
+:class:`IoInjection` names a registered write site (see
+:mod:`repro.chaos.sites`), a point within the write protocol, an error
+kind, and exactly which occurrences to hit — so a crash "between the
+blob write and the index merge" is a declarative, replayable schedule
+rather than a monkeypatch.
+
+Points follow the atomic-write protocol; streaming writers (journal,
+sinks, ledger) use the subset that applies to them:
+
+``before``
+    before any filesystem effect (temp file creation / lazy open);
+``data``
+    after payload bytes reach the open handle (atomic writers) or
+    just before the payload line is written (streaming appends —
+    which lets ``torn`` write half the line first);
+``fsync``
+    before the fsync;
+``replace``
+    before the atomic rename commits the file;
+``after``
+    after the write committed (models a crash whose outcome the
+    writer never observed).
+
+Error kinds: ``enospc`` and ``eio`` raise the matching ``OSError``;
+``kill`` raises :class:`repro.errors.SimulatedKill` (graceful unwind);
+``crash`` raises :class:`repro.errors.SimulatedCrash` (cleanup
+suppressed); ``torn`` first tears the in-flight payload — half the
+line for streaming writers, a truncated temp file for atomic ones —
+and then crashes.
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ChaosError, SimulatedCrash, SimulatedKill
+
+#: Points within a write protocol where a fault can fire.
+IO_POINTS = ("before", "data", "fsync", "replace", "after")
+
+#: Injectable failure kinds.
+IO_ERROR_KINDS = ("enospc", "eio", "torn", "kill", "crash")
+
+
+@dataclass(frozen=True)
+class IoInjection:
+    """One scheduled I/O fault.
+
+    *site* may be a literal write-site id or an ``fnmatch`` glob
+    (``store.*``).  *skip* passes over that many matching firings
+    before injecting; *times* injects on that many consecutive
+    matches afterwards.  Together they address "the third index
+    write" deterministically.
+    """
+
+    site: str
+    point: str = "data"
+    error: str = "eio"
+    times: int = 1
+    skip: int = 0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site or not isinstance(self.site, str):
+            raise ChaosError(f"injection site must be a non-empty string: {self.site!r}")
+        if self.point not in IO_POINTS:
+            raise ChaosError(
+                f"unknown io point {self.point!r}; expected one of {IO_POINTS}"
+            )
+        if self.error not in IO_ERROR_KINDS:
+            raise ChaosError(
+                f"unknown io error kind {self.error!r}; "
+                f"expected one of {IO_ERROR_KINDS}"
+            )
+        if not isinstance(self.times, int) or self.times < 1:
+            raise ChaosError(f"injection times must be a positive int: {self.times!r}")
+        if not isinstance(self.skip, int) or self.skip < 0:
+            raise ChaosError(f"injection skip must be a non-negative int: {self.skip!r}")
+
+    def to_entry(self) -> dict[str, Any]:
+        """JSON-friendly form (the faultplan v2 ``io`` entry)."""
+        entry: dict[str, Any] = {
+            "site": self.site,
+            "point": self.point,
+            "error": self.error,
+            "times": self.times,
+        }
+        if self.skip:
+            entry["skip"] = self.skip
+        if self.message:
+            entry["message"] = self.message
+        return entry
+
+
+class IoFaultPlan:
+    """A consumable schedule of :class:`IoInjection` specs.
+
+    Mirrors the runner's ``FaultPlan`` discipline: injections are
+    consumed in declaration order, every firing is appended to
+    :attr:`fired` for post-run assertions, and the whole object is
+    picklable so it can ride a fault plan into pool workers.
+    """
+
+    def __init__(self, injections: Iterable[IoInjection] = ()) -> None:
+        self.injections = tuple(injections)
+        for spec in self.injections:
+            if not isinstance(spec, IoInjection):
+                raise ChaosError(
+                    f"io fault plan entries must be IoInjection, not {type(spec).__name__}"
+                )
+        self._to_skip = [spec.skip for spec in self.injections]
+        self._remaining = [spec.times for spec in self.injections]
+        #: Log of every injected fault as ``(site, point, error)``.
+        self.fired: list[tuple[str, str, str]] = []
+
+    @classmethod
+    def from_entries(cls, entries: Sequence[Any] | None) -> "IoFaultPlan":
+        """Parse the faultplan v2 ``io`` array."""
+        specs = []
+        for entry in entries or ():
+            if not isinstance(entry, Mapping):
+                raise ChaosError(f"io fault entry must be an object: {entry!r}")
+            unknown = set(entry) - {"site", "point", "error", "times", "skip", "message"}
+            if unknown:
+                raise ChaosError(
+                    f"io fault entry has unknown keys: {sorted(unknown)}"
+                )
+            if "site" not in entry:
+                raise ChaosError(f"io fault entry is missing 'site': {entry!r}")
+            specs.append(
+                IoInjection(
+                    site=entry["site"],
+                    point=entry.get("point", "data"),
+                    error=entry.get("error", "eio"),
+                    times=entry.get("times", 1),
+                    skip=entry.get("skip", 0),
+                    message=entry.get("message", ""),
+                )
+            )
+        return cls(specs)
+
+    def to_entries(self) -> list[dict[str, Any]]:
+        """Inverse of :meth:`from_entries`."""
+        return [spec.to_entry() for spec in self.injections]
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled injection has fired."""
+        return all(remaining == 0 for remaining in self._remaining)
+
+    def fire(
+        self,
+        site: str,
+        point: str,
+        handle: Any = None,
+        payload: str | bytes | None = None,
+    ) -> None:
+        """Raise the first matching scheduled fault, if any.
+
+        Called by :func:`repro.chaos.sites.fire` on every write-site
+        event.  *handle*/*payload* give ``torn`` something to tear.
+        """
+        for index, spec in enumerate(self.injections):
+            if self._remaining[index] <= 0:
+                continue
+            if spec.point != point:
+                continue
+            if not fnmatchcase(site, spec.site):
+                continue
+            if self._to_skip[index] > 0:
+                self._to_skip[index] -= 1
+                continue
+            self._remaining[index] -= 1
+            self.fired.append((site, point, spec.error))
+            message = spec.message or (
+                f"injected {spec.error} io fault at {site}/{point}"
+            )
+            self._raise(spec.error, message, handle, payload)
+
+    @staticmethod
+    def _raise(
+        kind: str,
+        message: str,
+        handle: Any,
+        payload: str | bytes | None,
+    ) -> None:
+        if kind == "enospc":
+            raise OSError(errno.ENOSPC, message)
+        if kind == "eio":
+            raise OSError(errno.EIO, message)
+        if kind == "kill":
+            raise SimulatedKill(message)
+        if kind == "torn":
+            _tear(handle, payload)
+        raise SimulatedCrash(message)
+
+
+def _tear(handle: Any, payload: str | bytes | None) -> None:
+    """Leave a half-written payload behind, as a power cut would.
+
+    With a *payload* (streaming appends), the first half of the line is
+    written to the handle; without one (atomic writers, data already on
+    the handle), the temp file is truncated to half its length.  All
+    failures here are swallowed: the point is to corrupt, not to raise
+    a second error.
+    """
+    if handle is None:
+        return
+    try:
+        if payload is not None:
+            handle.write(payload[: max(1, len(payload) // 2)])
+        else:
+            handle.flush()
+            handle.truncate(max(0, handle.tell() // 2))
+        handle.flush()
+    except (OSError, ValueError):
+        pass

@@ -674,6 +674,11 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         f"miss(es), hit rate "
         f"{'n/a (no accesses)' if hit_rate is None else f'{hit_rate:.1%}'}"
     )
+    if summary["quarantined"]:
+        print(
+            f"  quarantine: {summary['quarantined']} blob(s) held "
+            "after repeated digest failures (cache gc purges)"
+        )
     return 0
 
 
@@ -689,6 +694,15 @@ def cmd_cache_gc(args: argparse.Namespace) -> int:
         f"{'y' if summary['kept_entries'] == 1 else 'ies'} "
         f"({_format_bytes(summary['kept_bytes'])})"
     )
+    extras = []
+    if summary["tmp_swept"]:
+        extras.append(f"{summary['tmp_swept']} stale temp file(s)")
+    if summary["quarantined_removed"]:
+        extras.append(
+            f"{summary['quarantined_removed']} quarantined blob(s)"
+        )
+    if extras:
+        print(f"  also swept {' and '.join(extras)}")
     return 0
 
 
@@ -700,6 +714,83 @@ def cmd_cache_verify(args: argparse.Namespace) -> int:
         print(format_findings(findings))
         return 1
     print(f"{args.dir}: no findings")
+    return 0
+
+
+def cmd_chaos_sites(_: argparse.Namespace) -> int:
+    from repro.chaos import IO_ERROR_KINDS, IO_POINTS, WRITE_SITES
+
+    print("registered write sites:")
+    for site in sorted(WRITE_SITES):
+        print(f"  {site:<16} {WRITE_SITES[site]}")
+    print(f"write-protocol points: {', '.join(IO_POINTS)}")
+    print(f"injectable error kinds: {', '.join(IO_ERROR_KINDS)}")
+    return 0
+
+
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    from repro.chaos.campaign import run_campaign, write_findings
+
+    config = _cache_from_args(args)
+    if args.target == "compare":
+        from repro.runner import compare_batch
+
+        workload = _workload(args)
+
+        def batch_factory(store):
+            return compare_batch(
+                workload,
+                config,
+                runs=args.runs,
+                extra_config={"fast": args.fast},
+                store=store,
+            )
+
+    else:
+        from repro.runner import table1_batch
+
+        workloads = [
+            workload.scaled(0.25) if args.fast else workload
+            for workload in SUITE
+        ]
+
+        def batch_factory(store):
+            return table1_batch(
+                workloads,
+                config,
+                extra_config={"fast": args.fast},
+                store=store,
+            )
+
+    errors = None
+    if args.errors:
+        errors = tuple(
+            kind.strip() for kind in args.errors.split(",") if kind.strip()
+        )
+    kwargs = {"errors": errors} if errors else {}
+    result = run_campaign(
+        batch_factory,
+        args.dir,
+        command=args.target,
+        points=args.points,
+        seed=args.seed,
+        echo=lambda line: print(line, file=sys.stderr),
+        keep=args.keep,
+        **kwargs,
+    )
+    if args.out:
+        write_findings(result, args.out)
+    print(
+        f"chaos {args.target}: {len(result.points)} crash point(s), "
+        f"seed {result.seed}: {result.crashed} crashed, "
+        f"{result.degraded} degraded, {result.clean} clean; "
+        f"{len(result.findings)} contract violation(s)"
+    )
+    if result.findings:
+        from repro.analysis import format_findings
+
+        print(format_findings(list(result.findings)))
+        return 1
     return 0
 
 
@@ -925,7 +1016,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.output:
         from repro.io import atomic_write_text
 
-        atomic_write_text(args.output, payload + "\n")
+        atomic_write_text(args.output, payload + "\n", site="cli.lint-output")
         stats_stream = sys.stdout
     else:
         print(payload)
@@ -1112,6 +1203,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_verify.add_argument("dir", help="store directory (--cache DIR)")
     cache_verify.set_defaults(func=cmd_cache_verify)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="deterministic I/O fault injection and crash campaigns",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="crash a real batch run at seeded write-site points and "
+        "verify the recovery contract after each",
+    )
+    chaos_run.add_argument(
+        "target", choices=("table1", "compare"),
+        help="which batch run to crash",
+    )
+    chaos_run.add_argument(
+        "--workload", default="perl",
+        help="workload for compare campaigns (see 'list')",
+    )
+    chaos_run.add_argument(
+        "--runs", type=int, default=0,
+        help="perturbed runs per algorithm for compare campaigns",
+    )
+    chaos_run.add_argument(
+        "--fast", action="store_true", help="use 4x shorter traces"
+    )
+    chaos_run.add_argument(
+        "--points", type=int, default=20,
+        help="number of crash points to schedule (default: 20)",
+    )
+    chaos_run.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; same seed, same crash points",
+    )
+    chaos_run.add_argument(
+        "--errors", default=None, metavar="KINDS",
+        help="comma-separated error kinds to rotate through "
+        "(default: all of enospc,eio,torn,kill,crash)",
+    )
+    chaos_run.add_argument(
+        "--dir", default="chaos-work", metavar="DIR",
+        help="campaign work directory (default: chaos-work)",
+    )
+    chaos_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the findings JSON artifact here",
+    )
+    chaos_run.add_argument(
+        "--keep", action="store_true",
+        help="keep per-point work directories for inspection",
+    )
+    _add_cache_arguments(chaos_run)
+    chaos_run.set_defaults(func=cmd_chaos_run)
+    chaos_sites = chaos_sub.add_parser(
+        "sites",
+        help="list registered write sites, protocol points and "
+        "error kinds",
+    )
+    chaos_sites.set_defaults(func=cmd_chaos_sites)
 
     report = subparsers.add_parser(
         "report",

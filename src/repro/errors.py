@@ -85,3 +85,33 @@ class TaskTimeout(RunnerError):
     task is detected when it completes, its result is discarded, and
     the overrun is recorded as a structured failure.  Never retried.
     """
+
+
+class ChaosError(ReproError):
+    """The chaos layer was misused (malformed io fault plan, unknown
+    write site, a campaign driven without a runnable baseline)."""
+
+
+class SimulatedKill(BaseException):
+    """Injected by a fault plan to simulate a hard kill (SIGKILL).
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    ordinary ``except Exception`` recovery paths cannot swallow it —
+    exactly the semantics of a process that disappears mid-task.  It
+    still unwinds ``finally`` blocks and context managers, so graceful
+    cleanup (temp-file removal, journal close) *does* run; use
+    :class:`SimulatedCrash` to model a crash where it must not.
+    """
+
+
+class SimulatedCrash(SimulatedKill):
+    """Injected to simulate a power cut / un-trappable crash.
+
+    Like :class:`SimulatedKill` it unwinds as a ``BaseException``, but
+    cleanup paths that a real ``SIGKILL`` would never reach — notably
+    :func:`repro.io.atomic_writer`'s temp-file unlink — deliberately
+    skip their tidy-up for this type, so the on-disk state after the
+    exception is exactly what a hard crash would strand (orphan
+    ``*.tmp`` files, torn journal tails).  Recovery code is then tested
+    against that state, not an idealised one.
+    """

@@ -20,6 +20,13 @@ either the previous artifact or none, never a truncated one.  Readers
 wrap the raw decoding errors of truncated or corrupt files (JSON,
 zip/npz, missing keys) in :class:`SerializationError` naming the
 offending path and the artifact kind that was expected there.
+
+Every writer is also a registered **chaos write site**: it calls
+:func:`repro.chaos.sites.fire` at each protocol point (before / data /
+fsync / replace / after) under a stable ``site`` id, so io fault plans
+can inject ``ENOSPC``, torn writes or simulated crashes at exactly one
+named write.  See :mod:`repro.chaos` and docs/crash-consistency.md for
+the recovery contract each failure mode guarantees.
 """
 
 from __future__ import annotations
@@ -34,8 +41,10 @@ from typing import Any, Iterator
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.chaos.sites import fire as _chaos_fire
+from repro.errors import ReproError, SimulatedCrash
 from repro.profiles.graph import WeightedGraph
+from repro.resilience import best_effort
 from repro.program.layout import Layout
 from repro.program.procedure import ChunkId
 from repro.program.program import Program
@@ -55,18 +64,25 @@ class SerializationError(ReproError):
 
 @contextmanager
 def atomic_writer(
-    path: str | Path, mode: str = "w"
+    path: str | Path, mode: str = "w", site: str = "io.atomic_writer"
 ) -> Iterator[Any]:
     """Write a file atomically: temp file, fsync, then ``os.replace``.
 
     Yields an open handle onto a temporary file in the *destination
     directory* (same filesystem, so the final rename is atomic).  On
     clean exit the data is flushed, fsynced and renamed over *path*;
-    on any exception — including :class:`BaseException` subclasses
-    such as the fault harness's simulated kill or a
-    ``KeyboardInterrupt`` — the temp file is removed and *path* is
-    left untouched.  A real ``SIGKILL`` can still strand a
-    ``*.tmp`` file, but never a truncated final artifact.
+    on any exception — including a failed fsync or rename, and
+    :class:`BaseException` subclasses such as the fault harness's
+    :class:`~repro.errors.SimulatedKill` or a ``KeyboardInterrupt`` —
+    the temp file is removed and *path* is left untouched.  The one
+    deliberate exception is :class:`~repro.errors.SimulatedCrash`,
+    which models a power cut: cleanup is skipped so the ``*.tmp``
+    file is stranded exactly as a real ``SIGKILL`` would leave it
+    (``cache gc`` and the runner's resume sweep reclaim those).
+
+    *site* is the chaos write-site id this write fires under; callers
+    owning a registered surface pass their own id (lint-enforced, see
+    ``conc/unregistered-write-site``).
     """
     if mode not in ("w", "wb"):
         raise SerializationError(
@@ -74,6 +90,7 @@ def atomic_writer(
         )
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    _chaos_fire(site, "before")
     fd, tmp_name = tempfile.mkstemp(
         dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
     )
@@ -82,26 +99,32 @@ def atomic_writer(
             fd, mode, encoding="utf-8" if mode == "w" else None
         ) as handle:
             yield handle
+            _chaos_fire(site, "data", handle=handle)
             handle.flush()
+            _chaos_fire(site, "fsync")
             os.fsync(handle.fileno())
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
+        _chaos_fire(site, "replace")
+        os.replace(tmp_name, target)
+    except BaseException as error:
+        if not isinstance(error, SimulatedCrash):
+            best_effort(os.unlink, tmp_name)
         raise
-    os.replace(tmp_name, target)
+    _chaos_fire(site, "after")
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
+def atomic_write_text(
+    path: str | Path, text: str, site: str = "io.atomic_writer"
+) -> None:
     """Atomically replace *path* with *text* (UTF-8)."""
-    with atomic_writer(path, "w") as handle:
+    with atomic_writer(path, "w", site=site) as handle:
         handle.write(text)
 
 
-def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+def atomic_write_bytes(
+    path: str | Path, data: bytes, site: str = "io.atomic_writer"
+) -> None:
     """Atomically replace *path* with *data*."""
-    with atomic_writer(path, "wb") as handle:
+    with atomic_writer(path, "wb", site=site) as handle:
         handle.write(data)
 
 
@@ -133,7 +156,7 @@ def program_from_dict(data: dict[str, Any]) -> Program:
 
 
 def save_program(program: Program, path: str | Path) -> None:
-    _write_json(path, program_to_dict(program))
+    _write_json(path, program_to_dict(program), site="io.program")
 
 
 def load_program(path: str | Path) -> Program:
@@ -168,7 +191,7 @@ def layout_from_dict(data: dict[str, Any]) -> Layout:
 
 
 def save_layout(layout: Layout, path: str | Path) -> None:
-    _write_json(path, layout_to_dict(layout))
+    _write_json(path, layout_to_dict(layout), site="io.layout")
 
 
 def load_layout(path: str | Path) -> Layout:
@@ -183,7 +206,7 @@ def load_layout(path: str | Path) -> Layout:
 def save_trace(trace: Trace, path: str | Path) -> None:
     """Write a trace as compressed npz (program embedded as JSON)."""
     program_json = json.dumps(program_to_dict(trace.program))
-    with atomic_writer(path, "wb") as handle:
+    with atomic_writer(path, "wb", site="io.trace") as handle:
         np.savez_compressed(
             handle,
             format=np.array("repro/trace"),
@@ -301,7 +324,7 @@ def graph_from_dict(data: dict[str, Any]) -> WeightedGraph:
 
 
 def save_graph(graph: WeightedGraph, path: str | Path) -> None:
-    _write_json(path, graph_to_dict(graph))
+    _write_json(path, graph_to_dict(graph), site="io.graph")
 
 
 def load_graph(path: str | Path) -> WeightedGraph:
@@ -327,9 +350,13 @@ def _expect_format(data: dict[str, Any], expected: str) -> None:
         )
 
 
-def _write_json(path: str | Path, payload: dict[str, Any]) -> None:
+def _write_json(
+    path: str | Path,
+    payload: dict[str, Any],
+    site: str = "io.atomic_writer",
+) -> None:
     text = json.dumps(payload, indent=2, sort_keys=True)
-    atomic_write_text(path, text + "\n")
+    atomic_write_text(path, text + "\n", site=site)
 
 
 def _read_json(path: str | Path, kind: str = "artifact") -> Any:

@@ -37,6 +37,7 @@ import platform
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
+from repro.chaos.sites import fire as _chaos_fire
 from repro.errors import PerfError
 from repro.obs.clock import wall_time
 from repro.obs.session import git_revision
@@ -123,11 +124,21 @@ def append_record(path: Path, record: Mapping[str, Any]) -> None:
             f"refusing to append non-ledger record to {path}: "
             f"format={record.get('format')!r}"
         )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    line = json.dumps(record, sort_keys=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
-        handle.flush()
+    line = json.dumps(record, sort_keys=True) + "\n"
+    try:
+        _chaos_fire("perf.history", "before")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            _chaos_fire(
+                "perf.history", "data", handle=handle, payload=line
+            )
+            handle.write(line)
+            handle.flush()
+        _chaos_fire("perf.history", "after")
+    except OSError as error:
+        raise PerfError(
+            f"cannot append to history ledger {path}: {error}"
+        ) from error
 
 
 def read_history(path: Path) -> list[dict[str, Any]]:

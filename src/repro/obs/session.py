@@ -16,6 +16,7 @@ import sys
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.errors import ObservabilityError
 from repro.obs import runtime
 from repro.obs.clock import wall_time
 from repro.obs.sinks import JsonlSink, build_manifest, span_event
@@ -94,11 +95,16 @@ class RunSession:
     # ------------------------------------------------------------------
 
     def _on_span_end(self, record: SpanRecord, depth: int) -> None:
+        # A sink that died mid-run stays closed; skipping it here (the
+        # listener fires from span `finally` blocks) keeps a secondary
+        # "sink is closed" error from masking whatever exception is
+        # already unwinding — the write failure that killed the sink
+        # surfaced once, at the emit that failed.
         event = None
-        if self._metrics_sink is not None:
+        if self._metrics_sink is not None and not self._metrics_sink.closed:
             event = span_event(record, depth)
             self._metrics_sink.emit(event)
-        if self._trace_sink is not None:
+        if self._trace_sink is not None and not self._trace_sink.closed:
             self._trace_sink.emit(
                 event if event is not None else span_event(record, depth)
             )
@@ -136,7 +142,13 @@ class RunSession:
             profile=profile,
         )
         if self._metrics_sink is not None:
-            self._metrics_sink.emit(manifest)
+            try:
+                self._metrics_sink.emit(manifest)
+            except ObservabilityError:
+                # A sink that died mid-run (failed disk, injected io
+                # fault) cannot take the final line; the run file is
+                # left torn, which the lenient readers tolerate.
+                pass
             self._metrics_sink.close()
         if self._trace_sink is not None:
             self._trace_sink.close()
@@ -144,6 +156,25 @@ class RunSession:
             runtime.restore(self._previous)
         self.manifest = manifest
         return manifest
+
+    def abort(self) -> None:
+        """Power-cut teardown: close sinks *without* the manifest line.
+
+        The chaos campaign calls this after a simulated crash — a real
+        power cut writes nothing further, so the run file must keep
+        whatever torn tail the crash left.  Restores the previous
+        runtime state like :meth:`finish` but never builds or emits a
+        manifest; :attr:`manifest` stays ``None``.
+        """
+        if self.profiler is not None:
+            self.profiler.uninstall()
+            self.profiler = None
+        if self._metrics_sink is not None:
+            self._metrics_sink.close()
+        if self._trace_sink is not None:
+            self._trace_sink.close()
+        if runtime.current() is self.state:
+            runtime.restore(self._previous)
 
     def __enter__(self) -> "RunSession":
         return self

@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.chaos.sites import fire as _chaos_fire
 from repro.errors import ObservabilityError
 from repro.obs.runtime import Observability
 from repro.obs.tracer import SpanRecord
@@ -35,15 +36,43 @@ class JsonlSink:
         self._closed = False
 
     def emit(self, event: Mapping[str, Any]) -> None:
+        """Append one event line (chaos write site ``obs.sink``).
+
+        A failed write raises
+        :class:`~repro.errors.ObservabilityError` and closes the
+        sink: after a failure the stream may end mid-line, and
+        appending more events would corrupt the line *after* the torn
+        one — a closed sink keeps the damage to the tail, which the
+        lenient run-file readers tolerate.
+        """
         if self._closed:
             raise ObservabilityError(
                 f"sink {self.path} is closed; cannot emit"
             )
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w", encoding="utf-8")
-        self._handle.write(json.dumps(event, sort_keys=True))
-        self._handle.write("\n")
+        line = json.dumps(event, sort_keys=True) + "\n"
+        try:
+            try:
+                _chaos_fire("obs.sink", "before")
+                if self._handle is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._handle = self.path.open("w", encoding="utf-8")
+                _chaos_fire(
+                    "obs.sink", "data",
+                    handle=self._handle, payload=line,
+                )
+                self._handle.write(line)
+            except OSError as error:
+                raise ObservabilityError(
+                    f"cannot write to sink {self.path}: {error}"
+                ) from error
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def closed(self) -> bool:
+        """True once the sink died or was closed; emits raise."""
+        return self._closed
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,141 @@
+"""Shared failure-handling policies: retry, backoff, deadline,
+degradation, best-effort cleanup.
+
+Before this module existed the repo had three ad-hoc copies of the
+same ideas: :class:`repro.runner.TaskGuard` hand-rolled its retry loop
+and exponential backoff, the artifact store counted corrupt reads with
+an inline dict, and io cleanup paths open-coded ``try/except OSError:
+pass``.  They now share one small, deterministic, separately-tested
+policy surface:
+
+* :class:`RetryPolicy` — how many attempts, and how long to wait
+  between them (``base * 2**attempt``, no jitter: reproducibility
+  beats thundering-herd avoidance in a single-host lab);
+* :class:`DeadlinePolicy` — the runner's *soft* deadline check;
+* :class:`Degradation` — "give up on this key after N strikes",
+  backing the store's quarantine decision;
+* :func:`best_effort` — run a cleanup step, swallow its expected
+  failure class, report whether it worked.
+
+Everything here is pure policy: no I/O, no clocks (callers pass
+elapsed seconds and sleep functions in), trivially picklable, and
+importable from anywhere (only :mod:`repro.errors` below it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import TransientTaskError
+
+#: Default retry budget shared by the runner's TaskGuard.
+DEFAULT_RETRIES = 2
+
+#: Default backoff base in seconds (delay = base * 2**attempt).
+DEFAULT_BACKOFF = 0.05
+
+
+def null_sleep(_seconds: float) -> None:
+    """A sleep that does not sleep — for tests and fault injection."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff."""
+
+    retries: int = DEFAULT_RETRIES
+    backoff_base: float = DEFAULT_BACKOFF
+
+    @property
+    def attempts(self) -> int:
+        """Total attempt count: one initial try plus the retries."""
+        return max(0, self.retries) + 1
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt *attempt* (0-based)."""
+        return self.backoff_base * (2**attempt)
+
+    def run(
+        self,
+        attempt_fn: Callable[[int], Any],
+        *,
+        transient: tuple[type[BaseException], ...] = (TransientTaskError,),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Any:
+        """Call ``attempt_fn(attempt)`` until it succeeds.
+
+        Only *transient* exception types are retried; anything else
+        propagates immediately.  The final transient failure (attempt
+        budget exhausted) propagates to the caller.
+        """
+        for attempt in range(self.attempts):
+            try:
+                return attempt_fn(attempt)
+            except transient:
+                if attempt + 1 >= self.attempts:
+                    raise
+                sleep(self.delay(attempt))
+        raise AssertionError("unreachable: attempts >= 1")
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """A soft wall-clock budget; ``None`` means unlimited."""
+
+    deadline: float | None = None
+
+    def exceeded(self, elapsed: float) -> bool:
+        """True when *elapsed* seconds overran the budget."""
+        return self.deadline is not None and elapsed > self.deadline
+
+
+class Degradation:
+    """Per-key strike counter: escalate after *limit* strikes.
+
+    ``record(key)`` returns True on the strike that reaches the limit
+    (and keeps returning True for further strikes until ``reset``), so
+    callers can move from "degrade quietly" to "take action" — the
+    store uses it to decide when repeated content-hash failures stop
+    being cache misses and become a quarantine.
+    """
+
+    def __init__(self, limit: int = 2) -> None:
+        if limit < 1:
+            raise ValueError(f"degradation limit must be >= 1: {limit}")
+        self.limit = limit
+        self._strikes: dict[Any, int] = {}
+
+    def record(self, key: Any) -> bool:
+        """Count one strike against *key*; True once the limit is hit."""
+        strikes = self._strikes.get(key, 0) + 1
+        self._strikes[key] = strikes
+        return strikes >= self.limit
+
+    def count(self, key: Any) -> int:
+        """Strikes recorded against *key* so far."""
+        return self._strikes.get(key, 0)
+
+    def reset(self, key: Any) -> None:
+        """Forget *key*'s strikes (e.g. after quarantining it)."""
+        self._strikes.pop(key, None)
+
+
+def best_effort(
+    fn: Callable[..., Any],
+    *args: Any,
+    swallow: Iterable[type[BaseException]] = (OSError,),
+    **kwargs: Any,
+) -> bool:
+    """Run a cleanup step; swallow its expected failures.
+
+    Returns True when *fn* ran without raising, False when it raised
+    one of the *swallow* types.  Unexpected exception types propagate:
+    best-effort is not a license to hide bugs.
+    """
+    try:
+        fn(*args, **kwargs)
+    except tuple(swallow):
+        return False
+    return True

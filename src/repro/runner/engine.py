@@ -33,9 +33,11 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro import obs
-from repro.errors import RunnerError
+from repro.chaos.sites import installed as _io_faults_installed
+from repro.errors import RunnerError, SimulatedCrash
 from repro.io import atomic_writer
 from repro.obs.clock import wall_time
+from repro.resilience import best_effort
 from repro.runner.faults import FaultPlan, SimulatedKill
 from repro.runner.guard import (
     DEFAULT_BACKOFF,
@@ -210,7 +212,7 @@ class BatchRunner:
         kill there leaves partial bytes only in the doomed temp file."""
         path = self.directory / spec.artifact
         text = json.dumps(payload, indent=2, sort_keys=True)
-        with atomic_writer(path, "w") as handle:
+        with atomic_writer(path, "w", site="runner.artifact") as handle:
             handle.write(text)
             handle.write("\n")
             if self.plan is not None:
@@ -376,6 +378,8 @@ class BatchRunner:
         simulated kill)."""
         if result.died == "KeyboardInterrupt":
             raise KeyboardInterrupt(result.died_message)
+        if result.died == "SimulatedCrash":
+            raise SimulatedCrash(result.died_message)
         if result.died == "SimulatedKill":
             raise SimulatedKill(result.died_message)
         raise RunnerError(
@@ -517,15 +521,30 @@ class BatchRunner:
         task is already durable.
         """
         completed: dict[str, dict[str, Any]] = {}
-        if self.journal_path.exists():
+        fresh = not self.journal_path.exists()
+        if not fresh:
             if not self.resume:
                 raise RunnerError(
                     f"{self.journal_path} already holds a checkpoint "
                     "journal; pass --resume to continue it or point "
                     "--checkpoint at a fresh directory"
                 )
-            completed = self._load_checkpoint()
-        fresh = not self.journal_path.exists()
+            state = load_journal(self.journal_path)
+            if state.header is None and not state.entries:
+                # A crash before the batch header became durable left
+                # only a torn (or empty) tail; appending a header after
+                # it would corrupt the file, so drop the husk and
+                # resume as a fresh run.
+                best_effort(self.journal_path.unlink)
+                fresh = True
+            else:
+                completed = self._load_checkpoint()
+            swept = 0
+            for stale in sorted(self.directory.rglob("*.tmp")):
+                if best_effort(stale.unlink):
+                    swept += 1
+            if swept:
+                obs.inc("runner.resume.tmp_swept", swept)
         results: dict[str, dict[str, Any]] = {}
         failures: list[TaskFailure] = []
         pending: list[str] = []
@@ -533,8 +552,9 @@ class BatchRunner:
         cached = 0
         journal = CheckpointJournal(self.journal_path)
         env = RunnerEnv()
+        io_plan = self.plan.io_plan if self.plan is not None else None
         try:
-            with obs.span(
+            with _io_faults_installed(io_plan), obs.span(
                 "runner.batch",
                 command=self.batch.command,
                 grid=self.batch.grid_id,

@@ -26,6 +26,13 @@ Plans are deterministic: each injection fires on the first *times*
 matching calls and never again, so a replayed run observes the exact
 same fault sequence.  Plans serialise as JSON (format
 ``repro/faultplan``) for the CLI's ``--inject`` flag and CI.
+
+Version 2 of the format adds an optional ``io`` array of
+:class:`repro.chaos.plan.IoInjection` entries targeting the named
+*write sites* of :mod:`repro.chaos.sites` — the runner installs that
+section process-wide for the duration of :meth:`BatchRunner.run`, so
+one plan file can schedule a task-level transient *and* a torn index
+write.  Version-1 plans remain valid and serialise unchanged.
 """
 
 from __future__ import annotations
@@ -36,10 +43,20 @@ from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-from repro.errors import RunnerError, TaskTimeout, TransientTaskError
+from repro.chaos.plan import IoFaultPlan, IoInjection
+from repro.errors import (
+    ChaosError,
+    RunnerError,
+    SimulatedKill,
+    TaskTimeout,
+    TransientTaskError,
+)
 
 FAULTPLAN_FORMAT = "repro/faultplan"
-FAULTPLAN_VERSION = 1
+FAULTPLAN_VERSION = 2
+
+#: Fault plan versions :meth:`FaultPlan.from_dict` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Valid execution points an injection can target.
 POINTS = ("start", "finish", "artifact")
@@ -47,17 +64,17 @@ POINTS = ("start", "finish", "artifact")
 #: Valid error kinds an injection can raise.
 ERROR_KINDS = ("transient", "permanent", "timeout", "interrupt", "kill")
 
-
-class SimulatedKill(BaseException):
-    """The fault harness's stand-in for ``SIGKILL``.
-
-    Derives from ``BaseException`` so neither :class:`TaskGuard` nor
-    any library ``except Exception`` can swallow it — exactly like the
-    real signal, the run just stops.  (Unlike the real signal it still
-    unwinds the stack, so atomic writers get to discard their temp
-    files; a genuine ``SIGKILL`` would strand a ``*.tmp`` but never a
-    truncated artifact.)
-    """
+__all__ = [
+    "ERROR_KINDS",
+    "FAULTPLAN_FORMAT",
+    "FAULTPLAN_VERSION",
+    "FaultPlan",
+    "Injection",
+    "POINTS",
+    "SUPPORTED_VERSIONS",
+    "SimulatedKill",
+    "load_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -88,10 +105,23 @@ class Injection:
 
 
 class FaultPlan:
-    """A deterministic schedule of injections, with a fired log."""
+    """A deterministic schedule of injections, with a fired log.
 
-    def __init__(self, injections: Iterable[Injection] = ()) -> None:
+    *io* entries (faultplan v2) target filesystem write sites rather
+    than task points; they are carried as :attr:`io_plan`, which the
+    batch engine installs via :func:`repro.chaos.sites.installed`
+    while the run executes.
+    """
+
+    def __init__(
+        self,
+        injections: Iterable[Injection] = (),
+        io: Iterable[IoInjection] = (),
+    ) -> None:
         self.injections = tuple(injections)
+        self.io = tuple(io)
+        #: The v2 ``io`` section as an installable plan (None when empty).
+        self.io_plan = IoFaultPlan(self.io) if self.io else None
         self._remaining = [spec.times for spec in self.injections]
         #: Chronological (task, point, error) triples, for assertions.
         self.fired: list[tuple[str, str, str]] = []
@@ -147,9 +177,14 @@ class FaultPlan:
                 f"{FAULTPLAN_FORMAT!r} (found "
                 f"format={data.get('format')!r})"
             )
-        if data.get("version") != FAULTPLAN_VERSION:
+        version = data.get("version")
+        if version not in SUPPORTED_VERSIONS:
             raise RunnerError(
-                f"unsupported fault plan version {data.get('version')!r}"
+                f"unsupported fault plan version {version!r}"
+            )
+        if version < 2 and data.get("io"):
+            raise RunnerError(
+                "fault plan 'io' section requires version 2"
             )
         injections = []
         for entry in data.get("injections") or ():
@@ -171,12 +206,20 @@ class FaultPlan:
                 raise RunnerError(
                     f"malformed injection entry {entry!r}: {error}"
                 ) from error
-        return cls(injections)
+        try:
+            io_plan = IoFaultPlan.from_entries(data.get("io"))
+        except ChaosError as error:
+            raise RunnerError(
+                f"malformed fault plan io section: {error}"
+            ) from error
+        return cls(injections, io=io_plan.injections)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        """JSON form; emits version 1 unless an ``io`` section exists,
+        so pre-existing v1 plan files round-trip byte-identically."""
+        payload: dict[str, Any] = {
             "format": FAULTPLAN_FORMAT,
-            "version": FAULTPLAN_VERSION,
+            "version": FAULTPLAN_VERSION if self.io else 1,
             "injections": [
                 {
                     "task": spec.task,
@@ -188,6 +231,9 @@ class FaultPlan:
                 for spec in self.injections
             ],
         }
+        if self.io:
+            payload["io"] = [spec.to_entry() for spec in self.io]
+        return payload
 
 
 def load_plan(path: str | Path) -> FaultPlan:

@@ -29,23 +29,22 @@ from typing import Any, Callable
 
 from repro.errors import TaskTimeout, TransientTaskError
 from repro.obs.clock import monotonic
+from repro.resilience import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    DeadlinePolicy,
+    RetryPolicy,
+    null_sleep,
+)
 
-#: Default bound on transient-failure retries (attempts = retries + 1).
-DEFAULT_RETRIES = 2
-
-#: Default backoff base in seconds; attempt *n* waits ``base * 2**n``.
-DEFAULT_BACKOFF = 0.05
-
-
-def null_sleep(seconds: float) -> None:
-    """A sleeper that returns immediately.
-
-    Injected wherever the deterministic backoff *schedule* matters but
-    the wall-time delay does not — under the fault-injection harness
-    and in tests.  Retry behaviour (attempt counts, the journaled
-    ``retries`` numbers, the sequence of computed delays) is identical
-    to the real :func:`time.sleep`; only the waiting is skipped.
-    """
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "TaskFailure",
+    "TaskGuard",
+    "TaskOutcome",
+    "null_sleep",
+]
 
 
 @dataclass(frozen=True)
@@ -91,8 +90,13 @@ class TaskOutcome:
 class TaskGuard:
     """Execute one task body under retry/deadline/failure conversion.
 
-    *sleep* is injectable so tests (and fast replays) can observe the
-    deterministic backoff schedule without actually waiting.
+    Retry and deadline arithmetic delegate to the shared policy
+    objects in :mod:`repro.resilience`
+    (:class:`~repro.resilience.RetryPolicy` /
+    :class:`~repro.resilience.DeadlinePolicy`), so the runner, the
+    store and the chaos layer agree on one backoff schedule.  *sleep*
+    is injectable so tests (and fast replays) can observe the
+    deterministic schedule without actually waiting.
     """
 
     def __init__(
@@ -107,11 +111,15 @@ class TaskGuard:
         self.retries = max(0, retries)
         self.backoff_base = backoff_base
         self.deadline = deadline
+        self._retry = RetryPolicy(
+            retries=self.retries, backoff_base=backoff_base
+        )
+        self._deadline = DeadlinePolicy(deadline)
         self._sleep = sleep if sleep is not None else time.sleep
 
     def backoff(self, attempt: int) -> float:
         """Deterministic delay before re-running *attempt* + 1."""
-        return self.backoff_base * (2**attempt)
+        return self._retry.delay(attempt)
 
     def run(
         self, attempt_fn: Callable[[int], dict[str, Any]]
@@ -120,25 +128,22 @@ class TaskGuard:
         permanent failure, or the retry budget is spent."""
         started = monotonic()
         retries_used = 0
-        for attempt in range(self.retries + 1):
+        for attempt in range(self._retry.attempts):
             attempt_started = monotonic()
             try:
                 value = attempt_fn(attempt)
             except TaskTimeout as error:
                 return self._failure(error, started, retries_used, False)
             except TransientTaskError as error:
-                if attempt < self.retries:
+                if attempt + 1 < self._retry.attempts:
                     retries_used += 1
-                    self._sleep(self.backoff(attempt))
+                    self._sleep(self._retry.delay(attempt))
                     continue
                 return self._failure(error, started, retries_used, True)
             except Exception as error:
                 return self._failure(error, started, retries_used, False)
             attempt_elapsed = monotonic() - attempt_started
-            if (
-                self.deadline is not None
-                and attempt_elapsed > self.deadline
-            ):
+            if self._deadline.exceeded(attempt_elapsed):
                 timeout = TaskTimeout(
                     f"task {self.key} took {attempt_elapsed:.3f}s, over "
                     f"its soft deadline of {self.deadline:.3f}s"

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.chaos.sites import fire as _chaos_fire
 from repro.errors import RunnerError
 
 CHECKPOINT_FORMAT = "repro/checkpoint"
@@ -52,18 +53,38 @@ class CheckpointJournal:
         self._closed = False
 
     def append(self, record: Mapping[str, Any]) -> None:
-        """Durably append one record: write, flush, fsync."""
+        """Durably append one record: write, flush, fsync.
+
+        A filesystem failure surfaces as
+        :class:`~repro.errors.RunnerError` (the journal is the
+        runner's source of truth — an unjournalled task must not look
+        committed); the chaos hook fires under the
+        ``runner.journal`` write site.
+        """
         if self._closed:
             raise RunnerError(
                 f"checkpoint journal {self.path} is closed; cannot append"
             )
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("a", encoding="utf-8")
-        self._handle.write(json.dumps(record, sort_keys=True))
-        self._handle.write("\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            _chaos_fire("runner.journal", "before")
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            _chaos_fire(
+                "runner.journal", "data",
+                handle=self._handle, payload=line,
+            )
+            self._handle.write(line)
+            self._handle.flush()
+            _chaos_fire("runner.journal", "fsync")
+            os.fsync(self._handle.fileno())
+            _chaos_fire("runner.journal", "after")
+        except OSError as error:
+            raise RunnerError(
+                f"cannot append to checkpoint journal {self.path}: "
+                f"{error}"
+            ) from error
 
     def close(self) -> None:
         if self._handle is not None:

@@ -12,6 +12,11 @@ payload, see :mod:`repro.store.fingerprint`), *not* of the blob bytes.
 The index additionally records the sha256 of the blob content, so
 reads detect corruption: a tampered or truncated blob hashes wrong,
 counts as a miss, and is transparently rebuilt and overwritten.
+A blob that fails its content hash **twice** for the same digest is
+not silently rebuilt again: it is moved to ``objects/quarantine/``
+(bounded, swept by gc) and counted in ``store.quarantined``, so
+persistent corruption shows up in ``cache stats`` instead of being
+masked as an endless stream of misses.
 
 Write discipline mirrors the runner's single-writer journal design:
 
@@ -35,11 +40,21 @@ from typing import Any, Callable
 from repro import obs
 from repro.errors import ReproError, StoreError
 from repro.io import atomic_write_bytes, atomic_write_text
+from repro.resilience import Degradation, best_effort
 from repro.store.codecs import CODECS
 from repro.store.fingerprint import artifact_digest
 
 #: Name of the JSON index file inside a store directory.
 INDEX_NAME = "index.json"
+
+#: Directory (under the store root) holding quarantined blobs.
+QUARANTINE_DIR = "objects/quarantine"
+
+#: Content-hash failures for one digest before it is quarantined.
+QUARANTINE_STRIKES = 2
+
+#: Most quarantined blobs kept on disk; older ones are evicted first.
+QUARANTINE_KEEP = 8
 
 #: ``format`` field value of the index file.
 STORE_FORMAT = "repro/store-index"
@@ -77,6 +92,7 @@ class ArtifactStore:
         self._readonly = bool(readonly)
         self._owner_pid = os.getpid()
         self._index: dict[str, dict[str, Any]] = self._read_index()
+        self._corrupt_reads = Degradation(limit=QUARANTINE_STRIKES)
         self.hits = 0
         self.misses = 0
 
@@ -117,6 +133,7 @@ class ArtifactStore:
         atomic_write_text(
             self.index_path,
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            site="store.index",
         )
 
     def _refresh(self) -> None:
@@ -145,8 +162,19 @@ class ArtifactStore:
         """Absolute path of the blob file for *digest*."""
         return self.root / blob_relpath(digest)
 
+    @property
+    def quarantine_path(self) -> Path:
+        """Directory holding blobs that repeatedly failed their hash."""
+        return self.root / QUARANTINE_DIR
+
     def get(self, digest: str) -> bytes | None:
-        """Blob bytes for *digest*, or None when absent or corrupt."""
+        """Blob bytes for *digest*, or None when absent or corrupt.
+
+        A corrupt read counts one strike against the digest; on the
+        :data:`QUARANTINE_STRIKES`-th strike the blob is moved to
+        quarantine (when writable) so the next build overwrites a
+        clean slot instead of rediscovering the same corruption.
+        """
         entry = self._index.get(digest)
         if entry is None:
             self._refresh()
@@ -159,8 +187,38 @@ class ArtifactStore:
             return None
         if hashlib.sha256(data).hexdigest() != entry.get("sha256"):
             obs.inc("store.corrupt")
+            if self._corrupt_reads.record(digest) and self.writable:
+                self._quarantine(digest)
             return None
         return data
+
+    def _quarantine(self, digest: str) -> None:
+        """Move a persistently corrupt blob out of the object tree.
+
+        The index entry is dropped (best effort — quarantine must not
+        raise on a sick disk) and the quarantine directory is bounded:
+        beyond :data:`QUARANTINE_KEEP` blobs, the lexically smallest
+        digests are evicted first (deterministic, and good enough for
+        a triage holding area).
+        """
+        destination = self.quarantine_path / digest
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(self.blob_path(digest), destination)
+        except OSError:
+            return
+        obs.inc("store.quarantined")
+        self._corrupt_reads.reset(digest)
+        if digest in self._index:
+            del self._index[digest]
+            best_effort(self._write_index)
+        held = sorted(
+            path
+            for path in self.quarantine_path.iterdir()
+            if path.is_file()
+        )
+        for stale in held[: max(0, len(held) - QUARANTINE_KEEP)]:
+            best_effort(stale.unlink)
 
     def put(
         self,
@@ -169,7 +227,10 @@ class ArtifactStore:
         data: bytes,
         key: Any = None,
     ) -> bool:
-        """Store *data* under *digest*; returns False when read-only.
+        """Store *data* under *digest*; returns False when read-only
+        or when the write itself failed (full or failing disk) — the
+        store is an optimisation, so a failed put degrades to "not
+        cached" instead of aborting the build that produced *data*.
 
         The blob lands first, then the index is re-read, merged with
         the in-memory view and atomically replaced — two stores
@@ -178,21 +239,27 @@ class ArtifactStore:
         """
         if not self.writable:
             return False
-        atomic_write_bytes(self.blob_path(digest), data)
-        self._refresh()
-        sequence = 1 + max(
-            (entry.get("seq", 0) for entry in self._index.values()),
-            default=0,
-        )
-        self._index[digest] = {
-            "kind": kind,
-            "sha256": hashlib.sha256(data).hexdigest(),
-            "file": blob_relpath(digest),
-            "bytes": len(data),
-            "seq": sequence,
-            "key": key,
-        }
-        self._write_index()
+        try:
+            atomic_write_bytes(
+                self.blob_path(digest), data, site="store.blob"
+            )
+            self._refresh()
+            sequence = 1 + max(
+                (entry.get("seq", 0) for entry in self._index.values()),
+                default=0,
+            )
+            self._index[digest] = {
+                "kind": kind,
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "file": blob_relpath(digest),
+                "bytes": len(data),
+                "seq": sequence,
+                "key": key,
+            }
+            self._write_index()
+        except OSError:
+            obs.inc("store.write_failed")
+            return False
         obs.inc("store.bytes", len(data))
         return True
 
@@ -257,6 +324,13 @@ class ArtifactStore:
             bucket["entries"] += 1
             bucket["bytes"] += size
         accesses = self.hits + self.misses
+        quarantined = 0
+        if self.quarantine_path.is_dir():
+            quarantined = sum(
+                1
+                for path in self.quarantine_path.iterdir()
+                if path.is_file()
+            )
         return {
             "root": str(self.root),
             "entries": len(self._index),
@@ -265,6 +339,7 @@ class ArtifactStore:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / accesses if accesses else None,
+            "quarantined": quarantined,
         }
 
     def record_metrics(self) -> None:
@@ -276,10 +351,13 @@ class ArtifactStore:
     def gc(self, max_bytes: int | None = None) -> dict[str, int]:
         """Collect garbage; returns a summary of what was removed.
 
-        Three passes, all deterministic: drop index entries whose blob
-        file is missing; when *max_bytes* is given, evict oldest
-        entries (lowest insertion sequence) until the store fits; then
-        delete blob and temp files no index entry references.  Run gc
+        Deterministic passes: drop index entries whose blob file is
+        missing; when *max_bytes* is given, evict oldest entries
+        (lowest insertion sequence) until the store fits; delete blob
+        files no index entry references; purge the quarantine
+        directory; and sweep orphan ``*.tmp`` files a crashed atomic
+        write stranded anywhere under the root (counted in
+        ``tmp_swept`` and the ``store.gc.tmp_swept`` metric).  Run gc
         only while no other process is writing the store.
         """
         if not self.writable:
@@ -321,6 +399,10 @@ class ArtifactStore:
         objects = self.root / "objects"
         if objects.is_dir():
             for blob in sorted(objects.glob("*/*")):
+                if blob.parent == self.quarantine_path:
+                    continue
+                if blob.name.endswith(".tmp"):
+                    continue  # the tmp sweep below owns these
                 relative = blob.relative_to(self.root).as_posix()
                 if relative in referenced:
                     continue
@@ -332,6 +414,27 @@ class ArtifactStore:
                 removed_blobs += 1
                 freed += size
 
+        quarantined_removed = 0
+        if self.quarantine_path.is_dir():
+            for blob in sorted(self.quarantine_path.iterdir()):
+                if not blob.is_file():
+                    continue
+                try:
+                    size = blob.stat().st_size
+                    blob.unlink()
+                except OSError:
+                    continue
+                quarantined_removed += 1
+                freed += size
+
+        tmp_swept = 0
+        if self.root.is_dir():
+            for stale in sorted(self.root.rglob("*.tmp")):
+                if best_effort(stale.unlink):
+                    tmp_swept += 1
+        if tmp_swept:
+            obs.inc("store.gc.tmp_swept", tmp_swept)
+
         return {
             "removed_entries": removed_entries,
             "removed_blobs": removed_blobs,
@@ -341,4 +444,6 @@ class ArtifactStore:
                 int(entry.get("bytes", 0))
                 for entry in self._index.values()
             ),
+            "quarantined_removed": quarantined_removed,
+            "tmp_swept": tmp_swept,
         }

@@ -134,4 +134,4 @@ def save_workload(workload: Workload, path: str | Path) -> None:
     from repro.io import atomic_write_text
 
     text = json.dumps(workload_to_dict(workload), indent=2, sort_keys=True)
-    atomic_write_text(Path(path), text + "\n")
+    atomic_write_text(Path(path), text + "\n", site="workloads.spec")

@@ -195,13 +195,113 @@ class TestWorkerWriteRule:
                 from repro.io import atomic_write_text
 
                 def persist(task):
-                    atomic_write_text("out.json", str(task))
+                    atomic_write_text(
+                        "out.json", str(task), site="helpers.out"
+                    )
             """,
             "repro/io.py": "def atomic_write_text(path, text): ...\n",
             "repro/runner/__init__.py": "",
             "repro/runner/pool.py": """
                 def execute_task(task):
                     return task * 2
+            """,
+        })
+        assert findings == []
+
+
+SITES_MODULE = {
+    "repro/chaos/__init__.py": "",
+    "repro/chaos/sites.py": """
+        WRITE_SITES = {
+            "io.atomic_writer": "generic atomic write",
+            "store.index": "the index replace",
+        }
+    """,
+}
+
+
+class TestUnregisteredWriteSiteRule:
+    def test_missing_site_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            **SITES_MODULE,
+            "repro/maker.py": """
+                from repro.io import atomic_write_text
+
+                def emit(path, text):
+                    atomic_write_text(path, text)
+            """,
+        })
+        assert rules_of(findings) == {"conc/unregistered-write-site"}
+        (finding,) = findings
+        assert "no site=" in finding.message
+
+    def test_unknown_literal_site_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            **SITES_MODULE,
+            "repro/maker.py": """
+                from repro.io import atomic_write_text
+
+                def emit(path, text):
+                    atomic_write_text(path, text, site="maker.out")
+            """,
+        })
+        assert rules_of(findings) == {"conc/unregistered-write-site"}
+        (finding,) = findings
+        assert "maker.out" in finding.message
+
+    def test_non_literal_site_fires(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            **SITES_MODULE,
+            "repro/maker.py": """
+                from repro.io import atomic_write_text
+
+                def emit(path, text, site):
+                    atomic_write_text(path, text, site=site)
+            """,
+        })
+        assert rules_of(findings) == {"conc/unregistered-write-site"}
+
+    def test_registered_literal_site_is_clean(self, tmp_path):
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            **SITES_MODULE,
+            "repro/maker.py": """
+                from repro.io import atomic_write_text
+
+                def emit(path, text):
+                    atomic_write_text(path, text, site="store.index")
+            """,
+        })
+        assert findings == []
+
+    def test_repro_io_itself_is_exempt(self, tmp_path):
+        # The primitives' own module defines the defaults.
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            **SITES_MODULE,
+            "repro/io.py": """
+                def atomic_write_text(path, text, site="io.atomic_writer"):
+                    ...
+
+                def save(path, text):
+                    atomic_write_text(path, text)
+            """,
+        })
+        assert findings == []
+
+    def test_registry_absent_skips_unknown_id_check(self, tmp_path):
+        # Fixture trees without repro.chaos.sites still require a
+        # literal tag but cannot validate it against the registry.
+        findings = conc_findings(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/maker.py": """
+                from repro.io import atomic_write_text
+
+                def emit(path, text):
+                    atomic_write_text(path, text, site="anything.goes")
             """,
         })
         assert findings == []

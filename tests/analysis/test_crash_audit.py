@@ -1,0 +1,124 @@
+"""The crash-scene auditor: what counts as damage vs. crash residue."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    CHAOS_RULES,
+    Severity,
+    audit_crash_scene,
+    find_stale_tmp,
+)
+from repro.runner.journal import JOURNAL_NAME
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def write_journal(directory, lines):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / JOURNAL_NAME).write_text("".join(lines))
+
+
+HEADER = json.dumps(
+    {"type": "batch", "format": "repro/checkpoint", "version": 1,
+     "grid": "g", "tasks": 1}
+) + "\n"
+TASK = json.dumps(
+    {"type": "task", "key": "t:1", "status": "ok"}
+) + "\n"
+
+
+class TestRuleRegistry:
+    def test_rules_sorted_and_prefixed(self):
+        assert list(CHAOS_RULES) == sorted(CHAOS_RULES)
+        assert all(rule.startswith("chaos/") for rule in CHAOS_RULES)
+
+
+class TestJournalScene:
+    def test_clean_journal_passes(self, tmp_path):
+        write_journal(tmp_path / "ckpt", [HEADER, TASK])
+        assert audit_crash_scene(checkpoint=tmp_path / "ckpt") == []
+
+    def test_missing_journal_passes(self, tmp_path):
+        assert audit_crash_scene(checkpoint=tmp_path / "ckpt") == []
+
+    def test_torn_tail_is_residue_not_damage(self, tmp_path):
+        write_journal(
+            tmp_path / "ckpt", [HEADER, TASK, '{"type": "task", "ke']
+        )
+        assert audit_crash_scene(checkpoint=tmp_path / "ckpt") == []
+
+    def test_mid_file_corruption_is_damage(self, tmp_path):
+        write_journal(
+            tmp_path / "ckpt", [HEADER, "<<garbage>>\n", TASK]
+        )
+        findings = audit_crash_scene(checkpoint=tmp_path / "ckpt")
+        assert rules_of(findings) == {"chaos/journal-parse"}
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+
+class TestRunFileScene:
+    def test_missing_run_file_passes(self, tmp_path):
+        assert audit_crash_scene(run_file=tmp_path / "run.jsonl") == []
+
+    def test_torn_tail_passes(self, tmp_path):
+        run_file = tmp_path / "run.jsonl"
+        run_file.write_text(
+            '{"type": "span", "name": "a"}\n{"type": "span", "na'
+        )
+        assert audit_crash_scene(run_file=run_file) == []
+
+    def test_missing_manifest_passes(self, tmp_path):
+        # A crash writes no manifest line; that is the expected state.
+        run_file = tmp_path / "run.jsonl"
+        run_file.write_text('{"type": "span", "name": "a"}\n')
+        assert audit_crash_scene(run_file=run_file) == []
+
+    def test_corruption_before_tail_is_damage(self, tmp_path):
+        run_file = tmp_path / "run.jsonl"
+        run_file.write_text(
+            '{"type": "span"}\nnot json at all\n{"type": "span"}\n'
+        )
+        findings = audit_crash_scene(run_file=run_file)
+        assert rules_of(findings) == {"chaos/manifest-parse"}
+
+    def test_non_object_line_is_damage(self, tmp_path):
+        run_file = tmp_path / "run.jsonl"
+        run_file.write_text('[1, 2]\n{"type": "span"}\n')
+        findings = audit_crash_scene(run_file=run_file)
+        assert rules_of(findings) == {"chaos/manifest-parse"}
+
+
+class TestStoreScene:
+    def test_absent_index_passes(self, tmp_path):
+        # Crash before the first index commit: a legitimate state.
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "objects" / "ab").mkdir(parents=True)
+        (store / "objects" / "ab" / ("ab" + "c" * 62)).write_bytes(b"x")
+        assert audit_crash_scene(store=store) == []
+
+    def test_broken_index_is_damage(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "index.json").write_text("{ torn")
+        findings = audit_crash_scene(store=store)
+        assert rules_of(findings) == {"chaos/store-integrity"}
+
+
+class TestFindStaleTmp:
+    def test_finds_nested_temp_files(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / ".out.json.x1.tmp").write_text("")
+        (tmp_path / ".top.x2.tmp").write_text("")
+        (tmp_path / "kept.json").write_text("{}")
+        stale = find_stale_tmp(tmp_path)
+        assert {p.name for p in stale} == {
+            ".top.x2.tmp", ".out.json.x1.tmp",
+        }
+
+    def test_missing_root_is_empty(self, tmp_path):
+        assert find_stale_tmp(tmp_path / "absent") == []

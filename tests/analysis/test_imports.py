@@ -59,6 +59,8 @@ GOLDEN_STATIC = {
                  "profiles", "program", "runner", "store"},
     "blocks": {"errors", "profiles", "program", "trace"},
     "cache": {"errors", "fastpath", "obs", "program", "trace"},
+    "chaos": {"analysis", "errors", "io", "obs", "resilience",
+              "runner", "store", "workloads"},
     "cli": {"cache", "core", "errors", "eval", "obs", "placement",
             "program", "workloads"},
     "core": {"cache", "errors", "fastpath", "obs", "placement",
@@ -66,15 +68,18 @@ GOLDEN_STATIC = {
     "eval": {"cache", "core", "errors", "obs", "placement", "profiles",
              "program", "trace", "workloads"},
     "fastpath": {"errors"},
-    "io": {"errors", "profiles", "program", "trace"},
-    "obs": {"errors"},
+    "io": {"chaos", "errors", "profiles", "program", "resilience",
+           "trace"},
+    "obs": {"chaos", "errors"},
     "placement": {"cache", "core", "errors", "obs", "profiles",
                   "program"},
     "profiles": {"cache", "errors", "obs", "program", "trace"},
     "program": {"cache", "errors"},
-    "runner": {"cache", "core", "errors", "eval", "io", "obs",
-               "placement", "program", "workloads"},
-    "store": {"cache", "errors", "io", "obs", "profiles", "trace"},
+    "resilience": {"errors"},
+    "runner": {"cache", "chaos", "core", "errors", "eval", "io", "obs",
+               "placement", "program", "resilience", "workloads"},
+    "store": {"cache", "errors", "io", "obs", "profiles", "resilience",
+              "trace"},
     "trace": {"errors", "obs", "program"},
     "workloads": {"errors", "program", "trace"},
 }
@@ -83,8 +88,8 @@ GOLDEN_STATIC = {
 #: entry here is carried by a LAZY_ALLOWLIST justification.
 GOLDEN_LAZY = {
     "analysis": {"io", "obs"},
-    "cli": {"analysis", "errors", "eval", "io", "obs", "placement",
-            "runner", "store", "workloads"},
+    "cli": {"analysis", "chaos", "errors", "eval", "io", "obs",
+            "placement", "runner", "store", "workloads"},
     "eval": {"store"},
     "profiles": {"store"},
     "trace": {"store"},

@@ -317,6 +317,7 @@ class TestHarness:
             "conc/raw-write",
             "conc/global-mutation",
             "conc/worker-write",
+            "conc/unregistered-write-site",
             # tests/analysis/test_parity_rules.py
             "parity/unregistered",
             "parity/unresolved-scalar",

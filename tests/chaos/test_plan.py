@@ -1,0 +1,176 @@
+"""IoInjection / IoFaultPlan: validation, firing, serialisation."""
+
+import errno
+import io
+
+import pytest
+
+from repro.chaos.plan import (
+    IO_ERROR_KINDS,
+    IO_POINTS,
+    IoFaultPlan,
+    IoInjection,
+)
+from repro.errors import ChaosError, SimulatedCrash, SimulatedKill
+
+
+class TestInjectionValidation:
+    def test_empty_site_rejected(self):
+        with pytest.raises(ChaosError, match="site"):
+            IoInjection(site="")
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ChaosError, match="point"):
+            IoInjection(site="store.blob", point="midway")
+
+    def test_unknown_error_rejected(self):
+        with pytest.raises(ChaosError, match="error"):
+            IoInjection(site="store.blob", error="cosmic-ray")
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(ChaosError, match="times"):
+            IoInjection(site="store.blob", times=0)
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ChaosError, match="skip"):
+            IoInjection(site="store.blob", skip=-1)
+
+    def test_non_injection_entry_rejected(self):
+        with pytest.raises(ChaosError, match="IoInjection"):
+            IoFaultPlan([{"site": "store.blob"}])
+
+
+class TestFiring:
+    def test_exact_match_fires(self):
+        plan = IoFaultPlan([IoInjection(site="store.blob", error="eio")])
+        with pytest.raises(OSError):
+            plan.fire("store.blob", "data")
+        assert plan.fired == [("store.blob", "data", "eio")]
+        assert plan.exhausted
+
+    def test_glob_match_fires(self):
+        plan = IoFaultPlan([IoInjection(site="store.*", error="eio")])
+        with pytest.raises(OSError):
+            plan.fire("store.index", "data")
+
+    def test_non_matching_site_is_silent(self):
+        plan = IoFaultPlan([IoInjection(site="store.blob")])
+        plan.fire("store.index", "data")
+        assert plan.fired == []
+
+    def test_non_matching_point_is_silent(self):
+        plan = IoFaultPlan([IoInjection(site="store.blob", point="fsync")])
+        plan.fire("store.blob", "data")
+        assert plan.fired == []
+
+    def test_skip_addresses_nth_occurrence(self):
+        plan = IoFaultPlan([IoInjection(site="store.blob", skip=2)])
+        plan.fire("store.blob", "data")
+        plan.fire("store.blob", "data")
+        with pytest.raises(OSError):
+            plan.fire("store.blob", "data")
+        assert len(plan.fired) == 1
+
+    def test_times_countdown(self):
+        plan = IoFaultPlan([IoInjection(site="store.blob", times=2)])
+        for _ in range(2):
+            with pytest.raises(OSError):
+                plan.fire("store.blob", "data")
+        plan.fire("store.blob", "data")  # spent: silent
+        assert len(plan.fired) == 2
+        assert plan.exhausted
+
+    def test_empty_plan_is_exhausted(self):
+        assert IoFaultPlan().exhausted
+
+    def test_enospc_errno(self):
+        plan = IoFaultPlan([IoInjection(site="s.*", error="enospc")])
+        with pytest.raises(OSError) as caught:
+            plan.fire("s.x", "data")
+        assert caught.value.errno == errno.ENOSPC
+
+    def test_eio_errno(self):
+        plan = IoFaultPlan([IoInjection(site="s.*", error="eio")])
+        with pytest.raises(OSError) as caught:
+            plan.fire("s.x", "data")
+        assert caught.value.errno == errno.EIO
+
+    def test_kill_is_base_exception(self):
+        plan = IoFaultPlan([IoInjection(site="s.*", error="kill")])
+        with pytest.raises(SimulatedKill):
+            plan.fire("s.x", "data")
+        assert not issubclass(SimulatedKill, Exception)
+
+    def test_crash_subclasses_kill(self):
+        plan = IoFaultPlan([IoInjection(site="s.*", error="crash")])
+        with pytest.raises(SimulatedCrash):
+            plan.fire("s.x", "data")
+        assert issubclass(SimulatedCrash, SimulatedKill)
+
+    def test_torn_halves_streaming_payload(self):
+        plan = IoFaultPlan([IoInjection(site="s.*", error="torn")])
+        handle = io.StringIO()
+        with pytest.raises(SimulatedCrash):
+            plan.fire("s.x", "data", handle=handle, payload="0123456789\n")
+        # Half the line reached the "disk" before the power cut.
+        assert handle.getvalue() == "01234"
+
+    def test_torn_truncates_atomic_handle(self):
+        plan = IoFaultPlan([IoInjection(site="s.*", error="torn")])
+        handle = io.BytesIO(b"0123456789")
+        handle.seek(0, io.SEEK_END)
+        with pytest.raises(SimulatedCrash):
+            plan.fire("s.x", "data", handle=handle)
+        assert handle.getvalue() == b"01234"
+
+    def test_custom_message(self):
+        plan = IoFaultPlan(
+            [IoInjection(site="s.*", error="eio", message="disk died")]
+        )
+        with pytest.raises(OSError, match="disk died"):
+            plan.fire("s.x", "data")
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        plan = IoFaultPlan(
+            [
+                IoInjection(site="store.index", point="replace",
+                            error="torn", skip=1),
+                IoInjection(site="runner.*", times=3, message="m"),
+            ]
+        )
+        clone = IoFaultPlan.from_entries(plan.to_entries())
+        assert clone.injections == plan.injections
+
+    def test_defaults_omitted_from_entries(self):
+        entry = IoInjection(site="store.blob").to_entry()
+        assert entry == {
+            "site": "store.blob", "point": "data",
+            "error": "eio", "times": 1,
+        }
+
+    def test_none_entries_is_empty_plan(self):
+        assert IoFaultPlan.from_entries(None).injections == ()
+
+    def test_non_object_entry_rejected(self):
+        with pytest.raises(ChaosError, match="object"):
+            IoFaultPlan.from_entries(["store.blob"])
+
+    def test_missing_site_rejected(self):
+        with pytest.raises(ChaosError, match="site"):
+            IoFaultPlan.from_entries([{"point": "data"}])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ChaosError, match="unknown keys"):
+            IoFaultPlan.from_entries([{"site": "s", "when": "now"}])
+
+
+class TestConstants:
+    def test_points_cover_write_protocol(self):
+        assert IO_POINTS == ("before", "data", "fsync", "replace", "after")
+
+    def test_error_kinds(self):
+        assert set(IO_ERROR_KINDS) == {
+            "enospc", "eio", "torn", "kill", "crash"
+        }

@@ -9,7 +9,8 @@ import json
 
 import pytest
 
-from repro.errors import RunnerError
+from repro.chaos.plan import IoInjection
+from repro.errors import RunnerError, SimulatedCrash
 from repro.runner import (
     Batch,
     BatchRunner,
@@ -279,3 +280,71 @@ class TestKillAndResume:
         assert outcome.ok
         payload = json.loads((tmp_path / "t1.json").read_text())
         assert payload == {"value": 10}
+
+
+class TestIoFaultPlan:
+    """Faultplan v2 ``io`` entries, installed for the run's duration."""
+
+    def test_crash_mid_artifact_write_then_resume_byte_identical(
+        self, tmp_path
+    ):
+        reference = runner(make_batch(), tmp_path / "ref").run()
+        plan = FaultPlan(
+            io=[IoInjection(site="runner.artifact", point="data",
+                            error="crash", skip=1)]
+        )
+        with pytest.raises(SimulatedCrash):
+            runner(make_batch(), tmp_path / "ck", plan=plan).run()
+        # The power cut stranded the second artifact's temp file.
+        assert list((tmp_path / "ck").glob("*.tmp"))
+        assert not (tmp_path / "ck" / "t2.json").exists()
+        resumed = runner(
+            make_batch(), tmp_path / "ck", resume=True
+        ).run()
+        assert resumed.ok
+        assert resumed.report == reference.report
+        # The resume sweep reclaimed the stranded temp.
+        assert not list((tmp_path / "ck").glob("*.tmp"))
+
+    def test_torn_journal_tail_then_resume_byte_identical(
+        self, tmp_path
+    ):
+        reference = runner(make_batch(), tmp_path / "ref").run()
+        plan = FaultPlan(
+            io=[IoInjection(site="runner.journal", point="data",
+                            error="torn", skip=2)]
+        )
+        with pytest.raises(SimulatedCrash):
+            runner(make_batch(), tmp_path / "ck", plan=plan).run()
+        resumed = runner(
+            make_batch(), tmp_path / "ck", resume=True
+        ).run()
+        assert resumed.ok
+        assert resumed.report == reference.report
+
+    def test_torn_journal_header_resumes_fresh(self, tmp_path):
+        plan = FaultPlan(
+            io=[IoInjection(site="runner.journal", point="data",
+                            error="torn")]
+        )
+        with pytest.raises(SimulatedCrash):
+            runner(make_batch(), tmp_path, plan=plan).run()
+        # The journal is a header-less husk: resume must drop it and
+        # start fresh rather than append after a torn first line.
+        resumed = runner(make_batch(), tmp_path, resume=True).run()
+        assert resumed.ok
+        assert resumed.cached == 0
+        assert resumed.executed == 3
+        state = load_journal(tmp_path / "checkpoint.jsonl")
+        assert state.header is not None
+        assert not state.truncated
+
+    def test_io_plan_uninstalled_after_run(self, tmp_path):
+        from repro.chaos import sites
+
+        plan = FaultPlan(
+            io=[IoInjection(site="runner.journal", error="torn")]
+        )
+        with pytest.raises(SimulatedCrash):
+            runner(make_batch(), tmp_path, plan=plan).run()
+        assert sites.active() is None

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.chaos.plan import IoInjection
 from repro.errors import RunnerError, TaskTimeout, TransientTaskError
 from repro.runner import (
     FAULTPLAN_FORMAT,
@@ -147,3 +148,69 @@ class TestSerialisation:
                     "injections": [{"point": "start"}],
                 }
             )
+
+
+class TestVersion2IoSection:
+    def test_io_section_parses(self):
+        plan = FaultPlan.from_dict(
+            {
+                "format": FAULTPLAN_FORMAT,
+                "version": 2,
+                "injections": [],
+                "io": [
+                    {"site": "store.index", "point": "replace",
+                     "error": "torn"},
+                ],
+            }
+        )
+        assert plan.io == (
+            IoInjection(site="store.index", point="replace",
+                        error="torn"),
+        )
+        assert plan.io_plan is not None
+
+    def test_io_section_requires_version_2(self):
+        with pytest.raises(RunnerError, match="version 2"):
+            FaultPlan.from_dict(
+                {
+                    "format": FAULTPLAN_FORMAT,
+                    "version": 1,
+                    "io": [{"site": "store.index"}],
+                }
+            )
+
+    def test_version_1_plans_still_parse(self):
+        plan = FaultPlan.from_dict(
+            {
+                "format": FAULTPLAN_FORMAT,
+                "version": 1,
+                "injections": [{"task": "t:1"}],
+            }
+        )
+        assert plan.io == ()
+        assert plan.io_plan is None
+
+    def test_malformed_io_entry_rejected(self):
+        with pytest.raises(RunnerError, match="io section"):
+            FaultPlan.from_dict(
+                {
+                    "format": FAULTPLAN_FORMAT,
+                    "version": 2,
+                    "io": [{"site": "store.index", "error": "gremlin"}],
+                }
+            )
+
+    def test_to_dict_emits_v1_without_io(self):
+        # Pre-existing v1 plan files must round-trip byte-identically.
+        assert FaultPlan([Injection(task="t:1")]).to_dict()["version"] == 1
+
+    def test_to_dict_emits_v2_with_io(self):
+        plan = FaultPlan(io=[IoInjection(site="store.blob")])
+        payload = plan.to_dict()
+        assert payload["version"] == FAULTPLAN_VERSION
+        assert payload["io"] == [
+            {"site": "store.blob", "point": "data", "error": "eio",
+             "times": 1}
+        ]
+        clone = FaultPlan.from_dict(payload)
+        assert clone.io == plan.io

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,3 +70,57 @@ class TestCommands:
         assert "TRG metric" in out
         assert "WCG metric" in out
         assert "pearson" in out
+
+
+class TestChaosCommands:
+    def test_chaos_run_parses(self):
+        args = build_parser().parse_args(
+            ["chaos", "run", "table1", "--fast", "--points", "20",
+             "--seed", "1234", "--errors", "eio,kill"]
+        )
+        assert args.chaos_command == "run"
+        assert args.target == "table1"
+        assert args.points == 20
+        assert args.seed == 1234
+        assert args.errors == "eio,kill"
+        assert args.workload == "perl"
+
+    def test_chaos_run_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "run", "everything"])
+
+    def test_chaos_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_chaos_sites_lists_registry(self, capsys):
+        from repro.chaos import WRITE_SITES
+
+        assert main(["chaos", "sites"]) == 0
+        out = capsys.readouterr().out
+        for site in WRITE_SITES:
+            assert site in out
+        assert "torn" in out
+        assert "replace" in out
+
+    def test_chaos_run_campaign_smoke(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A 3-point compare campaign on a heavily scaled workload."""
+        from repro.workloads import suite as suite_module
+        from repro import cli
+
+        tiny = suite_module.by_name("m88ksim").scaled(0.02)
+        monkeypatch.setattr(cli, "by_name", lambda _n: tiny)
+        out_file = tmp_path / "findings.json"
+        code = main(
+            ["chaos", "run", "compare", "--workload", "m88ksim",
+             "--points", "3", "--seed", "2",
+             "--dir", str(tmp_path / "work"), "--out", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 crash point(s)" in out
+        assert "0 contract violation(s)" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["summary"]["ok"] is True

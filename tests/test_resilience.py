@@ -1,0 +1,152 @@
+"""The shared failure-handling policies of ``repro.resilience``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransientTaskError
+from repro.resilience import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    DeadlinePolicy,
+    Degradation,
+    RetryPolicy,
+    best_effort,
+    null_sleep,
+)
+
+
+class TestRetryPolicy:
+    def test_attempts_counts_initial_try(self):
+        assert RetryPolicy(retries=2).attempts == 3
+        assert RetryPolicy(retries=0).attempts == 1
+
+    def test_negative_retries_clamp_to_one_attempt(self):
+        assert RetryPolicy(retries=-5).attempts == 1
+
+    def test_backoff_doubles(self):
+        policy = RetryPolicy(backoff_base=0.1)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+
+    def test_defaults_match_runner_contract(self):
+        policy = RetryPolicy()
+        assert policy.retries == DEFAULT_RETRIES
+        assert policy.backoff_base == DEFAULT_BACKOFF
+
+    def test_run_retries_transient_then_succeeds(self):
+        sleeps: list[float] = []
+        attempts: list[int] = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 2:
+                raise TransientTaskError("again")
+            return "done"
+
+        result = RetryPolicy(retries=2, backoff_base=1.0).run(
+            flaky, sleep=sleeps.append
+        )
+        assert result == "done"
+        assert attempts == [0, 1, 2]
+        assert sleeps == [1.0, 2.0]
+
+    def test_run_exhausted_budget_raises_last_error(self):
+        def always(attempt):
+            raise TransientTaskError("never")
+
+        with pytest.raises(TransientTaskError):
+            RetryPolicy(retries=1).run(always, sleep=null_sleep)
+
+    def test_run_non_transient_propagates_immediately(self):
+        attempts: list[int] = []
+
+        def broken(attempt):
+            attempts.append(attempt)
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=3).run(broken, sleep=null_sleep)
+        assert attempts == [0]
+
+    def test_custom_transient_classes(self):
+        calls: list[int] = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt == 0:
+                raise OSError("disk hiccup")
+            return attempt
+
+        result = RetryPolicy(retries=1).run(
+            flaky, transient=(OSError,), sleep=null_sleep
+        )
+        assert result == 1
+        assert calls == [0, 1]
+
+
+class TestDeadlinePolicy:
+    def test_none_is_unlimited(self):
+        assert not DeadlinePolicy(None).exceeded(1e9)
+
+    def test_soft_budget(self):
+        policy = DeadlinePolicy(10.0)
+        assert not policy.exceeded(10.0)
+        assert policy.exceeded(10.1)
+
+
+class TestDegradation:
+    def test_limit_reached_on_nth_strike(self):
+        ladder = Degradation(limit=2)
+        assert ladder.record("k") is False
+        assert ladder.record("k") is True
+        assert ladder.record("k") is True  # sticky until reset
+        assert ladder.count("k") == 3
+
+    def test_keys_are_independent(self):
+        ladder = Degradation(limit=2)
+        ladder.record("a")
+        assert ladder.record("b") is False
+        assert ladder.count("a") == 1
+
+    def test_reset_forgets_strikes(self):
+        ladder = Degradation(limit=2)
+        ladder.record("k")
+        ladder.record("k")
+        ladder.reset("k")
+        assert ladder.count("k") == 0
+        assert ladder.record("k") is False
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Degradation(limit=0)
+
+
+class TestBestEffort:
+    def test_success_returns_true(self):
+        ran: list[int] = []
+        assert best_effort(ran.append, 1) is True
+        assert ran == [1]
+
+    def test_swallowed_failure_returns_false(self):
+        def boom():
+            raise OSError("expected")
+
+        assert best_effort(boom) is False
+
+    def test_unexpected_failure_propagates(self):
+        def bug():
+            raise ValueError("not a cleanup failure")
+
+        with pytest.raises(ValueError):
+            best_effort(bug)
+
+    def test_custom_swallow_classes(self):
+        def boom():
+            raise KeyError("missing")
+
+        assert best_effort(boom, swallow=(KeyError,)) is False
+
+    def test_null_sleep_does_nothing(self):
+        null_sleep(1e9)

@@ -17,9 +17,10 @@ source files are *parsed*, never imported):
 * the layering table in ``docs/architecture.md`` mirrors
   ``repro.analysis.layering.LAYERS`` rank-for-rank;
 * every registered lint rule id (``rule_id = "..."`` in the analysis
-  rule modules) and every perf audit rule id (the ``PERF_RULES``
-  tuple in ``repro.analysis.perf_audit``) appears in both
-  ``docs/api.md`` and ``docs/architecture.md``.
+  rule modules), every perf audit rule id (the ``PERF_RULES`` tuple
+  in ``repro.analysis.perf_audit``) and every chaos rule id (the
+  ``CHAOS_RULES`` tuple in ``repro.analysis.crash_audit``) appears
+  in both ``docs/api.md`` and ``docs/architecture.md``.
 
 Prints one line per problem and exits 1 when any check fails.
 """
@@ -47,6 +48,7 @@ EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
 REQUIRED_CROSS_LINKS = {
     "docs/caching.md": ("docs/architecture.md", "README.md"),
     "docs/performance.md": ("docs/architecture.md", "README.md"),
+    "docs/crash-consistency.md": ("docs/architecture.md", "README.md"),
 }
 
 
@@ -186,9 +188,9 @@ def check_layering_table(repo: Path = REPO) -> list[str]:
     return problems
 
 
-def perf_rule_ids(repo: Path = REPO) -> list[str]:
-    """The ``PERF_RULES`` tuple, read by parsing, never importing."""
-    source = (repo / "src/repro/analysis/perf_audit.py").read_text()
+def _tuple_rule_ids(relative: str, name: str, repo: Path = REPO) -> list[str]:
+    """A module-level rule-id tuple, read by parsing, never importing."""
+    source = (repo / relative).read_text()
     for node in ast.parse(source).body:
         targets = []
         if isinstance(node, ast.Assign):
@@ -199,18 +201,29 @@ def perf_rule_ids(repo: Path = REPO) -> list[str]:
             node.target, ast.Name
         ):
             targets = [node.target.id]
-        if "PERF_RULES" in targets and node.value is not None:
+        if name in targets and node.value is not None:
             return list(ast.literal_eval(node.value))
-    raise SystemExit(
-        "src/repro/analysis/perf_audit.py: PERF_RULES assignment "
-        "not found"
+    raise SystemExit(f"{relative}: {name} assignment not found")
+
+
+def perf_rule_ids(repo: Path = REPO) -> list[str]:
+    """The ``PERF_RULES`` tuple of the perf-history auditor."""
+    return _tuple_rule_ids(
+        "src/repro/analysis/perf_audit.py", "PERF_RULES", repo
+    )
+
+
+def chaos_rule_ids(repo: Path = REPO) -> list[str]:
+    """The ``CHAOS_RULES`` tuple of the crash-scene auditor."""
+    return _tuple_rule_ids(
+        "src/repro/analysis/crash_audit.py", "CHAOS_RULES", repo
     )
 
 
 def registered_rule_ids(repo: Path = REPO) -> list[str]:
     """Every rule id the analyzers can report: the ``rule_id``
     declarations of the lint rule modules plus the perf auditor's
-    ``PERF_RULES``."""
+    ``PERF_RULES`` and the crash auditor's ``CHAOS_RULES``."""
     ids: set[str] = set()
     for relative in RULE_MODULES:
         path = repo / relative
@@ -218,6 +231,7 @@ def registered_rule_ids(repo: Path = REPO) -> list[str]:
             raise SystemExit(f"{relative}: rule module missing")
         ids.update(_RULE_ID.findall(path.read_text()))
     ids.update(perf_rule_ids(repo))
+    ids.update(chaos_rule_ids(repo))
     return sorted(ids)
 
 
