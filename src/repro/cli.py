@@ -125,6 +125,15 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trg_method_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trg-method", choices=("fast", "scalar"), default="fast",
+        help="TRG construction pipeline: the vectorized kernel "
+        "(default) or its bit-exact scalar twin (reports are "
+        "byte-identical; only wall clock differs)",
+    )
+
+
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
@@ -322,7 +331,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         train = workload.trace("train", store=store)
         test = workload.trace("test", store=store)
         print(f"profiling {workload.name} (train: {len(train)} events) ...")
-        context = build_context(train, config, store=store)
+        context = build_context(
+            train, config, store=store, trg_method=args.trg_method
+        )
         print(
             f"popular procedures: {len(context.popular)} "
             f"of {len(context.program)}"
@@ -375,7 +386,9 @@ def cmd_table1(args: argparse.Namespace) -> int:
                 program = workload.program
                 train = workload.trace("train", store=store)
                 test = workload.trace("test", store=store)
-                context = build_context(train, config, store=store)
+                context = build_context(
+                    train, config, store=store, trg_method=args.trg_method
+                )
                 default_stats = simulate(
                     Layout.default(program), test, config
                 )
@@ -1057,6 +1070,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(compare)
     _add_store_arguments(compare)
+    _add_trg_method_argument(compare)
     _add_obs_arguments(compare)
     _add_runner_arguments(compare)
     compare.set_defaults(func=cmd_compare)
@@ -1069,6 +1083,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(table1)
     _add_store_arguments(table1)
+    _add_trg_method_argument(table1)
     _add_obs_arguments(table1)
     _add_runner_arguments(table1)
     table1.set_defaults(func=cmd_table1)

@@ -130,8 +130,16 @@ def line_occupancy(
         n_lines = len(config.lines_spanned(0, size))
         for i in range(n_lines):
             line = (placement.offset + i) % config.num_lines
-            chunk_index = (i * config.line_size) // chunk_size
-            lines[line].append(ChunkId(placement.name, chunk_index))
+            # A line holds bytes [i*line_size, (i+1)*line_size) of the
+            # procedure; credit every chunk overlapping that span, not
+            # just the chunk containing the first byte — they differ
+            # whenever chunk_size is not a multiple of line_size.
+            line_start = i * config.line_size
+            line_end = min(line_start + config.line_size, size)
+            first = line_start // chunk_size
+            last = (line_end - 1) // chunk_size
+            for chunk_index in range(first, last + 1):
+                lines[line].append(ChunkId(placement.name, chunk_index))
     return lines
 
 

@@ -1,6 +1,12 @@
 """Profile summaries: WCG, TRG, the working set Q, pair DB, perturbation."""
 
-from repro.profiles.graph import WeightedGraph
+from repro.profiles.fast import (
+    build_trg_fast,
+    build_trgs_fast,
+    chunk_ref_codes,
+    procedure_ref_codes,
+)
+from repro.profiles.graph import WeightedGraph, structural_node_key
 from repro.profiles.pairdb import PairDatabase, build_pair_database
 from repro.profiles.perturb import PAPER_SCALE, perturbed
 from repro.profiles.qset import WorkingSet
@@ -25,11 +31,16 @@ __all__ = [
     "WorkingSet",
     "build_pair_database",
     "build_trg",
+    "build_trg_fast",
     "build_trgs",
+    "build_trgs_fast",
     "build_wcg",
     "build_wcg_from_refs",
+    "chunk_ref_codes",
     "chunk_refs",
     "collapse_consecutive",
     "perturbed",
+    "procedure_ref_codes",
     "procedure_refs",
+    "structural_node_key",
 ]

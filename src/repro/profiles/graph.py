@@ -12,16 +12,64 @@ a canonical node-pair key so every run is reproducible).
 
 from __future__ import annotations
 
+import re
+from functools import lru_cache
 from typing import Hashable, Iterable, Iterator
 
 from repro.errors import PlacementError
+from repro.program.procedure import ChunkId
 
 Node = Hashable
 
+_DIGITS = re.compile(r"(\d+)")
+
+
+@lru_cache(maxsize=65536)
+def _natural(text: str) -> tuple:
+    """Natural-sort decomposition: ``"p10"`` → ``("p", 10, "")``.
+
+    ``re.split`` with a capturing group alternates literal and digit
+    segments, so any two decompositions compare str-to-str and
+    int-to-int position by position — a total order with no
+    cross-type comparisons.
+    """
+    return tuple(
+        int(part) if index % 2 else part
+        for index, part in enumerate(_DIGITS.split(text))
+    )
+
+
+def structural_node_key(node: object) -> tuple:
+    """A stable, structure-aware sort key for profile-graph nodes.
+
+    Graph nodes are procedure names (WCG, selection TRG) or
+    :class:`~repro.program.procedure.ChunkId` (placement TRG).  The
+    key orders names *naturally* — ``p2`` before ``p10`` — and chunks
+    by (procedure, index), so the canonical visit order does not jump
+    when a numbering crosses a power of ten the way plain ``repr``
+    lexicographic ordering does.
+    """
+    if isinstance(node, ChunkId):
+        return ("chunk", _natural(node.procedure), node.index)
+    if isinstance(node, str):
+        return ("name", _natural(node), -1)
+    return ("other", (repr(node),), -1)
+
+
+@lru_cache(maxsize=65536)
+def _canon_key(node: Node) -> tuple:
+    """Total order for canonicalisation: structural key, then ``repr``.
+
+    The ``repr`` tiebreak keeps the order total when distinct nodes
+    share a structural key (``"p01"`` and ``"p1"`` both decompose to
+    ``("p", 1, "")``).
+    """
+    return (structural_node_key(node), repr(node))
+
 
 def _canon(a: Node, b: Node) -> tuple[Node, Node]:
-    """Canonical ordering of an edge's endpoints (repr-based, total)."""
-    return (a, b) if repr(a) <= repr(b) else (b, a)
+    """Canonical ordering of an edge's endpoints (structural, total)."""
+    return (a, b) if _canon_key(a) <= _canon_key(b) else (b, a)
 
 
 class WeightedGraph:
@@ -63,6 +111,34 @@ class WeightedGraph:
         self.add_node(b)
         self._adj[a][b] = weight
         self._adj[b][a] = weight
+
+    def set_edges(self, edges: Iterable[tuple[Node, Node, float]]) -> None:
+        """Set each listed edge ``{a, b}`` to exactly *weight*, in bulk.
+
+        The batch counterpart of :meth:`set_weight` for folds that
+        already produced a deduplicated edge list (the vectorized TRG
+        builder): every unordered pair may appear at most once and both
+        endpoints must already be nodes, which lets the loop write the
+        adjacency rows directly instead of paying per-edge method
+        dispatch 50k+ times.
+        """
+        adj = self._adj
+        try:
+            for a, b, weight in edges:
+                if a == b:
+                    raise PlacementError(
+                        f"self-edge on {a!r} is not allowed"
+                    )
+                if weight < 0:
+                    raise PlacementError(
+                        f"edge weight must be >= 0, got {weight}"
+                    )
+                adj[a][b] = weight
+                adj[b][a] = weight
+        except KeyError as error:
+            raise PlacementError(
+                f"set_edges endpoint {error.args[0]!r} is not a node"
+            ) from None
 
     def remove_edge(self, a: Node, b: Node) -> None:
         """Remove the edge ``{a, b}`` if present."""

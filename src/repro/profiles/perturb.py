@@ -13,47 +13,16 @@ from __future__ import annotations
 
 import math
 import random as _random
-import re
 
 from repro.errors import ConfigError
-from repro.profiles.graph import WeightedGraph
-from repro.program.procedure import ChunkId
+from repro.profiles.graph import (
+    WeightedGraph,
+    _natural,  # noqa: F401  (re-exported; historical home of the helper)
+    structural_node_key,
+)
 
 #: The scaling factor used in the paper's experiments.
 PAPER_SCALE = 0.1
-
-_DIGITS = re.compile(r"(\d+)")
-
-
-def _natural(text: str) -> tuple:
-    """Natural-sort decomposition: ``"p10"`` → ``("p", 10, "")``.
-
-    ``re.split`` with a capturing group alternates literal and digit
-    segments, so any two decompositions compare str-to-str and
-    int-to-int position by position — a total order with no
-    cross-type comparisons.
-    """
-    return tuple(
-        int(part) if index % 2 else part
-        for index, part in enumerate(_DIGITS.split(text))
-    )
-
-
-def structural_node_key(node: object) -> tuple:
-    """A stable, structure-aware sort key for profile-graph nodes.
-
-    Graph nodes are procedure names (WCG, selection TRG) or
-    :class:`~repro.program.procedure.ChunkId` (placement TRG).  The
-    key orders names *naturally* — ``p2`` before ``p10`` — and chunks
-    by (procedure, index), so the canonical visit order does not jump
-    when a numbering crosses a power of ten the way plain ``repr``
-    lexicographic ordering does.
-    """
-    if isinstance(node, ChunkId):
-        return ("chunk", _natural(node.procedure), node.index)
-    if isinstance(node, str):
-        return ("name", _natural(node), -1)
-    return ("other", (repr(node),), -1)
 
 
 def perturbed(

@@ -78,8 +78,7 @@ class WorkingSet:
             while node is not None:
                 between.append(node.block)
                 node = node.next
-            self._unlink(previous)
-            self._append(block)
+            self._move_to_tail(previous)
             return between
         self._append(block)
         self._evict_oldest()
@@ -156,6 +155,26 @@ class WorkingSet:
             self._head = node
         self._nodes[block] = node
         self._total_size += size
+
+    def _move_to_tail(self, node: _Node) -> None:
+        """Relink an existing entry to the most-recent end.
+
+        A re-reference must not consult ``size_of`` again or allocate a
+        new node: the entry keeps its recorded size, so ``Q``'s byte
+        total stays consistent even when ``size_of`` is non-constant.
+        """
+        if node.next is None:
+            return  # already most recent
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        node.next.prev = node.prev
+        node.prev = self._tail
+        node.next = None
+        assert self._tail is not None  # node.next was set, so len >= 2
+        self._tail.next = node
+        self._tail = node
 
     def _unlink(self, node: _Node) -> None:
         if node.prev is not None:

@@ -20,7 +20,7 @@ GBSC needs two TRGs built from the same trace (Section 4.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterable
+from typing import Any, Callable, Hashable, Iterable, Literal
 
 from repro import obs
 from repro.cache.config import CacheConfig
@@ -32,6 +32,22 @@ from repro.trace.trace import Trace
 
 #: The paper's empirical bound on Q: twice the cache size (Section 3).
 DEFAULT_Q_MULTIPLIER = 2
+
+#: How to run the Section 3 inner loop: the vectorized kernel of
+#: :mod:`repro.profiles.fast` (default) or this module's reference
+#: implementation — its registered scalar twin, kept bit-exact by the
+#: ``parity/*`` rules and the fast-parity test suite.
+TRGMethod = Literal["fast", "scalar"]
+
+
+def validate_trg_params(chunk_size: int, q_multiplier: int) -> None:
+    """Reject non-positive TRG build parameters with :class:`ConfigError`."""
+    if chunk_size <= 0:
+        raise ConfigError(f"chunk size must be positive, got {chunk_size}")
+    if q_multiplier <= 0:
+        raise ConfigError(
+            f"q_multiplier must be positive, got {q_multiplier}"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,55 +151,33 @@ def chunk_refs(
                 previous = chunk
 
 
-def build_trgs(
+def _build_trgs_scalar(
     trace: Trace,
     config: CacheConfig,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
-    popular: set[str] | None = None,
-    q_multiplier: int = DEFAULT_Q_MULTIPLIER,
+    chunk_size: int,
+    popular: set[str] | None,
+    q_multiplier: int,
 ) -> TRGPair:
-    """Build ``TRG_select`` and ``TRG_place`` from one trace.
-
-    Both working sets are bounded by ``q_multiplier`` times the cache
-    size, following the paper's empirical choice of twice the cache
-    size.
-    """
-    if chunk_size <= 0:
-        raise ConfigError(f"chunk size must be positive, got {chunk_size}")
-    if q_multiplier <= 0:
-        raise ConfigError(
-            f"q_multiplier must be positive, got {q_multiplier}"
-        )
+    """Reference (per-reference :class:`WorkingSet` walk) pipeline."""
     capacity = q_multiplier * config.size
     program = trace.program
 
-    with obs.span(
-        "build_trgs", chunk_size=chunk_size, q_capacity=capacity
-    ):
-        with obs.span("build_trg_select"):
-            select, select_stats = build_trg(
-                procedure_refs(trace, popular), program.size_of, capacity
-            )
+    with obs.span("build_trg_select"):
+        select, select_stats = build_trg(
+            procedure_refs(trace, popular), program.size_of, capacity
+        )
 
-        def chunk_byte_size(chunk: ChunkId) -> int:
-            return program[chunk.procedure].chunk_size_of(
-                chunk.index, chunk_size
-            )
+    def chunk_byte_size(chunk: ChunkId) -> int:
+        return program[chunk.procedure].chunk_size_of(
+            chunk.index, chunk_size
+        )
 
-        with obs.span("build_trg_place"):
-            place, place_stats = build_trg(
-                chunk_refs(trace, chunk_size, popular),
-                chunk_byte_size,
-                capacity,
-            )
-    obs.inc("trg.select.refs_processed", select_stats.refs_processed)
-    obs.inc("trg.place.refs_processed", place_stats.refs_processed)
-    obs.inc(
-        "trg.qset.evictions",
-        select_stats.evictions + place_stats.evictions,
-    )
-    obs.set_gauge("trg.select.edges", select.num_edges())
-    obs.set_gauge("trg.place.edges", place.num_edges())
+    with obs.span("build_trg_place"):
+        place, place_stats = build_trg(
+            chunk_refs(trace, chunk_size, popular),
+            chunk_byte_size,
+            capacity,
+        )
     return TRGPair(
         select=select,
         place=place,
@@ -191,6 +185,57 @@ def build_trgs(
         place_stats=place_stats,
         chunk_size=chunk_size,
     )
+
+
+def build_trgs(
+    trace: Trace,
+    config: CacheConfig,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    popular: set[str] | None = None,
+    q_multiplier: int = DEFAULT_Q_MULTIPLIER,
+    method: TRGMethod = "fast",
+) -> TRGPair:
+    """Build ``TRG_select`` and ``TRG_place`` from one trace.
+
+    Both working sets are bounded by ``q_multiplier`` times the cache
+    size, following the paper's empirical choice of twice the cache
+    size.  *method* selects the vectorized kernel (default) or the
+    scalar reference pipeline; the two are bit-exact, so the choice
+    only affects wall clock.  The :mod:`repro.profiles.fast` import is
+    deferred so the scalar twin never pays for (or depends on) the
+    array machinery.
+    """
+    validate_trg_params(chunk_size, q_multiplier)
+    capacity = q_multiplier * config.size
+
+    with obs.span(
+        "build_trgs", chunk_size=chunk_size, q_capacity=capacity
+    ):
+        if method == "fast":
+            from repro.profiles.fast import build_trgs_fast
+
+            pair = build_trgs_fast(
+                trace,
+                config,
+                chunk_size=chunk_size,
+                popular=popular,
+                q_multiplier=q_multiplier,
+            )
+        elif method == "scalar":
+            pair = _build_trgs_scalar(
+                trace, config, chunk_size, popular, q_multiplier
+            )
+        else:
+            raise ConfigError(f"unknown TRG build method {method!r}")
+    obs.inc("trg.select.refs_processed", pair.select_stats.refs_processed)
+    obs.inc("trg.place.refs_processed", pair.place_stats.refs_processed)
+    obs.inc(
+        "trg.qset.evictions",
+        pair.select_stats.evictions + pair.place_stats.evictions,
+    )
+    obs.set_gauge("trg.select.edges", pair.select.num_edges())
+    obs.set_gauge("trg.place.edges", pair.place.num_edges())
+    return pair
 
 
 def get_or_build_trgs(
@@ -201,6 +246,7 @@ def get_or_build_trgs(
     q_multiplier: int = DEFAULT_Q_MULTIPLIER,
     store: Any = None,
     trace_fingerprint: str | None = None,
+    method: TRGMethod = "fast",
 ) -> TRGPair:
     """Cache-aware :func:`build_trgs`.
 
@@ -208,8 +254,10 @@ def get_or_build_trgs(
     keyed by the trace's content fingerprint plus every build
     parameter; a hit decodes the stored graphs instead of re-scanning
     the trace.  Pass *trace_fingerprint* to reuse a fingerprint the
-    caller already computed.  The :mod:`repro.store` import is
-    deferred because that package sits above this one in the layering.
+    caller already computed.  *method* does not enter the store key:
+    both pipelines produce the identical artifact.  The
+    :mod:`repro.store` import is deferred because that package sits
+    above this one in the layering.
     """
     if store is None:
         return build_trgs(
@@ -218,6 +266,7 @@ def get_or_build_trgs(
             chunk_size=chunk_size,
             popular=popular,
             q_multiplier=q_multiplier,
+            method=method,
         )
     from repro.store.fingerprint import trace_content_fingerprint, trg_key
 
@@ -231,5 +280,6 @@ def get_or_build_trgs(
             chunk_size=chunk_size,
             popular=popular,
             q_multiplier=q_multiplier,
+            method=method,
         ),
     )

@@ -73,7 +73,7 @@ GOLDEN_STATIC = {
     "obs": {"chaos", "errors"},
     "placement": {"cache", "core", "errors", "obs", "profiles",
                   "program"},
-    "profiles": {"cache", "errors", "obs", "program", "trace"},
+    "profiles": {"cache", "errors", "fastpath", "obs", "program", "trace"},
     "program": {"cache", "errors"},
     "resilience": {"errors"},
     "runner": {"cache", "chaos", "core", "errors", "eval", "io", "obs",

@@ -292,3 +292,61 @@ class TestMergeNodes:
             graph, program, config, method="reference",
         )
         assert fast == reference
+
+
+class TestNonAlignedChunkSize:
+    """chunk_size not a multiple of line_size (regression: lines used
+    to be credited only to the chunk containing their first byte)."""
+
+    def test_straddled_chunk_conflict_is_counted(self, config):
+        # a: 96 bytes, chunks of 48 -> line 1 (bytes 32-63) straddles
+        # the chunk 0/1 boundary.  An edge on chunk 1 must cost at
+        # every line that holds chunk-1 bytes: lines 1 and 2.
+        program = Program.from_sizes({"a": 96, "b": 32})
+        graph = WeightedGraph()
+        graph.add_edge(ChunkId("a", 1), ChunkId("b", 0), 5.0)
+        costs = offset_costs_reference(
+            MergeNode.single("a"),
+            MergeNode.single("b"),
+            graph,
+            program,
+            config,
+            chunk_size=48,
+        )
+        assert costs[0] == 0.0  # line 0 is chunk 0 only
+        assert costs[1] == 5.0  # straddled line: chunk 1 present
+        assert costs[2] == 5.0  # line 2 is chunk 1 only
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_matches_reference_non_aligned(self, seed):
+        config = CacheConfig(size=256, line_size=32)
+        chunk_size = 48
+        rng = random.Random(seed)
+        sizes = {f"p{i}": rng.randint(16, 400) for i in range(4)}
+        program = Program.from_sizes(sizes)
+        graph = WeightedGraph()
+        names = list(sizes)
+        for _ in range(rng.randint(0, 20)):
+            a, b = rng.sample(names, 2)
+            graph.add_edge(
+                ChunkId(a, rng.randrange(program[a].num_chunks(chunk_size))),
+                ChunkId(b, rng.randrange(program[b].num_chunks(chunk_size))),
+                rng.randint(1, 100),
+            )
+        n1 = MergeNode(
+            [PlacedProcedure(names[0], rng.randrange(config.num_lines))]
+        )
+        n2 = MergeNode(
+            [
+                PlacedProcedure(name, rng.randrange(config.num_lines))
+                for name in names[1:]
+            ]
+        )
+        fast = offset_costs_fast(
+            n1, n2, graph, program, config, chunk_size=chunk_size
+        )
+        reference = offset_costs_reference(
+            n1, n2, graph, program, config, chunk_size=chunk_size
+        )
+        assert np.allclose(fast, reference, atol=1e-6)

@@ -14,32 +14,43 @@ def config() -> CacheConfig:
 
 
 class TestChunkLineInteraction:
-    def test_line_attributed_to_chunk_at_line_start(self, config):
+    def test_line_credits_every_overlapping_chunk(self, config):
         """When the chunk size is not a multiple of the line size, a
-        line crossing a chunk boundary is attributed to the chunk
-        containing the line's first byte (matching Figure 4's
-        line-granular CACHE array)."""
+        line crossing a chunk boundary is credited to *both* chunks it
+        holds bytes of (Figure 4's CACHE array maps code to lines; a
+        straddled chunk conflicts through that line too)."""
         program = Program.from_sizes({"a": 96})
         occupancy = line_occupancy(
             MergeNode.single("a"), program, config, chunk_size=48
         )
-        # line 0: bytes 0-31 -> chunk 0; line 1: bytes 32-63 starts in
-        # chunk 1 (byte 32 is within chunk 0's 0-47? No: 32 < 48, so
-        # chunk 0). (1*32)//48 == 0; line 2: (2*32)//48 == 1.
+        # line 0: bytes 0-31 -> chunk 0 only; line 1: bytes 32-63
+        # straddles the chunk 0/1 boundary at byte 48; line 2: bytes
+        # 64-95 -> chunk 1 only.
         assert occupancy[0] == [ChunkId("a", 0)]
-        assert occupancy[1] == [ChunkId("a", 0)]
+        assert occupancy[1] == [ChunkId("a", 0), ChunkId("a", 1)]
         assert occupancy[2] == [ChunkId("a", 1)]
 
-    def test_tiny_chunks_many_per_line(self, config):
-        """Chunk size below the line size: each line is attributed to
-        the chunk at its start; intermediate chunks never appear in
-        the occupancy (they share a line with their predecessor)."""
+    def test_tiny_chunks_all_appear(self, config):
+        """Chunk size below the line size: every chunk sharing a line
+        is credited, so intermediate chunks appear in the occupancy
+        rather than vanishing behind their line-start neighbour."""
         program = Program.from_sizes({"a": 64})
         occupancy = line_occupancy(
             MergeNode.single("a"), program, config, chunk_size=16
         )
+        assert occupancy[0] == [ChunkId("a", 0), ChunkId("a", 1)]
+        assert occupancy[1] == [ChunkId("a", 2), ChunkId("a", 3)]
+
+    def test_trailing_line_stops_at_procedure_end(self, config):
+        """The final, partial line only credits chunks that exist:
+        bytes past the procedure's end belong to no chunk."""
+        program = Program.from_sizes({"a": 40})
+        occupancy = line_occupancy(
+            MergeNode.single("a"), program, config, chunk_size=48
+        )
+        # line 1 holds bytes 32-39 only; chunk 0 covers 0-39.
         assert occupancy[0] == [ChunkId("a", 0)]
-        assert occupancy[1] == [ChunkId("a", 2)]
+        assert occupancy[1] == [ChunkId("a", 0)]
 
     def test_offset_does_not_change_chunk_attribution(self, config):
         """Moving the procedure's cache offset rotates lines but keeps
@@ -60,7 +71,10 @@ class TestChunkLineInteraction:
         assert moved[6] == base[1]
         assert moved[7] == base[2]
 
-    def test_total_entries_equal_total_lines(self, config):
+    def test_aligned_config_credits_one_chunk_per_line(self, config):
+        """With the default geometry (chunk size a multiple of the
+        line size) every line maps to exactly one chunk, so the fix
+        leaves aligned configurations untouched."""
         program = Program.from_sizes({"a": 100, "b": 300})
         node = MergeNode.single("a").combined_with(
             MergeNode.single("b").shifted(3, config.num_lines)

@@ -163,3 +163,71 @@ def test_total_weight_invariant_under_merge(edges):
     before = g.total_weight()
     g.merge_nodes_into(a, b)
     assert g.total_weight() == pytest.approx(before - w)
+
+
+class TestCanonicalOrdering:
+    def test_edges_canonicalised_naturally(self):
+        """Edge endpoints come back in natural order: p2 before p10,
+        not the repr-lexicographic p10 < p2."""
+        g = WeightedGraph()
+        g.add_edge("p10", "p2", 1.0)
+        [(a, b, _)] = list(g.edges())
+        assert (a, b) == ("p2", "p10")
+
+    def test_chunks_canonicalised_by_procedure_then_index(self):
+        from repro.program.procedure import ChunkId
+
+        g = WeightedGraph()
+        g.add_edge(ChunkId("p10", 0), ChunkId("p2", 3), 1.0)
+        [(a, b, _)] = list(g.edges())
+        assert (a, b) == (ChunkId("p2", 3), ChunkId("p10", 0))
+
+    def test_structural_key_shared_with_perturb(self):
+        """graph and perturb canonicalise with the same helper."""
+        from repro.profiles import perturb
+        from repro.profiles.graph import structural_node_key
+
+        assert perturb.structural_node_key is structural_node_key
+
+    def test_equal_structural_keys_fall_back_to_repr(self):
+        """"p01" and "p1" share a structural key; the repr tiebreak
+        keeps the canonical order total and deterministic."""
+        g = WeightedGraph()
+        g.add_edge("p1", "p01", 1.0)
+        [(a, b, _)] = list(g.edges())
+        assert (a, b) == ("p01", "p1")
+
+
+class TestSetEdges:
+    def test_bulk_set_matches_add_edge(self):
+        bulk = WeightedGraph()
+        scalar = WeightedGraph()
+        for node in ("a", "b", "c"):
+            bulk.add_node(node)
+            scalar.add_node(node)
+        edges = [("a", "b", 2.0), ("b", "c", 5.0)]
+        bulk.set_edges(edges)
+        for a, b, weight in edges:
+            scalar.add_edge(a, b, weight)
+        assert bulk == scalar
+        assert bulk.weight("a", "b") == 2.0
+        assert bulk.weight("b", "a") == 2.0
+
+    def test_rejects_self_edge(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        with pytest.raises(PlacementError):
+            graph.set_edges([("a", "a", 1.0)])
+
+    def test_rejects_negative_weight(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        with pytest.raises(PlacementError):
+            graph.set_edges([("a", "b", -1.0)])
+
+    def test_rejects_unknown_endpoint(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        with pytest.raises(PlacementError):
+            graph.set_edges([("missing", "a", 1.0)])

@@ -186,3 +186,53 @@ class TestProperties:
                 )
                 assert between == expected
             last_seen[ref] = step
+
+
+class TestHitPathReuse:
+    def test_re_reference_does_not_reinvoke_size_of(self):
+        """A hit-path re-reference reuses the existing node and its
+        recorded size: size_of runs once per Q entry, not once per
+        reference."""
+        calls: list[str] = []
+
+        def counting_size_of(block):
+            calls.append(block)
+            return 10
+
+        ws = WorkingSet(1000, counting_size_of)
+        ws.reference("a")
+        ws.reference("b")
+        ws.reference("c")
+        assert calls == ["a", "b", "c"]
+        ws.reference("a")  # hit: between = [b, c]
+        ws.reference("b")  # hit
+        ws.reference("a")  # hit again
+        assert calls == ["a", "b", "c"]
+
+    def test_re_reference_keeps_recorded_size(self):
+        """Q's byte total stays consistent even when size_of is
+        non-constant: the size recorded at first insertion sticks."""
+        sizes = {"a": 10, "b": 20}
+
+        def drifting_size_of(block):
+            size = sizes[block]
+            sizes[block] += 100  # would corrupt totals if re-read
+            return size
+
+        ws = WorkingSet(1000, drifting_size_of)
+        ws.reference("a")
+        ws.reference("b")
+        assert ws.total_size == 30
+        ws.reference("a")
+        ws.reference("b")
+        assert ws.total_size == 30
+        assert dict(ws.entries()) == {"a": 10, "b": 20}
+
+    def test_re_reference_moves_block_to_most_recent(self):
+        ws = WorkingSet(1000, unit_sizes)
+        for block in ("a", "b", "c"):
+            ws.reference(block)
+        ws.reference("a")
+        assert list(ws.blocks()) == ["b", "c", "a"]
+        ws.reference("a")  # already most recent: no-op relink
+        assert list(ws.blocks()) == ["b", "c", "a"]
