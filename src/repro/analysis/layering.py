@@ -18,7 +18,10 @@ hook must sit *below* every writer it instruments (``io``, ``obs``,
 ``store``, ``runner``), while the campaign driver in the ``chaos``
 package proper sits near the top, above ``runner`` and ``analysis``
 which it orchestrates.  ``resilience`` (pure policy over ``errors``)
-shares the bottom utility rank.
+shares the bottom utility rank.  ``service`` (the library-level
+placement API) sits directly above ``runner``, whose grids and task
+guard it reuses, and ``serve`` (the HTTP frontend) directly above
+``service``, below the ``analysis``/``chaos`` tooling and the CLI.
 
 Lazy (function-local) imports are the sanctioned escape hatch for the
 few documented upward references, each carried by an explicit
@@ -65,6 +68,8 @@ LAYERS: tuple[tuple[str, ...], ...] = (
     ("blocks",),
     ("eval",),
     ("runner",),
+    ("service",),
+    ("serve",),
     ("analysis",),
     ("chaos",),
     ("cli", "<root>"),

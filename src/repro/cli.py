@@ -81,7 +81,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import obs
+from repro import obs, service
 from repro.cache.config import PAPER_CACHE, CacheConfig
 from repro.cache.simulator import simulate
 from repro.core.gbsc import GBSCPlacement
@@ -93,12 +93,7 @@ from repro.eval.metrics import (
     trg_conflict_metric,
     wcg_conflict_metric,
 )
-from repro.eval.randomization import perturbation_sweep, summarize
-from repro.eval.reporting import Table1Row, format_scatter, format_table1
-from repro.placement.hkc import HashemiKaeliCalderPlacement
-from repro.placement.identity import DefaultPlacement
-from repro.placement.ph import PettisHansenPlacement
-from repro.program.layout import Layout
+from repro.eval.reporting import format_scatter, format_table1
 from repro.workloads.suite import SUITE, by_name
 
 
@@ -225,16 +220,16 @@ def _wants_batch(args: argparse.Namespace) -> bool:
 
 
 def _run_batch(args: argparse.Namespace, batch, store=None) -> int:
-    """Execute a batch through :class:`repro.runner.BatchRunner`."""
+    """Execute a batch through :func:`repro.service.execute_batch`."""
     from repro.errors import RunnerError
-    from repro.runner import BatchRunner, load_plan
+    from repro.runner import load_plan
 
     if not args.checkpoint:
         raise RunnerError(
             "--resume/--inject/--workers require --checkpoint DIR"
         )
     plan = load_plan(args.inject) if args.inject else None
-    runner = BatchRunner(
+    outcome = service.execute_batch(
         batch,
         args.checkpoint,
         resume=args.resume,
@@ -244,7 +239,6 @@ def _run_batch(args: argparse.Namespace, batch, store=None) -> int:
         workers=args.workers,
         store=store,
     )
-    outcome = runner.run()
     print(outcome.report)
     if not outcome.ok:
         print(
@@ -318,45 +312,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
         config = _cache_from_args(args)
         store = _store_from_args(args)
         if _wants_batch(args):
-            from repro.runner import compare_batch
-
-            batch = compare_batch(
+            batch = service.build_compare_batch(
                 workload,
                 config,
                 runs=args.runs,
-                extra_config={"fast": args.fast},
+                fast=args.fast,
                 store=store,
             )
             return _run_batch(args, batch, store)
-        train = workload.trace("train", store=store)
-        test = workload.trace("test", store=store)
-        print(f"profiling {workload.name} (train: {len(train)} events) ...")
-        context = build_context(
-            train, config, store=store, trg_method=args.trg_method
+        service.run_compare(
+            service.CompareRequest(
+                workload=workload,
+                config=config,
+                runs=args.runs,
+                store=store,
+                trg_method=args.trg_method,
+            ),
+            echo=print,
         )
-        print(
-            f"popular procedures: {len(context.popular)} "
-            f"of {len(context.program)}"
-        )
-        algorithms = [
-            DefaultPlacement(),
-            PettisHansenPlacement(),
-            HashemiKaeliCalderPlacement(),
-            GBSCPlacement(),
-        ]
-        if args.runs > 0:
-            results = perturbation_sweep(
-                context, test, algorithms, runs=args.runs
-            )
-            print(summarize(results))
-        else:
-            for algorithm in algorithms:
-                with obs.span("place", algorithm=algorithm.name):
-                    layout = algorithm.place(context)
-                stats = simulate(layout, test, config)
-                print(
-                    f"{algorithm.name:<10} miss rate {stats.miss_rate:.4%}"
-                )
     return 0
 
 
@@ -365,51 +338,18 @@ def cmd_table1(args: argparse.Namespace) -> int:
         config = _cache_from_args(args)
         store = _store_from_args(args)
         if _wants_batch(args):
-            from repro.runner import table1_batch
-
-            workloads = [
-                workload.scaled(0.25) if args.fast else workload
-                for workload in SUITE
-            ]
-            batch = table1_batch(
-                workloads,
-                config,
-                extra_config={"fast": args.fast},
-                store=store,
+            batch = service.build_table1_batch(
+                config, fast=args.fast, store=store
             )
             return _run_batch(args, batch, store)
-        rows = []
-        for workload in SUITE:
-            if args.fast:
-                workload = workload.scaled(0.25)
-            with obs.span("workload", workload=workload.name):
-                program = workload.program
-                train = workload.trace("train", store=store)
-                test = workload.trace("test", store=store)
-                context = build_context(
-                    train, config, store=store, trg_method=args.trg_method
-                )
-                default_stats = simulate(
-                    Layout.default(program), test, config
-                )
-            popular_size = program.subset_size(context.popular)
-            rows.append(
-                Table1Row(
-                    name=workload.name,
-                    total_size=program.total_size,
-                    total_count=len(program),
-                    popular_size=popular_size,
-                    popular_count=len(context.popular),
-                    train_events=len(train),
-                    test_events=len(test),
-                    default_miss_rate=default_stats.miss_rate,
-                    avg_q_size=(
-                        context.trgs.select_stats.avg_q_entries
-                        if context.trgs
-                        else 0.0
-                    ),
-                )
+        rows = service.run_table1(
+            service.Table1Request(
+                config=config,
+                fast=args.fast,
+                store=store,
+                trg_method=args.trg_method,
             )
+        )
         print(format_table1(rows))
     return 0
 
@@ -452,28 +392,6 @@ def cmd_correlate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _trg_opt_factory():
-    from repro.placement.localsearch import TRGOptimizerPlacement
-
-    return TRGOptimizerPlacement(start_from=GBSCPlacement())
-
-
-def _txd_factory():
-    from repro.placement.logical import LogicalCachePlacement
-
-    return LogicalCachePlacement()
-
-
-_ALGORITHMS = {
-    "default": DefaultPlacement,
-    "ph": PettisHansenPlacement,
-    "hkc": HashemiKaeliCalderPlacement,
-    "gbsc": GBSCPlacement,
-    "trg-opt": _trg_opt_factory,
-    "txd": _txd_factory,
-}
-
-
 def cmd_gen_trace(args: argparse.Namespace) -> int:
     from repro.io import save_trace
 
@@ -496,27 +414,74 @@ def cmd_gen_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_place(args: argparse.Namespace) -> int:
-    from repro.io import load_trace, save_layout
+    from repro.io import save_layout
 
     session = _obs_session(args, "place")
     try:
-        trace = load_trace(args.trace)
-        config = _cache_from_args(args)
-        context = build_context(trace, config, store=_store_from_args(args))
-        algorithm = _ALGORITHMS[args.algorithm]()
-        with obs.span("place", algorithm=algorithm.name):
-            layout = algorithm.place(context)
-        obs.set_gauge("place.procedures", len(context.program))
-        save_layout(layout, args.output)
-        train_stats = simulate(layout, trace, config)
+        result = service.run_placement(
+            service.PlacementRequest(
+                trace_path=args.trace,
+                algorithm=args.algorithm,
+                config=_cache_from_args(args),
+                store=_store_from_args(args),
+            )
+        )
+        save_layout(result.layout, args.output)
         print(
-            f"{algorithm.name} layout: text size {layout.text_size} bytes, "
-            f"training miss rate {train_stats.miss_rate:.4%} "
+            f"{result.algorithm} layout: text size "
+            f"{result.layout.text_size} bytes, "
+            f"training miss rate {result.train_stats.miss_rate:.4%} "
             f"-> {args.output}"
         )
     finally:
         manifest = session.finish()
     print(_summary_line("place", manifest))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        LockedStore,
+        PlacementService,
+        make_server,
+        write_service_manifest,
+    )
+
+    store = LockedStore(args.cache)
+    app = PlacementService(store, default_deadline=args.deadline)
+    server = make_server(
+        args.host,
+        args.port,
+        app,
+        echo=(
+            (lambda line: print(line, file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving placement API on http://{host}:{port} "
+        f"(store: {args.cache})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        if args.metrics_out:
+            manifest = write_service_manifest(
+                app,
+                metrics_out=args.metrics_out,
+                config={
+                    "host": args.host,
+                    "port": args.port,
+                    "cache": args.cache,
+                },
+            )
+            print(_summary_line("serve", manifest))
     return 0
 
 
@@ -1137,7 +1102,7 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("trace", help="training trace (.npz)")
     place.add_argument(
         "--algorithm",
-        choices=sorted(_ALGORITHMS),
+        choices=sorted(service.ALGORITHMS),
         default="gbsc",
     )
     place.add_argument(
@@ -1147,6 +1112,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_arguments(place)
     _add_obs_arguments(place)
     place.set_defaults(func=cmd_place)
+
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="run the placement service: HTTP endpoints for trace "
+        "upload, layout requests, /metrics and /healthz over a "
+        "shared artifact store",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8100,
+        help="TCP port; 0 picks an ephemeral port, printed on startup "
+        "(default: 8100)",
+    )
+    serve_cmd.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="shared content-addressed artifact store: uploaded "
+        "traces land here and identical uploads dedupe",
+    )
+    serve_cmd.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default soft deadline per layout request (requests may "
+        "override; overruns answer with a 504-style status)",
+    )
+    serve_cmd.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the service run manifest (JSONL) on shutdown",
+    )
+    serve_cmd.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log one line per HTTP request on stderr",
+    )
+    serve_cmd.set_defaults(func=cmd_serve)
 
     simulate_cmd = subparsers.add_parser(
         "simulate", help="simulate a saved layout on a saved trace"

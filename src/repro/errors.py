@@ -92,6 +92,12 @@ class ChaosError(ReproError):
     write site, a campaign driven without a runnable baseline)."""
 
 
+class ServiceError(ReproError):
+    """The library-level placement API was driven with an unusable
+    request (no trace source, unknown algorithm, bad deadline) or the
+    placement service received a request it cannot honour."""
+
+
 class SimulatedKill(BaseException):
     """Injected by a fault plan to simulate a hard kill (SIGKILL).
 

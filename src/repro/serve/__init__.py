@@ -1,0 +1,51 @@
+"""Placement-as-a-service: a stdlib-only HTTP frontend over
+:mod:`repro.service`.
+
+Clients upload training traces (content-fingerprinted into the shared
+:mod:`repro.store`, so identical inputs dedupe across tenants) and
+request layouts as JSON; ``/metrics`` and ``/healthz`` export the
+service's :mod:`repro.obs` instruments, with the store hit rate as a
+first-class gauge.  Wired up by ``repro-layout serve``; see
+``docs/serving.md`` for the endpoint reference and a curl
+walkthrough.
+"""
+
+from repro.serve.app import (
+    LATENCY_EDGES,
+    LockedStore,
+    PlacementService,
+    write_service_manifest,
+)
+from repro.serve.http import (
+    ServiceHTTPServer,
+    ServiceRequestHandler,
+    make_server,
+)
+from repro.serve.protocol import (
+    DEFAULT_ALGORITHM,
+    MAX_BODY_BYTES,
+    HttpError,
+    PlaceSpec,
+    UnknownArtifact,
+    error_payload,
+    parse_place_payload,
+    status_for,
+)
+
+__all__ = [
+    "DEFAULT_ALGORITHM",
+    "HttpError",
+    "LATENCY_EDGES",
+    "LockedStore",
+    "MAX_BODY_BYTES",
+    "PlaceSpec",
+    "PlacementService",
+    "ServiceHTTPServer",
+    "ServiceRequestHandler",
+    "UnknownArtifact",
+    "error_payload",
+    "make_server",
+    "parse_place_payload",
+    "status_for",
+    "write_service_manifest",
+]

@@ -1,0 +1,173 @@
+"""Stdlib HTTP transport for the placement service.
+
+A :class:`~http.server.ThreadingHTTPServer` subclass carries the
+:class:`~repro.serve.app.PlacementService` as an instance attribute
+(no module-level state), and one request-handler class adapts the four
+endpoints::
+
+    GET  /healthz   liveness + store summary
+    GET  /metrics   request counters/latency + store stats
+    POST /traces    upload a .npz trace body -> {"digest", "deduped"}
+    POST /layouts   JSON layout request      -> {"layout", "train"}
+
+Every response is JSON with an explicit ``Content-Length``; errors
+carry the :func:`repro.serve.protocol.error_payload` envelope with the
+status from :func:`repro.serve.protocol.status_for`.  Request latency
+is measured with the deterministic-friendly
+:func:`repro.obs.clock.monotonic`.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.obs.clock import monotonic
+from repro.serve.app import PlacementService
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    HttpError,
+    error_payload,
+    status_for,
+)
+
+__all__ = ["ServiceHTTPServer", "ServiceRequestHandler", "make_server"]
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One handler thread per request; daemonic so Ctrl-C wins."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: PlacementService,
+        echo: Callable[[str], None] | None = None,
+    ) -> None:
+        """Bind *address* and carry *app* for the handlers; *echo*
+        (when given) receives one access-log line per request."""
+        self.app = app
+        self.echo = echo
+        super().__init__(address, ServiceRequestHandler)
+
+
+def make_server(
+    host: str,
+    port: int,
+    app: PlacementService,
+    echo: Callable[[str], None] | None = None,
+) -> ServiceHTTPServer:
+    """Bind the service; ``port=0`` picks an ephemeral port."""
+    return ServiceHTTPServer((host, port), app, echo=echo)
+
+
+def _endpoint_name(path: str) -> str:
+    if path in ("/healthz", "/metrics", "/traces", "/layouts"):
+        return path[1:]
+    return "other"
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the carried service object."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    server: ServiceHTTPServer  # narrowed for type checkers
+
+    @property
+    def app(self) -> PlacementService:
+        """The service carried by the owning server instance."""
+        return self.server.app
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route the access log to the server's echo (or drop it)."""
+        echo = self.server.echo
+        if echo is not None:
+            echo(f"{self.address_string()} {format % args}")
+
+    def do_GET(self) -> None:
+        """Serve ``/healthz`` and ``/metrics``."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        """Serve ``/traces`` and ``/layouts``."""
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        started = monotonic()
+        path = self.path.split("?", 1)[0]
+        try:
+            payload = self._handle(method, path)
+            status = 200
+        except HttpError as error:
+            status = error.status
+            payload = error_payload(status, error)
+        except ReproError as error:
+            status = status_for(error)
+            payload = error_payload(status, error)
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            payload = error_payload(500, error)
+        body = (
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.app.record_request(
+            _endpoint_name(path), status, monotonic() - started
+        )
+
+    def _handle(self, method: str, path: str) -> dict[str, Any]:
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            return self.app.healthz()
+        if path == "/metrics":
+            self._require(method, "GET", path)
+            return self.app.metrics()
+        if path == "/traces":
+            self._require(method, "POST", path)
+            return self.app.upload_trace(self._read_body())
+        if path == "/layouts":
+            self._require(method, "POST", path)
+            return self.app.place(self._read_json())
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"{path} only accepts {expected}")
+
+    def _read_body(self) -> bytes:
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            raise HttpError(
+                411, "a Content-Length header is required"
+            ) from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
+        return self.rfile.read(length)
+
+    def _read_json(self) -> Any:
+        body = self._read_body()
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(
+                400, f"request body is not valid JSON: {error}"
+            ) from None

@@ -1,0 +1,54 @@
+"""The library-level placement API: ``PlacementRequest -> Layout``.
+
+One implementation behind three frontends.  ``repro-layout place``
+(and ``compare``/``table1``) translate argparse namespaces into the
+request dataclasses here; the HTTP service (:mod:`repro.serve`)
+translates JSON bodies into the same dataclasses; library callers
+build them directly::
+
+    from repro.service import PlacementRequest, run_placement
+
+    result = run_placement(
+        PlacementRequest(workload="m88ksim", algorithm="gbsc")
+    )
+    result.layout            # the placed Layout
+    result.train_stats       # MissStats on the training trace
+
+Batch variants (:func:`build_compare_batch`,
+:func:`build_table1_batch`, :func:`execute_batch`) reuse the
+:mod:`repro.runner` grids unchanged, so checkpoints stay compatible
+with the pre-service CLI.
+"""
+
+from repro.service.experiments import (
+    build_compare_batch,
+    build_table1_batch,
+    execute_batch,
+    run_compare,
+    run_table1,
+)
+from repro.service.placement import PlacementResult, run_placement
+from repro.service.requests import (
+    ALGORITHMS,
+    TRG_METHODS,
+    CompareRequest,
+    PlacementRequest,
+    Table1Request,
+    make_algorithm,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CompareRequest",
+    "PlacementRequest",
+    "PlacementResult",
+    "TRG_METHODS",
+    "Table1Request",
+    "build_compare_batch",
+    "build_table1_batch",
+    "execute_batch",
+    "make_algorithm",
+    "run_compare",
+    "run_placement",
+    "run_table1",
+]

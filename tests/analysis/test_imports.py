@@ -61,8 +61,8 @@ GOLDEN_STATIC = {
     "cache": {"errors", "fastpath", "obs", "program", "trace"},
     "chaos": {"analysis", "errors", "io", "obs", "resilience",
               "runner", "store", "workloads"},
-    "cli": {"cache", "core", "errors", "eval", "obs", "placement",
-            "program", "workloads"},
+    "cli": {"cache", "core", "errors", "eval", "obs", "service",
+            "workloads"},
     "core": {"cache", "errors", "fastpath", "obs", "placement",
              "profiles", "program", "trace"},
     "eval": {"cache", "core", "errors", "obs", "placement", "profiles",
@@ -78,6 +78,9 @@ GOLDEN_STATIC = {
     "resilience": {"errors"},
     "runner": {"cache", "chaos", "core", "errors", "eval", "io", "obs",
                "placement", "program", "resilience", "workloads"},
+    "serve": {"cache", "errors", "io", "obs", "service", "store"},
+    "service": {"cache", "core", "errors", "eval", "obs", "placement",
+                "program", "runner", "store", "trace", "workloads"},
     "store": {"cache", "errors", "io", "obs", "profiles", "resilience",
               "trace"},
     "trace": {"errors", "obs", "program"},
@@ -89,8 +92,9 @@ GOLDEN_STATIC = {
 GOLDEN_LAZY = {
     "analysis": {"io", "obs"},
     "cli": {"analysis", "chaos", "errors", "eval", "io", "obs",
-            "placement", "runner", "store", "workloads"},
+            "runner", "serve", "store", "workloads"},
     "eval": {"store"},
+    "service": {"io", "placement"},
     "profiles": {"store"},
     "trace": {"store"},
     "workloads": {"io"},

@@ -1,0 +1,1 @@
+"""Tests for the HTTP placement service (``repro.serve``)."""

@@ -1,0 +1,1 @@
+"""Tests for the library-level placement API (``repro.service``)."""

@@ -4,18 +4,24 @@ Run from the repository root (CI's docs job does exactly this)::
 
     python tools/check_docs.py
 
-Five checks, all stdlib-only (the docs CI job installs nothing, so
+Six checks, all stdlib-only (the docs CI job installs nothing, so
 source files are *parsed*, never imported):
 
 * every relative markdown link in ``docs/``, ``README.md`` and
   ``CHANGES.md`` resolves to an existing file or directory;
 * every package under ``src/repro/`` has its own section in
   ``docs/api.md``;
-* ``docs/caching.md`` is cross-linked from ``docs/architecture.md``
-  and ``README.md`` (new subsystems must be reachable from the
-  entry-point docs, not just present on disk);
+* every subsystem page (``docs/caching.md``, ``docs/performance.md``,
+  ``docs/crash-consistency.md``, ``docs/serving.md``) is cross-linked
+  from ``docs/architecture.md`` and ``README.md`` (new subsystems
+  must be reachable from the entry-point docs, not just present on
+  disk);
 * the layering table in ``docs/architecture.md`` mirrors
   ``repro.analysis.layering.LAYERS`` rank-for-rank;
+* every ``repro-layout`` subcommand registered in ``src/repro/cli.py``
+  (the ``add_parser`` calls on the top-level subparsers object,
+  found by AST parsing) has a row in ``docs/api.md`` — a new command
+  cannot ship undocumented;
 * every registered lint rule id (``rule_id = "..."`` in the analysis
   rule modules), every perf audit rule id (the ``PERF_RULES`` tuple
   in ``repro.analysis.perf_audit``) and every chaos rule id (the
@@ -49,6 +55,7 @@ REQUIRED_CROSS_LINKS = {
     "docs/caching.md": ("docs/architecture.md", "README.md"),
     "docs/performance.md": ("docs/architecture.md", "README.md"),
     "docs/crash-consistency.md": ("docs/architecture.md", "README.md"),
+    "docs/serving.md": ("docs/architecture.md", "README.md"),
 }
 
 
@@ -115,6 +122,105 @@ def check_cross_links(repo: Path = REPO) -> list[str]:
         for source in sources:
             if name not in (repo / source).read_text():
                 problems.append(f"{source}: does not link to {name}")
+    return problems
+
+
+def cli_subcommands(repo: Path = REPO) -> list[str]:
+    """Top-level ``repro-layout`` subcommands, parsed from ``cli.py``.
+
+    Finds the variable bound to ``argparse.ArgumentParser(...)``
+    inside ``build_parser``, then the variable(s) bound to its
+    ``.add_subparsers(...)`` result, and finally collects the first
+    string argument of every ``<subparsers>.add_parser("name", ...)``
+    call.  Nested groups (``cache stats``, ``perf diff`` …) hang off
+    *their own* subparsers objects and are deliberately excluded:
+    the contract is one api.md row per top-level command.
+    """
+    source = (repo / "src" / "repro" / "cli.py").read_text()
+    build = None
+    for node in ast.parse(source).body:
+        if isinstance(node, ast.FunctionDef) and node.name == "build_parser":
+            build = node
+            break
+    if build is None:
+        raise SystemExit("src/repro/cli.py: build_parser() not found")
+    root_vars: set[str] = set()
+    sub_vars: set[str] = set()
+    for node in ast.walk(build):
+        if not (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+        ):
+            continue
+        func = node.value.func
+        names = [
+            target.id
+            for target in node.targets
+            if isinstance(target, ast.Name)
+        ]
+        is_parser_ctor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "ArgumentParser"
+        ) or (isinstance(func, ast.Name) and func.id == "ArgumentParser")
+        if is_parser_ctor:
+            root_vars.update(names)
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "add_subparsers"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in root_vars
+        ):
+            sub_vars.update(names)
+    commands = []
+    for node in ast.walk(build):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in sub_vars
+            and node.args
+        ):
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            commands.append(first.value)
+    if not commands:
+        raise SystemExit(
+            "src/repro/cli.py: no top-level subcommand registrations found"
+        )
+    return sorted(commands)
+
+
+def check_cli_docs(repo: Path = REPO) -> list[str]:
+    """CLI subcommands registered in ``cli.py`` but absent from
+    ``docs/api.md``.
+
+    A command counts as documented when some backtick-quoted span in
+    api.md prose is the command name or starts with it (``cache
+    stats`` documents ``cache``).  Fenced code blocks are skipped —
+    backtick pairing inside them would throw off the inline spans.
+    """
+    api = (repo / "docs" / "api.md").read_text()
+    spans: set[str] = set()
+    in_code_block = False
+    for line in api.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if not in_code_block:
+            spans.update(_CELL_NAME.findall(line))
+    problems = []
+    for command in cli_subcommands(repo):
+        documented = any(
+            span == command or span.startswith(command + " ")
+            for span in spans
+        )
+        if not documented:
+            problems.append(
+                f"docs/api.md: no row for CLI subcommand {command!r} "
+                f"(document `repro-layout {command}`)"
+            )
     return problems
 
 
@@ -257,6 +363,7 @@ def main() -> int:
     problems.extend(check_api_coverage())
     problems.extend(check_cross_links())
     problems.extend(check_layering_table())
+    problems.extend(check_cli_docs())
     problems.extend(check_rule_docs())
     for problem in problems:
         print(problem)
